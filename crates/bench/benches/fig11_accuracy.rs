@@ -1,0 +1,22 @@
+//! Fig. 11: accuracy of the three approaches against the hardware-
+//! measurement stand-in (the benchmark times the full accuracy pipeline).
+
+use bench_suite::{fig11, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use polybench::{Dataset, Kernel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    let config = ExperimentConfig::at(Dataset::Mini)
+        .with_kernels(vec![Kernel::Atax, Kernel::Doitgen]);
+    group.bench_function("accuracy-pipeline", |b| {
+        b.iter(|| fig11(&config).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

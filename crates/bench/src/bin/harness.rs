@@ -1,0 +1,260 @@
+//! Experiment harness: regenerates the data behind every figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! harness <experiment> [--size mini|small|medium|large|extralarge]
+//!                      [--kernels k1,k2,...] [--json]
+//!
+//! experiments:
+//!   fig6    warping vs non-warping speedup + non-warped share (4 policies)
+//!   fig7    problem-size scaling of warping vs non-warping times
+//!   fig8    warping vs the HayStack-style analytical model
+//!   fig9    two-level warping vs the PolyCache-style model
+//!   fig10   miss counts per replacement policy relative to LRU
+//!   fig11   accuracy vs the hardware-measurement stand-in (also fig13/14)
+//!   fig12   non-warping simulation vs the Dinero-IV-style trace simulator
+//!   verify  check that warping and non-warping agree on every kernel
+//!   all     run every figure
+//! ```
+
+use bench_suite::*;
+use polybench::{Dataset, Kernel};
+use cache_model::ReplacementPolicy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let experiment = args[0].clone();
+    let mut dataset = Dataset::Small;
+    let mut kernels: Vec<Kernel> = Kernel::ALL.to_vec();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                dataset = parse_dataset(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|| die("unknown dataset size"));
+            }
+            "--kernels" => {
+                i += 1;
+                kernels = args
+                    .get(i)
+                    .map(String::as_str)
+                    .unwrap_or("")
+                    .split(',')
+                    .map(|name| {
+                        Kernel::by_name(name.trim())
+                            .unwrap_or_else(|| die(&format!("unknown kernel `{name}`")))
+                    })
+                    .collect();
+            }
+            "--json" => json = true,
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let config = ExperimentConfig::at(dataset).with_kernels(kernels.clone());
+
+    match experiment.as_str() {
+        "fig6" => emit(json, "Fig. 6: warping vs non-warping", &fig6(&config), fig6_text),
+        "fig7" => {
+            let rows = fig7(&kernels, &[dataset, next_size(dataset)]);
+            emit(json, "Fig. 7: problem-size scaling", &rows, fig7_text)
+        }
+        "fig8" => emit(json, "Fig. 8: warping vs HayStack", &fig8(&config), fig8_text),
+        "fig9" => emit(json, "Fig. 9: warping vs PolyCache", &fig9(&config), fig9_text),
+        "fig10" => emit(json, "Fig. 10: policy influence", &fig10(&config), fig10_text),
+        "fig11" => emit(json, "Fig. 11: accuracy vs measurements", &fig11(&config), fig11_text),
+        "fig12" => emit(json, "Fig. 12: non-warping vs Dinero IV", &fig12(&config), fig12_text),
+        "verify" => verify(&config),
+        "all" => {
+            emit(json, "Fig. 6: warping vs non-warping", &fig6(&config), fig6_text);
+            emit(
+                json,
+                "Fig. 7: problem-size scaling",
+                &fig7(&kernels, &[dataset, next_size(dataset)]),
+                fig7_text,
+            );
+            emit(json, "Fig. 8: warping vs HayStack", &fig8(&config), fig8_text);
+            emit(json, "Fig. 9: warping vs PolyCache", &fig9(&config), fig9_text);
+            emit(json, "Fig. 10: policy influence", &fig10(&config), fig10_text);
+            emit(json, "Fig. 11: accuracy vs measurements", &fig11(&config), fig11_text);
+            emit(json, "Fig. 12: non-warping vs Dinero IV", &fig12(&config), fig12_text);
+        }
+        _ => {
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn verify(config: &ExperimentConfig) {
+    let mut failures = 0;
+    for &kernel in &config.kernels {
+        for policy in ReplacementPolicy::ALL {
+            let ok = verify_kernel(kernel, config.dataset, policy);
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<16} {:<14} {}",
+                kernel.name(),
+                policy.label(),
+                if ok { "exact" } else { "MISMATCH" }
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} mismatches");
+        std::process::exit(1);
+    }
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "mini" => Some(Dataset::Mini),
+        "small" => Some(Dataset::Small),
+        "medium" => Some(Dataset::Medium),
+        "large" => Some(Dataset::Large),
+        "extralarge" | "xl" => Some(Dataset::ExtraLarge),
+        _ => None,
+    }
+}
+
+fn next_size(dataset: Dataset) -> Dataset {
+    match dataset {
+        Dataset::Mini => Dataset::Small,
+        Dataset::Small => Dataset::Medium,
+        Dataset::Medium => Dataset::Large,
+        Dataset::Large | Dataset::ExtraLarge => Dataset::ExtraLarge,
+    }
+}
+
+fn emit<R: serde::Serialize>(json: bool, title: &str, rows: &[R], text: impl Fn(&[R])) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(rows).expect("rows serialise"));
+    } else {
+        println!("\n== {title} ==");
+        text(rows);
+    }
+}
+
+fn fig6_text(rows: &[Fig6Row]) {
+    println!(
+        "{:<16} {:<14} {:>12} {:>12} {:>9} {:>14} {:>7}",
+        "kernel", "policy", "nonwarp[ms]", "warp[ms]", "speedup", "nonwarped[%]", "exact"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:<14} {:>12.2} {:>12.2} {:>9.2} {:>14.3} {:>7}",
+            r.kernel,
+            r.policy,
+            r.nonwarping_ms,
+            r.warping_ms,
+            r.speedup,
+            r.non_warped_share * 100.0,
+            r.exact
+        );
+    }
+}
+
+fn fig7_text(rows: &[Fig7Row]) {
+    println!(
+        "{:<16} {:<12} {:>14} {:>12}",
+        "kernel", "dataset", "nonwarp[ms]", "warp[ms]"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:<12} {:>14.2} {:>12.2}",
+            r.kernel, r.dataset, r.nonwarping_ms, r.warping_ms
+        );
+    }
+}
+
+fn fig8_text(rows: &[Fig8Row]) {
+    println!(
+        "{:<16} {:<12} {:>12} {:>14} {:>9} {:>7}",
+        "kernel", "dataset", "warp[ms]", "haystack[ms]", "speedup", "exact"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:<12} {:>12.2} {:>14.2} {:>9.3} {:>7}",
+            r.kernel, r.dataset, r.warping_ms, r.haystack_ms, r.speedup, r.exact
+        );
+    }
+}
+
+fn fig9_text(rows: &[Fig9Row]) {
+    println!(
+        "{:<16} {:>12} {:>15} {:>9} {:>7}",
+        "kernel", "warp[ms]", "polycache[ms]", "speedup", "exact"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12.2} {:>15.2} {:>9.3} {:>7}",
+            r.kernel, r.warping_ms, r.polycache_ms, r.speedup, r.exact
+        );
+    }
+}
+
+fn fig10_text(rows: &[Fig10Row]) {
+    println!(
+        "{:<16} {:>12} {:>10} {:>12} {:>14} {:>8}",
+        "kernel", "LRU misses", "FA-LRU", "Pseudo-LRU", "Quad-age LRU", "FIFO"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12} {:>10.3} {:>12.3} {:>14.3} {:>8.3}",
+            r.kernel, r.lru_misses, r.fully_associative_lru, r.pseudo_lru, r.quad_age_lru, r.fifo
+        );
+    }
+}
+
+fn fig11_text(rows: &[Fig11Row]) {
+    println!(
+        "{:<16} {:>12} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9}",
+        "kernel", "measured", "dinero|Δ|", "rel[%]", "warp|Δ|", "rel[%]", "haystk|Δ|", "rel[%]"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12} {:>11} {:>9.1} {:>11} {:>9.1} {:>11} {:>9.1}",
+            r.kernel,
+            r.measured,
+            r.dinero_abs,
+            r.dinero_rel,
+            r.warping_abs,
+            r.warping_rel,
+            r.haystack_abs,
+            r.haystack_rel
+        );
+    }
+}
+
+fn fig12_text(rows: &[Fig12Row]) {
+    println!(
+        "{:<16} {:>12} {:>14} {:>9}",
+        "kernel", "dinero[ms]", "nonwarp[ms]", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12.2} {:>14.2} {:>9.2}",
+            r.kernel, r.dinero_ms, r.nonwarping_ms, r.speedup
+        );
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: harness <fig6|fig7|fig8|fig9|fig10|fig11|fig12|verify|all> \
+         [--size mini|small|medium|large|extralarge] [--kernels a,b,c] [--json]"
+    );
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2)
+}

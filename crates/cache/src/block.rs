@@ -1,0 +1,111 @@
+//! Memory blocks and accesses.
+
+use std::fmt;
+
+/// A memory block: the unit at which caches operate.
+///
+/// A block is obtained from a byte address by dividing by the cache line
+/// size, see [`CacheConfig::block_of_address`](crate::CacheConfig::block_of_address).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemBlock(pub u64);
+
+impl MemBlock {
+    /// The block containing byte address `addr` for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero.
+    pub fn of_address(addr: u64, line_size: u64) -> Self {
+        assert!(line_size > 0, "line size must be positive");
+        MemBlock(addr / line_size)
+    }
+
+    /// The raw block number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for MemBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for MemBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for MemBlock {
+    fn from(v: u64) -> Self {
+        MemBlock(v)
+    }
+}
+
+/// Whether a memory access reads or writes.
+///
+/// The distinction only matters for no-write-allocate caches; write-allocate
+/// caches treat reads and writes identically for hit/miss classification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AccessKind {
+    /// A load.
+    #[default]
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single memory access: a byte address and an access kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Accessed byte address.
+    pub address: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read access to `address`.
+    pub fn read(address: u64) -> Self {
+        Access {
+            address,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write access to `address`.
+    pub fn write(address: u64) -> Self {
+        Access {
+            address,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_address_divides_by_line_size() {
+        assert_eq!(MemBlock::of_address(0, 64), MemBlock(0));
+        assert_eq!(MemBlock::of_address(63, 64), MemBlock(0));
+        assert_eq!(MemBlock::of_address(64, 64), MemBlock(1));
+        assert_eq!(MemBlock::of_address(1000, 64), MemBlock(15));
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert!(Access::write(4).kind.is_write());
+        assert!(!Access::read(4).kind.is_write());
+    }
+}

@@ -1,0 +1,327 @@
+//! Set-associative caches with modulo placement.
+
+use crate::block::{Access, AccessKind, MemBlock};
+use crate::policy::ReplacementPolicy;
+use crate::set::SetState;
+use std::fmt;
+
+/// Configuration of a single cache level.
+///
+/// ```
+/// use cache_model::{CacheConfig, ReplacementPolicy};
+/// // The test system's L1: 32 KiB, 8-way, 64-byte lines, Pseudo-LRU.
+/// let l1 = CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Plru);
+/// assert_eq!(l1.num_sets(), 64);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheConfig {
+    num_sets: usize,
+    assoc: usize,
+    line_size: u64,
+    policy: ReplacementPolicy,
+    write_allocate: bool,
+}
+
+impl CacheConfig {
+    /// A cache of `size_bytes` total capacity with the given associativity,
+    /// line size and replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not an exact multiple of `assoc * line_size`
+    /// or any parameter is zero.
+    pub fn new(size_bytes: u64, assoc: usize, line_size: u64, policy: ReplacementPolicy) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && line_size > 0, "cache parameters must be positive");
+        let way_bytes = assoc as u64 * line_size;
+        assert_eq!(
+            size_bytes % way_bytes,
+            0,
+            "cache size must be a multiple of associativity * line size"
+        );
+        CacheConfig::with_sets((size_bytes / way_bytes) as usize, assoc, line_size, policy)
+    }
+
+    /// A cache described directly by its number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn with_sets(
+        num_sets: usize,
+        assoc: usize,
+        line_size: u64,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(num_sets > 0 && assoc > 0 && line_size > 0, "cache parameters must be positive");
+        CacheConfig {
+            num_sets,
+            assoc,
+            line_size,
+            policy,
+            write_allocate: true,
+        }
+    }
+
+    /// A fully-associative cache with `num_lines` lines.
+    pub fn fully_associative(num_lines: usize, line_size: u64, policy: ReplacementPolicy) -> Self {
+        CacheConfig::with_sets(1, num_lines, line_size, policy)
+    }
+
+    /// Disables write allocation: write misses do not fill the cache.
+    pub fn no_write_allocate(mut self) -> Self {
+        self.write_allocate = false;
+        self
+    }
+
+    /// Number of cache sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity of each set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Whether write misses allocate a line.
+    pub fn write_allocate(&self) -> bool {
+        self.write_allocate
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_sets as u64 * self.assoc as u64 * self.line_size
+    }
+
+    /// The memory block containing byte address `addr`.
+    pub fn block_of_address(&self, addr: u64) -> MemBlock {
+        MemBlock::of_address(addr, self.line_size)
+    }
+
+    /// The cache set a block maps to (modulo placement, §2.2 of the paper).
+    pub fn index(&self, block: MemBlock) -> usize {
+        (block.0 % self.num_sets as u64) as usize
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB {}-way, {}-byte lines, {}",
+            self.size_bytes() / 1024,
+            self.assoc,
+            self.line_size,
+            self.policy
+        )
+    }
+}
+
+/// Hit/miss counters of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LevelStats {
+    /// Number of accesses that reached this level.
+    pub accesses: u64,
+    /// Number of hits at this level.
+    pub hits: u64,
+    /// Number of misses at this level.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Records one access.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Merges the counters of another statistics record into this one.
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Miss ratio (0 if there were no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The state of a set-associative cache, generic over the line payload.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheState<B> {
+    sets: Vec<SetState<B>>,
+}
+
+impl<B: Clone> CacheState<B> {
+    /// An empty cache with the geometry of `config`.
+    pub fn new(config: &CacheConfig) -> Self {
+        CacheState {
+            sets: (0..config.num_sets())
+                .map(|_| SetState::new(config.policy(), config.assoc()))
+                .collect(),
+        }
+    }
+
+    /// Number of cache sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The state of cache set `idx`.
+    pub fn set(&self, idx: usize) -> &SetState<B> {
+        &self.sets[idx]
+    }
+
+    /// Mutable access to cache set `idx`.
+    pub fn set_mut(&mut self, idx: usize) -> &mut SetState<B> {
+        &mut self.sets[idx]
+    }
+
+    /// All cache sets.
+    pub fn sets(&self) -> &[SetState<B>] {
+        &self.sets
+    }
+
+    /// Applies a function to every payload, preserving geometry and policy
+    /// state.
+    pub fn map_payloads<C>(&self, mut f: impl FnMut(&B) -> C) -> CacheState<C> {
+        CacheState {
+            sets: self.sets.iter().map(|s| s.map_payloads(&mut f)).collect(),
+        }
+    }
+
+    /// Permutes the cache sets: set `i` of the result is set `perm(i)` of
+    /// `self`.  Used to apply index bijections (Equation 5 of the paper).
+    pub fn permute_sets(&self, perm: impl Fn(usize) -> usize) -> CacheState<B> {
+        CacheState {
+            sets: (0..self.sets.len())
+                .map(|i| self.sets[perm(i)].clone())
+                .collect(),
+        }
+    }
+}
+
+impl CacheState<MemBlock> {
+    /// Classifies and performs a read access to a memory block
+    /// (`ClCache` followed by `UpCache`).  Returns `true` for a hit.
+    pub fn access_block(&mut self, config: &CacheConfig, block: MemBlock) -> bool {
+        let idx = config.index(block);
+        self.sets[idx].access(config.policy(), block)
+    }
+
+    /// Classifies a block without updating the state (`ClCache`).
+    pub fn classify_block(&self, config: &CacheConfig, block: MemBlock) -> bool {
+        self.sets[config.index(block)].classify(&block)
+    }
+
+    /// Classifies and performs an access, honouring the write-allocation
+    /// policy: on a write miss to a no-write-allocate cache the block is not
+    /// inserted.  Returns `true` for a hit.
+    pub fn access(&mut self, config: &CacheConfig, access: Access) -> bool {
+        let block = config.block_of_address(access.address);
+        let idx = config.index(block);
+        let set = &mut self.sets[idx];
+        match set.find(|b| *b == block) {
+            Some(line) => {
+                set.on_hit(config.policy(), line);
+                true
+            }
+            None => {
+                if access.kind != AccessKind::Write || config.write_allocate() {
+                    set.on_miss_insert(config.policy(), block);
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Lru);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.size_bytes(), 32 * 1024);
+        assert_eq!(c.index(MemBlock(64)), 0);
+        assert_eq!(c.index(MemBlock(65)), 1);
+        assert_eq!(c.block_of_address(128), MemBlock(2));
+    }
+
+    #[test]
+    fn running_example_first_iteration() {
+        // Figure 1 of the paper: fully-associative, 2 lines, LRU; iteration 1
+        // accesses A[0], A[1], B[0] — three misses — leaving {A[1], B[0]}.
+        let config = CacheConfig::fully_associative(2, 1, ReplacementPolicy::Lru);
+        let mut cache = CacheState::new(&config);
+        let a = |i: u64| MemBlock(i);
+        let b = |i: u64| MemBlock(1000 + i);
+        assert!(!cache.access_block(&config, a(0)));
+        assert!(!cache.access_block(&config, a(1)));
+        assert!(!cache.access_block(&config, b(0)));
+        // Iteration 2: A[1] hits, A[2] and B[1] miss.
+        assert!(cache.access_block(&config, a(1)));
+        assert!(!cache.access_block(&config, a(2)));
+        assert!(!cache.access_block(&config, b(1)));
+    }
+
+    #[test]
+    fn no_write_allocate_skips_fill() {
+        let config =
+            CacheConfig::fully_associative(2, 64, ReplacementPolicy::Lru).no_write_allocate();
+        let mut cache = CacheState::new(&config);
+        assert!(!cache.access(&config, Access::write(0)));
+        // The write miss did not allocate, so a read to the same block misses.
+        assert!(!cache.access(&config, Access::read(0)));
+        // The read allocated; now it hits.
+        assert!(cache.access(&config, Access::read(0)));
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut a = LevelStats::default();
+        a.record(true);
+        a.record(false);
+        let mut b = LevelStats::default();
+        b.record(false);
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert!((a.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_sets_rotation() {
+        let config = CacheConfig::with_sets(4, 1, 1, ReplacementPolicy::Lru);
+        let mut cache = CacheState::new(&config);
+        cache.access_block(&config, MemBlock(0));
+        cache.access_block(&config, MemBlock(1));
+        // Rotate by one: new set i holds what old set (i + 1) mod 4 held.
+        let rotated = cache.permute_sets(|i| (i + 1) % 4);
+        assert_eq!(rotated.set(0).lines()[0], Some(MemBlock(1)));
+        assert_eq!(rotated.set(3).lines()[0], Some(MemBlock(0)));
+    }
+}

@@ -1,0 +1,265 @@
+//! Two-level cache hierarchies.
+
+use crate::block::{Access, AccessKind, MemBlock};
+use crate::cache::{CacheConfig, CacheState, LevelStats};
+
+/// Write policy of a cache level.
+///
+/// Write-back vs. write-through only affects traffic, not hit/miss counts,
+/// so the model distinguishes the allocation decision, which does affect
+/// misses, and records the write-back choice for documentation purposes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate (the configuration of the test system in
+    /// the paper and the PolyCache comparison).
+    #[default]
+    WriteBackWriteAllocate,
+    /// Write-through, no-write-allocate.
+    WriteThroughNoAllocate,
+}
+
+impl WritePolicy {
+    /// Whether write misses allocate a line.
+    pub fn allocates_on_write(self) -> bool {
+        matches!(self, WritePolicy::WriteBackWriteAllocate)
+    }
+}
+
+/// Configuration of a two-level non-inclusive non-exclusive hierarchy
+/// (the private L1/L2 levels modelled in the paper, Appendix A.2).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HierarchyConfig {
+    /// First-level cache.
+    pub l1: CacheConfig,
+    /// Second-level cache.
+    pub l2: CacheConfig,
+    /// Write policy applied at both levels.
+    pub write_policy: WritePolicy,
+}
+
+impl HierarchyConfig {
+    /// A hierarchy with the default write-back write-allocate policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two levels have different line sizes (unsupported) or if
+    /// the number of L2 sets is not a multiple of the number of L1 sets (the
+    /// assumption under which Corollary 5 of the paper applies).
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert_eq!(
+            l1.line_size(),
+            l2.line_size(),
+            "L1 and L2 must use the same line size"
+        );
+        assert_eq!(
+            l2.num_sets() % l1.num_sets(),
+            0,
+            "the number of L2 sets must be a multiple of the number of L1 sets"
+        );
+        HierarchyConfig {
+            l1,
+            l2,
+            write_policy: WritePolicy::default(),
+        }
+    }
+
+    /// Sets the write policy, returning `self` for chaining.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// The cache line size shared by both levels.
+    pub fn line_size(&self) -> u64 {
+        self.l1.line_size()
+    }
+
+    /// The configuration used throughout the paper's evaluation: the
+    /// Cascade Lake test system's private levels — a 32 KiB 8-way PLRU L1
+    /// and a 1 MiB 16-way Quad-age-LRU L2, 64-byte lines.
+    pub fn test_system() -> Self {
+        HierarchyConfig::new(
+            CacheConfig::new(32 * 1024, 8, 64, crate::ReplacementPolicy::Plru),
+            CacheConfig::new(1024 * 1024, 16, 64, crate::ReplacementPolicy::Qlru),
+        )
+    }
+
+    /// The configuration of the PolyCache comparison (Fig. 9): 32 KiB 4-way
+    /// L1 and 256 KiB 4-way L2, both LRU, write-back write-allocate.
+    pub fn polycache_comparison() -> Self {
+        HierarchyConfig::new(
+            CacheConfig::new(32 * 1024, 4, 64, crate::ReplacementPolicy::Lru),
+            CacheConfig::new(256 * 1024, 4, 64, crate::ReplacementPolicy::Lru),
+        )
+    }
+}
+
+/// The result of a hierarchy access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the L1 cache.
+    pub l1_hit: bool,
+    /// Whether the access hit in the L2 cache; `None` if the L2 was not
+    /// accessed (because the L1 hit).
+    pub l2_hit: Option<bool>,
+}
+
+/// The state of a two-level non-inclusive non-exclusive hierarchy, generic
+/// over the line payload.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HierarchyState<B> {
+    /// L1 state.
+    pub l1: CacheState<B>,
+    /// L2 state.
+    pub l2: CacheState<B>,
+}
+
+impl<B: Clone> HierarchyState<B> {
+    /// An empty hierarchy with the geometry of `config`.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        HierarchyState {
+            l1: CacheState::new(&config.l1),
+            l2: CacheState::new(&config.l2),
+        }
+    }
+}
+
+impl HierarchyState<MemBlock> {
+    /// Performs a read access to a block (Equation 24 of the paper):
+    /// the L2 is only consulted — and updated — when the L1 misses.
+    pub fn access_block(&mut self, config: &HierarchyConfig, block: MemBlock) -> AccessOutcome {
+        let l1_hit = self.l1.access_block(&config.l1, block);
+        let l2_hit = if l1_hit {
+            None
+        } else {
+            Some(self.l2.access_block(&config.l2, block))
+        };
+        AccessOutcome { l1_hit, l2_hit }
+    }
+
+    /// Performs an access honouring the hierarchy's write policy.
+    pub fn access(&mut self, config: &HierarchyConfig, access: Access) -> AccessOutcome {
+        if access.kind == AccessKind::Write && !config.write_policy.allocates_on_write() {
+            // No-write-allocate: classify without filling; the write is
+            // forwarded to the next level which applies the same policy.
+            let block = config.l1.block_of_address(access.address);
+            let l1_hit = if self.l1.classify_block(&config.l1, block) {
+                self.l1.access_block(&config.l1, block)
+            } else {
+                false
+            };
+            let l2_hit = if l1_hit {
+                None
+            } else {
+                Some(if self.l2.classify_block(&config.l2, block) {
+                    self.l2.access_block(&config.l2, block)
+                } else {
+                    false
+                })
+            };
+            AccessOutcome { l1_hit, l2_hit }
+        } else {
+            self.access_block(config, config.l1.block_of_address(access.address))
+        }
+    }
+}
+
+/// Aggregated statistics of a two-level simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierarchyStats {
+    /// L1 counters.
+    pub l1: LevelStats,
+    /// L2 counters (accesses = L1 misses).
+    pub l2: LevelStats,
+}
+
+impl HierarchyStats {
+    /// Records one access outcome.
+    pub fn record(&mut self, outcome: AccessOutcome) {
+        self.l1.record(outcome.l1_hit);
+        if let Some(l2_hit) = outcome.l2_hit {
+            self.l2.record(l2_hit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplacementPolicy;
+
+    fn tiny_hierarchy() -> HierarchyConfig {
+        HierarchyConfig::new(
+            CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru),
+        )
+    }
+
+    #[test]
+    fn l2_filters_l1_misses() {
+        let config = tiny_hierarchy();
+        let mut h = HierarchyState::new(&config);
+        let b = MemBlock(0);
+        let first = h.access_block(&config, b);
+        assert_eq!(
+            first,
+            AccessOutcome {
+                l1_hit: false,
+                l2_hit: Some(false)
+            }
+        );
+        let second = h.access_block(&config, b);
+        assert_eq!(second, AccessOutcome { l1_hit: true, l2_hit: None });
+    }
+
+    #[test]
+    fn non_inclusive_refill_hits_l2() {
+        let config = tiny_hierarchy();
+        let mut h = HierarchyState::new(&config);
+        // Fill L1 set 0 beyond its associativity so block 0 gets evicted from
+        // L1 but remains in the larger L2.
+        for i in [0u64, 2, 4] {
+            h.access_block(&config, MemBlock(i));
+        }
+        let again = h.access_block(&config, MemBlock(0));
+        assert!(!again.l1_hit);
+        assert_eq!(again.l2_hit, Some(true));
+    }
+
+    #[test]
+    fn no_write_allocate_hierarchy() {
+        let config = tiny_hierarchy().with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut h = HierarchyState::new(&config);
+        let out = h.access(&config, Access::write(0));
+        assert!(!out.l1_hit);
+        assert_eq!(out.l2_hit, Some(false));
+        // Nothing was allocated anywhere.
+        let read = h.access(&config, Access::read(0));
+        assert!(!read.l1_hit);
+        assert_eq!(read.l2_hit, Some(false));
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let config = tiny_hierarchy();
+        let mut h = HierarchyState::new(&config);
+        let mut stats = HierarchyStats::default();
+        for i in [0u64, 1, 0, 2, 0] {
+            stats.record(h.access_block(&config, MemBlock(i)));
+        }
+        assert_eq!(stats.l1.accesses, 5);
+        assert_eq!(stats.l1.misses, 3);
+        assert_eq!(stats.l2.accesses, 3);
+        assert_eq!(stats.l2.misses, 3);
+    }
+
+    #[test]
+    fn preset_configurations() {
+        let ts = HierarchyConfig::test_system();
+        assert_eq!(ts.l1.num_sets(), 64);
+        assert_eq!(ts.l2.num_sets(), 1024);
+        let pc = HierarchyConfig::polycache_comparison();
+        assert_eq!(pc.l1.assoc(), 4);
+        assert_eq!(pc.l2.size_bytes(), 256 * 1024);
+    }
+}

@@ -1,0 +1,343 @@
+//! Linear-algebra kernels (BLAS, kernels and solvers) in the mini-C dialect.
+//!
+//! Each function returns the kernel's loop nest with the dataset sizes
+//! substituted.  Only the measured kernel (the `kernel_*` function of
+//! PolyBench) is expressed; initialisation code is not part of the SCoP, as
+//! in the paper's evaluation.  Loops that iterate downwards in the original
+//! sources are rewritten with an ascending iterator and transformed
+//! subscripts, which preserves the memory-access sequence.
+
+/// `gemm`: C = alpha*A*B + beta*C.
+pub fn gemm(ni: u64, nj: u64, nk: u64) -> String {
+    format!(
+        "double C[{ni}][{nj}]; double A[{ni}][{nk}]; double B[{nk}][{nj}];\n\
+         for (i = 0; i < {ni}; i++) {{\n\
+           for (j = 0; j < {nj}; j++) C[i][j] *= beta;\n\
+           for (k = 0; k < {nk}; k++)\n\
+             for (j = 0; j < {nj}; j++)\n\
+               C[i][j] += alpha * A[i][k] * B[k][j];\n\
+         }}\n"
+    )
+}
+
+/// `gemver`: multiple matrix-vector products and rank-1 updates.
+pub fn gemver(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}]; double u1[{n}]; double v1[{n}]; double u2[{n}]; double v2[{n}];\n\
+         double w[{n}]; double x[{n}]; double y[{n}]; double z[{n}];\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {n}; j++)\n\
+             A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {n}; j++)\n\
+             x[i] = x[i] + beta * A[j][i] * y[j];\n\
+         for (i = 0; i < {n}; i++)\n\
+           x[i] = x[i] + z[i];\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {n}; j++)\n\
+             w[i] = w[i] + alpha * A[i][j] * x[j];\n"
+    )
+}
+
+/// `gesummv`: summed matrix-vector multiplications.
+pub fn gesummv(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}]; double B[{n}][{n}]; double tmp[{n}]; double x[{n}]; double y[{n}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           tmp[i] = 0.0;\n\
+           y[i] = 0.0;\n\
+           for (j = 0; j < {n}; j++) {{\n\
+             tmp[i] = A[i][j] * x[j] + tmp[i];\n\
+             y[i] = B[i][j] * x[j] + y[i];\n\
+           }}\n\
+           y[i] = alpha * tmp[i] + beta * y[i];\n\
+         }}\n"
+    )
+}
+
+/// `symm`: symmetric matrix multiplication.
+pub fn symm(m: u64, n: u64) -> String {
+    format!(
+        "double C[{m}][{n}]; double A[{m}][{m}]; double B[{m}][{n}];\n\
+         for (i = 0; i < {m}; i++)\n\
+           for (j = 0; j < {n}; j++) {{\n\
+             temp2 = 0.0;\n\
+             for (k = 0; k < i; k++) {{\n\
+               C[k][j] += alpha * B[i][j] * A[i][k];\n\
+               temp2 += B[k][j] * A[i][k];\n\
+             }}\n\
+             C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;\n\
+           }}\n"
+    )
+}
+
+/// `syr2k`: symmetric rank-2k update.
+pub fn syr2k(m: u64, n: u64) -> String {
+    format!(
+        "double C[{n}][{n}]; double A[{n}][{m}]; double B[{n}][{m}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           for (j = 0; j <= i; j++) C[i][j] *= beta;\n\
+           for (k = 0; k < {m}; k++)\n\
+             for (j = 0; j <= i; j++)\n\
+               C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];\n\
+         }}\n"
+    )
+}
+
+/// `syrk`: symmetric rank-k update.
+pub fn syrk(m: u64, n: u64) -> String {
+    format!(
+        "double C[{n}][{n}]; double A[{n}][{m}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           for (j = 0; j <= i; j++) C[i][j] *= beta;\n\
+           for (k = 0; k < {m}; k++)\n\
+             for (j = 0; j <= i; j++)\n\
+               C[i][j] += alpha * A[i][k] * A[j][k];\n\
+         }}\n"
+    )
+}
+
+/// `trmm`: triangular matrix multiplication.
+pub fn trmm(m: u64, n: u64) -> String {
+    format!(
+        "double A[{m}][{m}]; double B[{m}][{n}];\n\
+         for (i = 0; i < {m}; i++)\n\
+           for (j = 0; j < {n}; j++) {{\n\
+             for (k = i + 1; k < {m}; k++)\n\
+               B[i][j] += A[k][i] * B[k][j];\n\
+             B[i][j] = alpha * B[i][j];\n\
+           }}\n"
+    )
+}
+
+/// `2mm`: D = alpha*A*B*C + beta*D.
+pub fn two_mm(ni: u64, nj: u64, nk: u64, nl: u64) -> String {
+    format!(
+        "double tmp[{ni}][{nj}]; double A[{ni}][{nk}]; double B[{nk}][{nj}];\n\
+         double C[{nj}][{nl}]; double D[{ni}][{nl}];\n\
+         for (i = 0; i < {ni}; i++)\n\
+           for (j = 0; j < {nj}; j++) {{\n\
+             tmp[i][j] = 0.0;\n\
+             for (k = 0; k < {nk}; k++)\n\
+               tmp[i][j] += alpha * A[i][k] * B[k][j];\n\
+           }}\n\
+         for (i = 0; i < {ni}; i++)\n\
+           for (j = 0; j < {nl}; j++) {{\n\
+             D[i][j] *= beta;\n\
+             for (k = 0; k < {nj}; k++)\n\
+               D[i][j] += tmp[i][k] * C[k][j];\n\
+           }}\n"
+    )
+}
+
+/// `3mm`: G = (A*B)*(C*D).
+pub fn three_mm(ni: u64, nj: u64, nk: u64, nl: u64, nm: u64) -> String {
+    format!(
+        "double E[{ni}][{nj}]; double A[{ni}][{nk}]; double B[{nk}][{nj}];\n\
+         double F[{nj}][{nl}]; double C[{nj}][{nm}]; double D[{nm}][{nl}];\n\
+         double G[{ni}][{nl}];\n\
+         for (i = 0; i < {ni}; i++)\n\
+           for (j = 0; j < {nj}; j++) {{\n\
+             E[i][j] = 0.0;\n\
+             for (k = 0; k < {nk}; k++)\n\
+               E[i][j] += A[i][k] * B[k][j];\n\
+           }}\n\
+         for (i = 0; i < {nj}; i++)\n\
+           for (j = 0; j < {nl}; j++) {{\n\
+             F[i][j] = 0.0;\n\
+             for (k = 0; k < {nm}; k++)\n\
+               F[i][j] += C[i][k] * D[k][j];\n\
+           }}\n\
+         for (i = 0; i < {ni}; i++)\n\
+           for (j = 0; j < {nl}; j++) {{\n\
+             G[i][j] = 0.0;\n\
+             for (k = 0; k < {nj}; k++)\n\
+               G[i][j] += E[i][k] * F[k][j];\n\
+           }}\n"
+    )
+}
+
+/// `atax`: y = A^T (A x).
+pub fn atax(m: u64, n: u64) -> String {
+    format!(
+        "double A[{m}][{n}]; double x[{n}]; double y[{n}]; double tmp[{m}];\n\
+         for (i = 0; i < {n}; i++) y[i] = 0.0;\n\
+         for (i = 0; i < {m}; i++) {{\n\
+           tmp[i] = 0.0;\n\
+           for (j = 0; j < {n}; j++) tmp[i] = tmp[i] + A[i][j] * x[j];\n\
+           for (j = 0; j < {n}; j++) y[j] = y[j] + A[i][j] * tmp[i];\n\
+         }}\n"
+    )
+}
+
+/// `bicg`: biconjugate gradients sub-kernel (s = A^T r, q = A p).
+pub fn bicg(m: u64, n: u64) -> String {
+    format!(
+        "double A[{n}][{m}]; double s[{m}]; double q[{n}]; double p[{m}]; double r[{n}];\n\
+         for (i = 0; i < {m}; i++) s[i] = 0.0;\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           q[i] = 0.0;\n\
+           for (j = 0; j < {m}; j++) {{\n\
+             s[j] = s[j] + r[i] * A[i][j];\n\
+             q[i] = q[i] + A[i][j] * p[j];\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+/// `doitgen`: multi-resolution analysis kernel.
+pub fn doitgen(nq: u64, nr: u64, np: u64) -> String {
+    format!(
+        "double A[{nr}][{nq}][{np}]; double C4[{np}][{np}]; double sum[{np}];\n\
+         for (r = 0; r < {nr}; r++)\n\
+           for (q = 0; q < {nq}; q++) {{\n\
+             for (p = 0; p < {np}; p++) {{\n\
+               sum[p] = 0.0;\n\
+               for (s = 0; s < {np}; s++)\n\
+                 sum[p] += A[r][q][s] * C4[s][p];\n\
+             }}\n\
+             for (p = 0; p < {np}; p++)\n\
+               A[r][q][p] = sum[p];\n\
+           }}\n"
+    )
+}
+
+/// `mvt`: matrix-vector product and transposed product.
+pub fn mvt(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}]; double x1[{n}]; double x2[{n}]; double y1[{n}]; double y2[{n}];\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {n}; j++)\n\
+             x1[i] = x1[i] + A[i][j] * y1[j];\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {n}; j++)\n\
+             x2[i] = x2[i] + A[j][i] * y2[j];\n"
+    )
+}
+
+/// `cholesky`: Cholesky decomposition.
+pub fn cholesky(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           for (j = 0; j < i; j++) {{\n\
+             for (k = 0; k < j; k++)\n\
+               A[i][j] -= A[i][k] * A[j][k];\n\
+             A[i][j] /= A[j][j];\n\
+           }}\n\
+           for (k = 0; k < i; k++)\n\
+             A[i][i] -= A[i][k] * A[i][k];\n\
+           A[i][i] = sqrt(A[i][i]);\n\
+         }}\n"
+    )
+}
+
+/// `durbin`: Toeplitz system solver (Durbin recursion).
+pub fn durbin(n: u64) -> String {
+    format!(
+        "double r[{n}]; double y[{n}]; double z[{n}];\n\
+         y[0] = 0.0 - r[0];\n\
+         beta = 1.0;\n\
+         alpha = 0.0 - r[0];\n\
+         for (k = 1; k < {n}; k++) {{\n\
+           beta = (1.0 - alpha * alpha) * beta;\n\
+           sum = 0.0;\n\
+           for (i = 0; i < k; i++)\n\
+             sum += r[k - i - 1] * y[i];\n\
+           alpha = 0.0 - (r[k] + sum) / beta;\n\
+           for (i = 0; i < k; i++)\n\
+             z[i] = y[i] + alpha * y[k - i - 1];\n\
+           for (i = 0; i < k; i++)\n\
+             y[i] = z[i];\n\
+           y[k] = alpha;\n\
+         }}\n"
+    )
+}
+
+/// `gramschmidt`: modified Gram-Schmidt QR decomposition.
+pub fn gramschmidt(m: u64, n: u64) -> String {
+    format!(
+        "double A[{m}][{n}]; double R[{n}][{n}]; double Q[{m}][{n}];\n\
+         for (k = 0; k < {n}; k++) {{\n\
+           nrm = 0.0;\n\
+           for (i = 0; i < {m}; i++)\n\
+             nrm += A[i][k] * A[i][k];\n\
+           R[k][k] = sqrt(nrm);\n\
+           for (i = 0; i < {m}; i++)\n\
+             Q[i][k] = A[i][k] / R[k][k];\n\
+           for (j = k + 1; j < {n}; j++) {{\n\
+             R[k][j] = 0.0;\n\
+             for (i = 0; i < {m}; i++)\n\
+               R[k][j] += Q[i][k] * A[i][j];\n\
+             for (i = 0; i < {m}; i++)\n\
+               A[i][j] = A[i][j] - Q[i][k] * R[k][j];\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+/// `lu`: LU decomposition without pivoting.
+pub fn lu(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           for (j = 0; j < i; j++) {{\n\
+             for (k = 0; k < j; k++)\n\
+               A[i][j] -= A[i][k] * A[k][j];\n\
+             A[i][j] /= A[j][j];\n\
+           }}\n\
+           for (j = i; j < {n}; j++)\n\
+             for (k = 0; k < i; k++)\n\
+               A[i][j] -= A[i][k] * A[k][j];\n\
+         }}\n"
+    )
+}
+
+/// `ludcmp`: LU decomposition followed by forward and backward substitution.
+/// The backward-substitution loop of the original runs from `n-1` down to 0;
+/// it is rewritten with the ascending iterator `ii = n-1-i`.
+pub fn ludcmp(n: u64) -> String {
+    format!(
+        "double A[{n}][{n}]; double b[{n}]; double x[{n}]; double y[{n}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           for (j = 0; j < i; j++) {{\n\
+             w = A[i][j];\n\
+             for (k = 0; k < j; k++)\n\
+               w -= A[i][k] * A[k][j];\n\
+             A[i][j] = w / A[j][j];\n\
+           }}\n\
+           for (j = i; j < {n}; j++) {{\n\
+             w = A[i][j];\n\
+             for (k = 0; k < i; k++)\n\
+               w -= A[i][k] * A[k][j];\n\
+             A[i][j] = w;\n\
+           }}\n\
+         }}\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           w = b[i];\n\
+           for (j = 0; j < i; j++)\n\
+             w -= A[i][j] * y[j];\n\
+           y[i] = w;\n\
+         }}\n\
+         for (ii = 0; ii < {n}; ii++) {{\n\
+           w = y[{nm1} - ii];\n\
+           for (j = {n} - ii; j < {n}; j++)\n\
+             w -= A[{nm1} - ii][j] * x[j];\n\
+           x[{nm1} - ii] = w / A[{nm1} - ii][{nm1} - ii];\n\
+         }}\n",
+        nm1 = n - 1
+    )
+}
+
+/// `trisolv`: triangular solver.
+pub fn trisolv(n: u64) -> String {
+    format!(
+        "double L[{n}][{n}]; double x[{n}]; double b[{n}];\n\
+         for (i = 0; i < {n}; i++) {{\n\
+           x[i] = b[i];\n\
+           for (j = 0; j < i; j++)\n\
+             x[i] -= L[i][j] * x[j];\n\
+           x[i] = x[i] / L[i][i];\n\
+         }}\n"
+    )
+}

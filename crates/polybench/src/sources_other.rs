@@ -1,0 +1,199 @@
+//! Data-mining and medley kernels in the mini-C dialect.
+
+/// `correlation`: correlation matrix computation.
+pub fn correlation(m: u64, n: u64) -> String {
+    format!(
+        "double data[{n}][{m}]; double corr[{m}][{m}]; double mean[{m}]; double stddev[{m}];\n\
+         for (j = 0; j < {m}; j++) {{\n\
+           mean[j] = 0.0;\n\
+           for (i = 0; i < {n}; i++)\n\
+             mean[j] += data[i][j];\n\
+           mean[j] = mean[j] / float_n;\n\
+         }}\n\
+         for (j = 0; j < {m}; j++) {{\n\
+           stddev[j] = 0.0;\n\
+           for (i = 0; i < {n}; i++)\n\
+             stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);\n\
+           stddev[j] = sqrt(stddev[j] / float_n);\n\
+         }}\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {m}; j++)\n\
+             data[i][j] = (data[i][j] - mean[j]) / (sqrtfn * stddev[j]);\n\
+         for (i = 0; i < {m} - 1; i++) {{\n\
+           corr[i][i] = 1.0;\n\
+           for (j = i + 1; j < {m}; j++) {{\n\
+             corr[i][j] = 0.0;\n\
+             for (k = 0; k < {n}; k++)\n\
+               corr[i][j] += data[k][i] * data[k][j];\n\
+             corr[j][i] = corr[i][j];\n\
+           }}\n\
+         }}\n\
+         corr[{m} - 1][{m} - 1] = 1.0;\n"
+    )
+}
+
+/// `covariance`: covariance matrix computation.
+pub fn covariance(m: u64, n: u64) -> String {
+    format!(
+        "double data[{n}][{m}]; double cov[{m}][{m}]; double mean[{m}];\n\
+         for (j = 0; j < {m}; j++) {{\n\
+           mean[j] = 0.0;\n\
+           for (i = 0; i < {n}; i++)\n\
+             mean[j] += data[i][j];\n\
+           mean[j] = mean[j] / float_n;\n\
+         }}\n\
+         for (i = 0; i < {n}; i++)\n\
+           for (j = 0; j < {m}; j++)\n\
+             data[i][j] -= mean[j];\n\
+         for (i = 0; i < {m}; i++)\n\
+           for (j = i; j < {m}; j++) {{\n\
+             cov[i][j] = 0.0;\n\
+             for (k = 0; k < {n}; k++)\n\
+               cov[i][j] += data[k][i] * data[k][j];\n\
+             cov[i][j] = cov[i][j] / float_nm1;\n\
+             cov[j][i] = cov[i][j];\n\
+           }}\n"
+    )
+}
+
+/// `deriche`: recursive edge-detection filter.
+///
+/// The backward sweeps of the original iterate downwards; they are rewritten
+/// with ascending iterators.  The scalar filter state (`ym1`, `xp1`, ...)
+/// is carried in registers and therefore does not generate array accesses.
+pub fn deriche(w: u64, h: u64) -> String {
+    let hm1 = h - 1;
+    let wm1 = w - 1;
+    format!(
+        "double imgIn[{w}][{h}]; double imgOut[{w}][{h}]; double y1[{w}][{h}]; double y2[{w}][{h}];\n\
+         for (i = 0; i < {w}; i++) {{\n\
+           ym1 = 0.0;\n\
+           ym2 = 0.0;\n\
+           xm1 = 0.0;\n\
+           for (j = 0; j < {h}; j++) {{\n\
+             y1[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;\n\
+             xm1 = imgIn[i][j];\n\
+             ym2 = ym1;\n\
+             ym1 = y1[i][j];\n\
+           }}\n\
+         }}\n\
+         for (i = 0; i < {w}; i++) {{\n\
+           yp1 = 0.0;\n\
+           yp2 = 0.0;\n\
+           xp1 = 0.0;\n\
+           xp2 = 0.0;\n\
+           for (jj = 0; jj < {h}; jj++) {{\n\
+             y2[i][{hm1} - jj] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;\n\
+             xp2 = xp1;\n\
+             xp1 = imgIn[i][{hm1} - jj];\n\
+             yp2 = yp1;\n\
+             yp1 = y2[i][{hm1} - jj];\n\
+           }}\n\
+         }}\n\
+         for (i = 0; i < {w}; i++)\n\
+           for (j = 0; j < {h}; j++)\n\
+             imgOut[i][j] = c1 * (y1[i][j] + y2[i][j]);\n\
+         for (j = 0; j < {h}; j++) {{\n\
+           tm1 = 0.0;\n\
+           ym1 = 0.0;\n\
+           ym2 = 0.0;\n\
+           for (i = 0; i < {w}; i++) {{\n\
+             y1[i][j] = a5 * imgOut[i][j] + a6 * tm1 + b1 * ym1 + b2 * ym2;\n\
+             tm1 = imgOut[i][j];\n\
+             ym2 = ym1;\n\
+             ym1 = y1[i][j];\n\
+           }}\n\
+         }}\n\
+         for (j = 0; j < {h}; j++) {{\n\
+           tp1 = 0.0;\n\
+           tp2 = 0.0;\n\
+           yp1 = 0.0;\n\
+           yp2 = 0.0;\n\
+           for (ii = 0; ii < {w}; ii++) {{\n\
+             y2[{wm1} - ii][j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;\n\
+             tp2 = tp1;\n\
+             tp1 = imgOut[{wm1} - ii][j];\n\
+             yp2 = yp1;\n\
+             yp1 = y2[{wm1} - ii][j];\n\
+           }}\n\
+         }}\n\
+         for (i = 0; i < {w}; i++)\n\
+           for (j = 0; j < {h}; j++)\n\
+             imgOut[i][j] = c2 * (y1[i][j] + y2[i][j]);\n"
+    )
+}
+
+/// `floyd-warshall`: all-pairs shortest paths.
+pub fn floyd_warshall(n: u64) -> String {
+    format!(
+        "int path[{n}][{n}];\n\
+         for (k = 0; k < {n}; k++)\n\
+           for (i = 0; i < {n}; i++)\n\
+             for (j = 0; j < {n}; j++)\n\
+               path[i][j] = path[i][j] < path[i][k] + path[k][j] ? path[i][j] : path[i][k] + path[k][j];\n"
+    )
+}
+
+/// `nussinov`: RNA secondary-structure prediction (dynamic programming).
+///
+/// The outer loop of the original iterates `i` from `n-1` down to 0; it is
+/// rewritten with the ascending iterator `ii = n-1-i`, substituting
+/// `i = n-1-ii` in every subscript.  The `if/else` of the original is
+/// expressed as two guards with complementary conditions.
+pub fn nussinov(n: u64) -> String {
+    let nm1 = n - 1;
+    format!(
+        "int table[{n}][{n}]; char seq[{n}];\n\
+         for (ii = 0; ii < {n}; ii++) {{\n\
+           for (j = {n} - ii; j < {n}; j++) {{\n\
+             if (j - 1 >= 0)\n\
+               table[{nm1} - ii][j] = maxscore(table[{nm1} - ii][j], table[{nm1} - ii][j-1]);\n\
+             if ({n} - ii < {n})\n\
+               table[{nm1} - ii][j] = maxscore(table[{nm1} - ii][j], table[{n} - ii][j]);\n\
+             if (j - 1 >= 0 && {n} - ii < {n}) {{\n\
+               if ({nm1} - ii < j - 1)\n\
+                 table[{nm1} - ii][j] = maxscore(table[{nm1} - ii][j], table[{n} - ii][j-1] + matchb(seq[{nm1} - ii], seq[j]));\n\
+               if ({nm1} - ii >= j - 1)\n\
+                 table[{nm1} - ii][j] = maxscore(table[{nm1} - ii][j], table[{n} - ii][j-1]);\n\
+             }}\n\
+             for (k = {n} - ii; k < j; k++)\n\
+               table[{nm1} - ii][j] = maxscore(table[{nm1} - ii][j], table[{nm1} - ii][k] + table[k+1][j]);\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scop::parse_scop;
+
+    #[test]
+    fn other_sources_parse() {
+        for src in [
+            correlation(8, 10),
+            covariance(8, 10),
+            deriche(8, 6),
+            floyd_warshall(8),
+            nussinov(8),
+        ] {
+            parse_scop(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_access_count() {
+        let scop = parse_scop(&floyd_warshall(10)).unwrap();
+        // 6 reads (the ternary expression) + 1 write per iteration.
+        assert_eq!(scop::count_accesses(&scop), 10 * 10 * 10 * 7);
+    }
+
+    #[test]
+    fn nussinov_only_touches_the_upper_triangle() {
+        let scop = parse_scop(&nussinov(12)).unwrap();
+        assert!(scop::count_accesses(&scop) > 0);
+        // The table is int (4 bytes), the sequence is char (1 byte).
+        assert_eq!(scop.array_by_name("table").unwrap().1.elem_size, 4);
+        assert_eq!(scop.array_by_name("seq").unwrap().1.elem_size, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Stencil kernels in the mini-C dialect.
+
+/// `jacobi-1d`: 1D Jacobi stencil, two arrays swapped every time step.
+pub fn jacobi_1d(tsteps: u64, n: u64) -> String {
+    format!(
+        "double A[{n}]; double B[{n}];\n\
+         for (t = 0; t < {tsteps}; t++) {{\n\
+           for (i = 1; i < {n} - 1; i++)\n\
+             B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);\n\
+           for (i = 1; i < {n} - 1; i++)\n\
+             A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);\n\
+         }}\n"
+    )
+}
+
+/// `jacobi-2d`: 2D Jacobi stencil.
+pub fn jacobi_2d(tsteps: u64, n: u64) -> String {
+    format!(
+        "double A[{n}][{n}]; double B[{n}][{n}];\n\
+         for (t = 0; t < {tsteps}; t++) {{\n\
+           for (i = 1; i < {n} - 1; i++)\n\
+             for (j = 1; j < {n} - 1; j++)\n\
+               B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][1+j] + A[1+i][j] + A[i-1][j]);\n\
+           for (i = 1; i < {n} - 1; i++)\n\
+             for (j = 1; j < {n} - 1; j++)\n\
+               A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][1+j] + B[1+i][j] + B[i-1][j]);\n\
+         }}\n"
+    )
+}
+
+/// `seidel-2d`: 2D Gauss-Seidel stencil (in-place, 9-point).
+pub fn seidel_2d(tsteps: u64, n: u64) -> String {
+    format!(
+        "double A[{n}][{n}];\n\
+         for (t = 0; t < {tsteps}; t++)\n\
+           for (i = 1; i < {n} - 1; i++)\n\
+             for (j = 1; j < {n} - 1; j++)\n\
+               A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1] + A[i][j-1] + A[i][j]\n\
+                          + A[i][j+1] + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0;\n"
+    )
+}
+
+/// `heat-3d`: 3D heat equation, two arrays swapped every time step.
+pub fn heat_3d(tsteps: u64, n: u64) -> String {
+    let update = |dst: &str, src: &str| {
+        format!(
+            "for (i = 1; i < {n} - 1; i++)\n\
+               for (j = 1; j < {n} - 1; j++)\n\
+                 for (k = 1; k < {n} - 1; k++)\n\
+                   {dst}[i][j][k] = 0.125 * ({src}[i+1][j][k] - 2.0 * {src}[i][j][k] + {src}[i-1][j][k])\n\
+                                  + 0.125 * ({src}[i][j+1][k] - 2.0 * {src}[i][j][k] + {src}[i][j-1][k])\n\
+                                  + 0.125 * ({src}[i][j][k+1] - 2.0 * {src}[i][j][k] + {src}[i][j][k-1])\n\
+                                  + {src}[i][j][k];\n"
+        )
+    };
+    format!(
+        "double A[{n}][{n}][{n}]; double B[{n}][{n}][{n}];\n\
+         for (t = 1; t <= {tsteps}; t++) {{\n\
+           {}\
+           {}\
+         }}\n",
+        update("B", "A"),
+        update("A", "B")
+    )
+}
+
+/// `fdtd-2d`: 2D finite-difference time-domain kernel.
+pub fn fdtd_2d(tmax: u64, nx: u64, ny: u64) -> String {
+    format!(
+        "double ex[{nx}][{ny}]; double ey[{nx}][{ny}]; double hz[{nx}][{ny}]; double fict[{tmax}];\n\
+         for (t = 0; t < {tmax}; t++) {{\n\
+           for (j = 0; j < {ny}; j++)\n\
+             ey[0][j] = fict[t];\n\
+           for (i = 1; i < {nx}; i++)\n\
+             for (j = 0; j < {ny}; j++)\n\
+               ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);\n\
+           for (i = 0; i < {nx}; i++)\n\
+             for (j = 1; j < {ny}; j++)\n\
+               ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);\n\
+           for (i = 0; i < {nx} - 1; i++)\n\
+             for (j = 0; j < {ny} - 1; j++)\n\
+               hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);\n\
+         }}\n"
+    )
+}
+
+/// `adi`: alternating-direction implicit solver.
+///
+/// The two back-substitution sweeps of the original iterate downwards; they
+/// are rewritten with ascending iterators (`jj = n-2-j`).
+pub fn adi(tsteps: u64, n: u64) -> String {
+    let nm2 = n - 2;
+    format!(
+        "double u[{n}][{n}]; double v[{n}][{n}]; double p[{n}][{n}]; double q[{n}][{n}];\n\
+         for (t = 1; t <= {tsteps}; t++) {{\n\
+           for (i = 1; i < {n} - 1; i++) {{\n\
+             v[0][i] = 1.0;\n\
+             p[i][0] = 0.0;\n\
+             q[i][0] = v[0][i];\n\
+             for (j = 1; j < {n} - 1; j++) {{\n\
+               p[i][j] = 0.0 - c / (a * p[i][j-1] + b);\n\
+               q[i][j] = (0.0 - d * u[j][i-1] + (1.0 + 2.0 * d) * u[j][i] - f * u[j][i+1] - a * q[i][j-1]) / (a * p[i][j-1] + b);\n\
+             }}\n\
+             v[{n} - 1][i] = 1.0;\n\
+             for (jj = 0; jj < {n} - 2; jj++)\n\
+               v[{nm2} - jj][i] = p[i][{nm2} - jj] * v[{nm2} - jj + 1][i] + q[i][{nm2} - jj];\n\
+           }}\n\
+           for (i = 1; i < {n} - 1; i++) {{\n\
+             u[i][0] = 1.0;\n\
+             p[i][0] = 0.0;\n\
+             q[i][0] = u[i][0];\n\
+             for (j = 1; j < {n} - 1; j++) {{\n\
+               p[i][j] = 0.0 - f / (d * p[i][j-1] + e);\n\
+               q[i][j] = (0.0 - a * v[i-1][j] + (1.0 + 2.0 * a) * v[i][j] - c * v[i+1][j] - d * q[i][j-1]) / (d * p[i][j-1] + e);\n\
+             }}\n\
+             u[i][{n} - 1] = 1.0;\n\
+             for (jj = 0; jj < {n} - 2; jj++)\n\
+               u[i][{nm2} - jj] = p[i][{nm2} - jj] * u[i][{nm2} - jj + 1] + q[i][{nm2} - jj];\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scop::parse_scop;
+
+    #[test]
+    fn stencil_sources_parse() {
+        for src in [
+            jacobi_1d(4, 16),
+            jacobi_2d(3, 10),
+            seidel_2d(3, 10),
+            heat_3d(2, 8),
+            fdtd_2d(3, 8, 10),
+            adi(2, 8),
+        ] {
+            parse_scop(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn jacobi_1d_access_count() {
+        let scop = parse_scop(&jacobi_1d(5, 20)).unwrap();
+        // Per time step: two sweeps of (n-2) iterations with 4 accesses each.
+        assert_eq!(scop::count_accesses(&scop), 5 * 2 * 18 * 4);
+    }
+
+    #[test]
+    fn adi_inner_sweeps_run_backwards() {
+        // The rewritten back-substitution must touch v[n-2][i] first and
+        // v[1][i] last, mirroring the descending loop of the original.
+        let scop = parse_scop(&adi(1, 6)).unwrap();
+        assert!(scop::count_accesses(&scop) > 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Affine expressions over integer dimensions.
+
+use std::fmt;
+
+/// An affine expression `c0 + c1*x1 + ... + cn*xn` over `n` integer
+/// dimensions with `i64` coefficients.
+///
+/// ```
+/// use polyhedra::Aff;
+/// let e = Aff::var(2, 0).scale(3).add(&Aff::constant(2, 5)); // 3*x0 + 5
+/// assert_eq!(e.eval(&[2, 100]), 11);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Aff {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Aff {
+    /// The zero expression over `dims` dimensions.
+    pub fn zero(dims: usize) -> Self {
+        Aff {
+            coeffs: vec![0; dims],
+            constant: 0,
+        }
+    }
+
+    /// The constant expression `c` over `dims` dimensions.
+    pub fn constant(dims: usize, c: i64) -> Self {
+        Aff {
+            coeffs: vec![0; dims],
+            constant: c,
+        }
+    }
+
+    /// The expression that selects dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dims`.
+    pub fn var(dims: usize, d: usize) -> Self {
+        assert!(d < dims, "dimension {d} out of range (dims = {dims})");
+        let mut coeffs = vec![0; dims];
+        coeffs[d] = 1;
+        Aff {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Builds an expression from explicit coefficients and a constant.
+    pub fn from_coeffs(coeffs: Vec<i64>, constant: i64) -> Self {
+        Aff { coeffs, constant }
+    }
+
+    /// Number of dimensions this expression ranges over.
+    pub fn dims(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of dimension `d`.
+    pub fn coeff(&self, d: usize) -> i64 {
+        self.coeffs[d]
+    }
+
+    /// All coefficients, ordered by dimension.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Sets the coefficient of dimension `d`, returning `self` for chaining.
+    pub fn with_coeff(mut self, d: usize, c: i64) -> Self {
+        self.coeffs[d] = c;
+        self
+    }
+
+    /// Sets the constant term, returning `self` for chaining.
+    pub fn with_constant(mut self, c: i64) -> Self {
+        self.constant = c;
+        self
+    }
+
+    /// Evaluates the expression at an integer point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dims()`.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        assert_eq!(point.len(), self.dims(), "point has wrong dimensionality");
+        let mut acc = self.constant;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc += c * x;
+        }
+        acc
+    }
+
+    /// Substitutes concrete values for the first `prefix.len()` dimensions,
+    /// folding them into the constant term.  The result still ranges over the
+    /// same number of dimensions, but its coefficients for the substituted
+    /// dimensions are zero.
+    pub fn substitute_prefix(&self, prefix: &[i64]) -> Aff {
+        let mut out = self.clone();
+        for (d, v) in prefix.iter().enumerate() {
+            out.constant += out.coeffs[d] * v;
+            out.coeffs[d] = 0;
+        }
+        out
+    }
+
+    /// Substitutes a concrete value for dimension `d`.
+    pub fn substitute_dim(&self, d: usize, value: i64) -> Aff {
+        let mut out = self.clone();
+        out.constant += out.coeffs[d] * value;
+        out.coeffs[d] = 0;
+        out
+    }
+
+    /// True if the coefficient of every dimension `>= d` is zero.
+    pub fn involves_only_dims_below(&self, d: usize) -> bool {
+        self.coeffs.iter().skip(d).all(|&c| c == 0)
+    }
+
+    /// The largest dimension with a non-zero coefficient, if any.
+    pub fn last_involved_dim(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|&c| c != 0)
+    }
+
+    /// True if the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Adds another expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn add(&self, other: &Aff) -> Aff {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        Aff {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            constant: self.constant + other.constant,
+        }
+    }
+
+    /// Subtracts another expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn sub(&self, other: &Aff) -> Aff {
+        self.add(&other.neg())
+    }
+
+    /// Negates the expression.
+    pub fn neg(&self) -> Aff {
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+            constant: -self.constant,
+        }
+    }
+
+    /// Multiplies the expression by a constant.
+    pub fn scale(&self, k: i64) -> Aff {
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Adds an offset to the constant term.
+    pub fn offset(&self, k: i64) -> Aff {
+        Aff {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + k,
+        }
+    }
+
+    /// Rewrites the expression for a coordinate change that translates
+    /// dimension `d` by `amount`: the result, evaluated at a point `y`,
+    /// equals `self` evaluated at `y` with `y[d]` replaced by `y[d] - amount`.
+    ///
+    /// This is the expression-level operation behind
+    /// [`BasicSet::translate_dim`](crate::BasicSet::translate_dim).
+    pub fn translate_dim(&self, d: usize, amount: i64) -> Aff {
+        let mut out = self.clone();
+        out.constant -= out.coeffs[d] * amount;
+        out
+    }
+
+    /// Extends the expression to range over `new_dims >= self.dims()`
+    /// dimensions; the added trailing dimensions have coefficient zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_dims < self.dims()`.
+    pub fn extend_dims(&self, new_dims: usize) -> Aff {
+        assert!(new_dims >= self.dims(), "cannot shrink dimensionality");
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(new_dims, 0);
+        Aff {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Inserts `count` zero-coefficient dimensions starting at position `at`.
+    pub fn insert_dims(&self, at: usize, count: usize) -> Aff {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
+        coeffs.extend_from_slice(&self.coeffs[..at]);
+        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend_from_slice(&self.coeffs[at..]);
+        Aff {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+}
+
+impl fmt::Debug for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (d, c) in self.coeffs.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if *c == 1 {
+                write!(f, "x{d}")?;
+            } else {
+                write!(f, "{c}*x{d}")?;
+            }
+        }
+        if first || self.constant != 0 {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_substitute() {
+        let e = Aff::from_coeffs(vec![2, -3], 7);
+        assert_eq!(e.eval(&[1, 2]), 2 - 6 + 7);
+        let s = e.substitute_prefix(&[1]);
+        assert_eq!(s.coeff(0), 0);
+        assert_eq!(s.constant_term(), 9);
+        assert_eq!(s.eval(&[0, 2]), e.eval(&[1, 2]));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Aff::var(3, 0).scale(2);
+        let b = Aff::var(3, 2).offset(5);
+        let c = a.add(&b).sub(&Aff::constant(3, 1));
+        assert_eq!(c.eval(&[10, 99, 3]), 20 + 3 + 5 - 1);
+        assert_eq!(c.neg().eval(&[10, 99, 3]), -(20 + 3 + 5 - 1));
+    }
+
+    #[test]
+    fn dim_queries() {
+        let e = Aff::from_coeffs(vec![1, 0, 4], 0);
+        assert_eq!(e.last_involved_dim(), Some(2));
+        assert!(!e.involves_only_dims_below(2));
+        assert!(e.involves_only_dims_below(3));
+        assert!(!e.is_constant());
+        assert!(Aff::constant(4, 9).is_constant());
+    }
+
+    #[test]
+    fn extend_and_insert() {
+        let e = Aff::from_coeffs(vec![1, 2], 3);
+        let x = e.extend_dims(4);
+        assert_eq!(x.coeffs(), &[1, 2, 0, 0]);
+        let y = e.insert_dims(1, 2);
+        assert_eq!(y.coeffs(), &[1, 0, 0, 2]);
+        assert_eq!(y.constant_term(), 3);
+    }
+}

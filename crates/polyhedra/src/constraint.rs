@@ -1,0 +1,209 @@
+//! Affine constraints.
+
+use crate::Aff;
+use std::fmt;
+
+/// The kind of an affine constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstraintKind {
+    /// `aff == 0`
+    Eq,
+    /// `aff >= 0`
+    Ge,
+}
+
+/// An affine constraint `aff == 0` or `aff >= 0`.
+///
+/// ```
+/// use polyhedra::{Aff, Constraint};
+/// // x0 - 3 >= 0, i.e. x0 >= 3
+/// let c = Constraint::ge(Aff::var(1, 0).offset(-3));
+/// assert!(c.holds(&[3]));
+/// assert!(!c.holds(&[2]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    aff: Aff,
+    kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// The constraint `aff >= 0`.
+    pub fn ge(aff: Aff) -> Self {
+        Constraint {
+            aff,
+            kind: ConstraintKind::Ge,
+        }
+    }
+
+    /// The constraint `aff == 0`.
+    pub fn eq(aff: Aff) -> Self {
+        Constraint {
+            aff,
+            kind: ConstraintKind::Eq,
+        }
+    }
+
+    /// The constraint `aff > 0`, expressed as `aff - 1 >= 0`.
+    pub fn gt(aff: Aff) -> Self {
+        Constraint::ge(aff.offset(-1))
+    }
+
+    /// The underlying affine expression.
+    pub fn aff(&self) -> &Aff {
+        &self.aff
+    }
+
+    /// The constraint kind.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// Number of dimensions of the constraint.
+    pub fn dims(&self) -> usize {
+        self.aff.dims()
+    }
+
+    /// Whether the constraint holds at `point`.
+    pub fn holds(&self, point: &[i64]) -> bool {
+        let v = self.aff.eval(point);
+        match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::Ge => v >= 0,
+        }
+    }
+
+    /// Substitutes concrete values for the first `prefix.len()` dimensions.
+    pub fn substitute_prefix(&self, prefix: &[i64]) -> Constraint {
+        Constraint {
+            aff: self.aff.substitute_prefix(prefix),
+            kind: self.kind,
+        }
+    }
+
+    /// Translates dimension `d` by `amount` (see [`crate::Aff::translate_dim`]).
+    pub fn translate_dim(&self, d: usize, amount: i64) -> Constraint {
+        Constraint {
+            aff: self.aff.translate_dim(d, amount),
+            kind: self.kind,
+        }
+    }
+
+    /// Extends the constraint to range over `new_dims` dimensions.
+    pub fn extend_dims(&self, new_dims: usize) -> Constraint {
+        Constraint {
+            aff: self.aff.extend_dims(new_dims),
+            kind: self.kind,
+        }
+    }
+
+    /// Inserts `count` zero-coefficient dimensions at position `at`.
+    pub fn insert_dims(&self, at: usize, count: usize) -> Constraint {
+        Constraint {
+            aff: self.aff.insert_dims(at, count),
+            kind: self.kind,
+        }
+    }
+
+    /// The negation of this constraint as a disjunction of constraints.
+    ///
+    /// * `¬(aff >= 0)` is `-aff - 1 >= 0`.
+    /// * `¬(aff == 0)` is `aff - 1 >= 0` or `-aff - 1 >= 0`.
+    pub fn negate(&self) -> Vec<Constraint> {
+        match self.kind {
+            ConstraintKind::Ge => vec![Constraint::ge(self.aff.neg().offset(-1))],
+            ConstraintKind::Eq => vec![
+                Constraint::ge(self.aff.clone().offset(-1)),
+                Constraint::ge(self.aff.neg().offset(-1)),
+            ],
+        }
+    }
+
+    /// Splits an equality into the two inequalities `aff >= 0` and `-aff >= 0`;
+    /// returns a single-element vector for inequalities.
+    pub fn as_inequalities(&self) -> Vec<Constraint> {
+        match self.kind {
+            ConstraintKind::Ge => vec![self.clone()],
+            ConstraintKind::Eq => vec![
+                Constraint::ge(self.aff.clone()),
+                Constraint::ge(self.aff.neg()),
+            ],
+        }
+    }
+
+    /// True if the constraint is trivially satisfied for all points.
+    pub fn is_tautology(&self) -> bool {
+        if !self.aff.is_constant() {
+            return false;
+        }
+        let c = self.aff.constant_term();
+        match self.kind {
+            ConstraintKind::Eq => c == 0,
+            ConstraintKind::Ge => c >= 0,
+        }
+    }
+
+    /// True if the constraint is unsatisfiable for all points.
+    pub fn is_contradiction(&self) -> bool {
+        if !self.aff.is_constant() {
+            return false;
+        }
+        let c = self.aff.constant_term();
+        match self.kind {
+            ConstraintKind::Eq => c != 0,
+            ConstraintKind::Ge => c < 0,
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::Eq => write!(f, "{:?} == 0", self.aff),
+            ConstraintKind::Ge => write!(f, "{:?} >= 0", self.aff),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_and_negate() {
+        let c = Constraint::ge(Aff::var(1, 0).offset(-3)); // x >= 3
+        assert!(c.holds(&[5]));
+        assert!(!c.holds(&[2]));
+        let neg = c.negate();
+        assert_eq!(neg.len(), 1);
+        assert!(neg[0].holds(&[2])); // x <= 2
+        assert!(!neg[0].holds(&[3]));
+    }
+
+    #[test]
+    fn negate_equality_covers_complement() {
+        let c = Constraint::eq(Aff::var(1, 0).offset(-2)); // x == 2
+        let neg = c.negate();
+        assert_eq!(neg.len(), 2);
+        for x in -5..5 {
+            let in_neg = neg.iter().any(|n| n.holds(&[x]));
+            assert_eq!(in_neg, x != 2, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        assert!(Constraint::ge(Aff::constant(2, 0)).is_tautology());
+        assert!(Constraint::ge(Aff::constant(2, -1)).is_contradiction());
+        assert!(Constraint::eq(Aff::constant(2, 0)).is_tautology());
+        assert!(Constraint::eq(Aff::constant(2, 3)).is_contradiction());
+        assert!(!Constraint::ge(Aff::var(2, 0)).is_tautology());
+    }
+
+    #[test]
+    fn gt_is_strict() {
+        let c = Constraint::gt(Aff::var(1, 0)); // x > 0
+        assert!(c.holds(&[1]));
+        assert!(!c.holds(&[0]));
+    }
+}

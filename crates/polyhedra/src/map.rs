@@ -1,0 +1,148 @@
+//! Single-valued affine maps.
+
+use crate::Aff;
+use std::fmt;
+
+/// A single-valued affine map `Z^in_dims -> Z^out_dims`, one affine
+/// expression per output dimension.
+///
+/// This covers the relations the cache simulator needs (array subscript
+/// functions and iteration-space translations); general Presburger relations
+/// are not required.
+///
+/// ```
+/// use polyhedra::{Aff, AffMap};
+/// // (i, j) -> (j + 1, i)
+/// let m = AffMap::new(2, vec![Aff::var(2, 1).offset(1), Aff::var(2, 0)]);
+/// assert_eq!(m.apply(&[3, 5]), vec![6, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffMap {
+    in_dims: usize,
+    outputs: Vec<Aff>,
+}
+
+impl AffMap {
+    /// Builds a map from one affine expression per output dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output expression does not range over `in_dims`
+    /// dimensions.
+    pub fn new(in_dims: usize, outputs: Vec<Aff>) -> Self {
+        for o in &outputs {
+            assert_eq!(o.dims(), in_dims, "output expression dimensionality mismatch");
+        }
+        AffMap { in_dims, outputs }
+    }
+
+    /// The identity map over `dims` dimensions.
+    pub fn identity(dims: usize) -> Self {
+        AffMap {
+            in_dims: dims,
+            outputs: (0..dims).map(|d| Aff::var(dims, d)).collect(),
+        }
+    }
+
+    /// A map that translates every point by `delta`.
+    pub fn translation(delta: &[i64]) -> Self {
+        let dims = delta.len();
+        AffMap {
+            in_dims: dims,
+            outputs: (0..dims)
+                .map(|d| Aff::var(dims, d).offset(delta[d]))
+                .collect(),
+        }
+    }
+
+    /// Number of input dimensions.
+    pub fn in_dims(&self) -> usize {
+        self.in_dims
+    }
+
+    /// Number of output dimensions.
+    pub fn out_dims(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The output expressions.
+    pub fn outputs(&self) -> &[Aff] {
+        &self.outputs
+    }
+
+    /// Applies the map to a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.in_dims()`.
+    pub fn apply(&self, point: &[i64]) -> Vec<i64> {
+        self.outputs.iter().map(|o| o.eval(point)).collect()
+    }
+
+    /// Composes two maps: `(self ∘ inner)(x) = self(inner(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.out_dims() != self.in_dims()`.
+    pub fn compose(&self, inner: &AffMap) -> AffMap {
+        assert_eq!(
+            inner.out_dims(),
+            self.in_dims,
+            "composition dimensionality mismatch"
+        );
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|o| {
+                // Substitute each of self's input dims by inner's output exprs.
+                let mut acc = Aff::constant(inner.in_dims(), o.constant_term());
+                for d in 0..self.in_dims {
+                    let c = o.coeff(d);
+                    if c != 0 {
+                        acc = acc.add(&inner.outputs[d].scale(c));
+                    }
+                }
+                acc
+            })
+            .collect();
+        AffMap {
+            in_dims: inner.in_dims(),
+            outputs,
+        }
+    }
+}
+
+impl fmt::Debug for AffMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(x0..x{}) -> (", self.in_dims.saturating_sub(1))?;
+        for (i, o) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_translation() {
+        let id = AffMap::identity(3);
+        assert_eq!(id.apply(&[1, 2, 3]), vec![1, 2, 3]);
+        let tr = AffMap::translation(&[1, -1, 0]);
+        assert_eq!(tr.apply(&[1, 2, 3]), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn compose_applies_inner_first() {
+        // f(i, j) = (i + j,), g(k,) = (2k, k)
+        let f = AffMap::new(2, vec![Aff::var(2, 0).add(&Aff::var(2, 1))]);
+        let g = AffMap::new(1, vec![Aff::var(1, 0).scale(2), Aff::var(1, 0)]);
+        let gf = g.compose(&f); // g(f(i, j)) = (2(i+j), i+j)
+        assert_eq!(gf.apply(&[3, 4]), vec![14, 7]);
+    }
+}

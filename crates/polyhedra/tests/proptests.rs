@@ -1,0 +1,159 @@
+//! Property-based tests for the polyhedra crate.
+//!
+//! The oracle is brute-force enumeration over a small bounding box: every
+//! random set generated here is intersected with a known box so that exact
+//! enumeration is feasible.
+
+use polyhedra::{Aff, BasicSet, Constraint, LexResult, Set};
+use proptest::prelude::*;
+
+const BOX_LO: i64 = -4;
+const BOX_HI: i64 = 4;
+
+/// Enumerates all points of the bounding box (for `dims` in 1..=3).
+fn box_points(dims: usize) -> Vec<Vec<i64>> {
+    let mut pts = vec![vec![]];
+    for _ in 0..dims {
+        let mut next = Vec::new();
+        for p in &pts {
+            for v in BOX_LO..=BOX_HI {
+                let mut q = p.clone();
+                q.push(v);
+                next.push(q);
+            }
+        }
+        pts = next;
+    }
+    pts
+}
+
+fn arb_aff(dims: usize) -> impl Strategy<Value = Aff> {
+    (
+        proptest::collection::vec(-3i64..=3, dims),
+        -6i64..=6,
+    )
+        .prop_map(|(coeffs, c)| Aff::from_coeffs(coeffs, c))
+}
+
+fn arb_constraint(dims: usize) -> impl Strategy<Value = Constraint> {
+    (arb_aff(dims), prop::bool::ANY).prop_map(|(aff, eq)| {
+        if eq {
+            Constraint::eq(aff)
+        } else {
+            Constraint::ge(aff)
+        }
+    })
+}
+
+/// A random basic set intersected with the bounding box.
+fn arb_basic_set(dims: usize) -> impl Strategy<Value = BasicSet> {
+    proptest::collection::vec(arb_constraint(dims), 0..4).prop_map(move |cs| {
+        let mut s = BasicSet::rect(&vec![(BOX_LO, BOX_HI); dims]);
+        for c in cs {
+            s.add_constraint(c);
+        }
+        s
+    })
+}
+
+fn arb_set(dims: usize) -> impl Strategy<Value = Set> {
+    proptest::collection::vec(arb_basic_set(dims), 1..3).prop_map(move |bs| {
+        let mut s = Set::empty(dims);
+        for b in bs {
+            s = s.union(&Set::from_basic(b));
+        }
+        s
+    })
+}
+
+fn brute_points(s: &Set, dims: usize) -> Vec<Vec<i64>> {
+    box_points(dims)
+        .into_iter()
+        .filter(|p| s.contains(p))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lexmin_matches_bruteforce(s in arb_set(2)) {
+        let brute = brute_points(&s, 2);
+        match s.lexmin() {
+            LexResult::Point(p) => {
+                prop_assert_eq!(Some(&p), brute.first());
+            }
+            LexResult::Empty => prop_assert!(brute.is_empty()),
+            LexResult::Unknown => prop_assert!(false, "budget exceeded on a tiny set"),
+        }
+    }
+
+    #[test]
+    fn lexmax_matches_bruteforce(s in arb_set(2)) {
+        let brute = brute_points(&s, 2);
+        match s.lexmax() {
+            LexResult::Point(p) => prop_assert_eq!(Some(&p), brute.last()),
+            LexResult::Empty => prop_assert!(brute.is_empty()),
+            LexResult::Unknown => prop_assert!(false, "budget exceeded on a tiny set"),
+        }
+    }
+
+    #[test]
+    fn intersection_semantics(a in arb_set(2), b in arb_set(2)) {
+        let c = a.intersect(&b);
+        for p in box_points(2) {
+            prop_assert_eq!(c.contains(&p), a.contains(&p) && b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn union_semantics(a in arb_set(2), b in arb_set(2)) {
+        let c = a.union(&b);
+        for p in box_points(2) {
+            prop_assert_eq!(c.contains(&p), a.contains(&p) || b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn difference_semantics(a in arb_set(2), b in arb_set(2)) {
+        let c = a.subtract(&b);
+        for p in box_points(2) {
+            prop_assert_eq!(c.contains(&p), a.contains(&p) && !b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn count_matches_bruteforce(s in arb_set(2)) {
+        let brute = brute_points(&s, 2);
+        prop_assert_eq!(s.count_upto(10_000), Some(brute.len()));
+    }
+
+    #[test]
+    fn enumeration_matches_bruteforce(s in arb_set(2)) {
+        let brute = brute_points(&s, 2);
+        let pts = s.points_upto(10_000).expect("enumeration within budget");
+        prop_assert_eq!(pts, brute);
+    }
+
+    #[test]
+    fn lex_interval_semantics(
+        lo in proptest::collection::vec(-3i64..=3, 2),
+        hi in proptest::collection::vec(-3i64..=3, 2),
+    ) {
+        let interval = Set::lex_interval(&lo, &hi);
+        for p in box_points(2) {
+            let expected = p.as_slice() >= lo.as_slice() && p.as_slice() < hi.as_slice();
+            prop_assert_eq!(interval.contains(&p), expected);
+        }
+    }
+
+    #[test]
+    fn three_dim_lexmin(s in arb_set(3)) {
+        let brute = brute_points(&s, 3);
+        match s.lexmin() {
+            LexResult::Point(p) => prop_assert_eq!(Some(&p), brute.first()),
+            LexResult::Empty => prop_assert!(brute.is_empty()),
+            LexResult::Unknown => prop_assert!(false, "budget exceeded on a tiny set"),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Abstract syntax tree for affine loop nests.
+//!
+//! The AST is deliberately small: it can express exactly the static control
+//! parts (SCoPs) the simulator handles — `for` loops with affine bounds and
+//! unit stride, `if` guards with conjunctions of affine comparisons, and
+//! assignment statements whose array subscripts are affine expressions of
+//! the surrounding loop iterators.
+
+use std::fmt;
+
+/// An affine expression over named loop iterators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// An integer constant.
+    Const(i64),
+    /// A loop iterator, referred to by name.
+    Iter(String),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of a constant and an expression (affine multiplication).
+    Mul(i64, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an iterator reference.
+    pub fn iter(name: &str) -> Expr {
+        Expr::Iter(name.to_owned())
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self + k`.
+    pub fn offset(self, k: i64) -> Expr {
+        self.add(Expr::Const(k))
+    }
+
+    /// `k * self`.
+    pub fn scale(self, k: i64) -> Expr {
+        Expr::Mul(k, Box::new(self))
+    }
+
+    /// The iterator names referenced by the expression, in first-use order.
+    pub fn iterators(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_iterators(&mut out);
+        out
+    }
+
+    fn collect_iterators<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Iter(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                a.collect_iterators(out);
+                b.collect_iterators(out);
+            }
+            Expr::Mul(_, e) => e.collect_iterators(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Iter(name) => write!(f, "{name}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(k, e) => write!(f, "{k}*{e}"),
+        }
+    }
+}
+
+/// A comparison operator in a guard condition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+}
+
+/// A single affine comparison `lhs op rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Condition {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+/// A reference to an array element, e.g. `A[i][j-1]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayAccess {
+    /// Array name.
+    pub array: String,
+    /// One affine subscript per array dimension (empty for scalars).
+    pub indices: Vec<Expr>,
+}
+
+/// A statement of the loop nest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Statement {
+    /// `for (iter = lower; iter < upper; iter++) body` — `upper` is
+    /// exclusive.
+    For {
+        /// Iterator name (must be unique within the enclosing nest).
+        iter: String,
+        /// Inclusive lower bound.
+        lower: Expr,
+        /// Exclusive upper bound.
+        upper: Expr,
+        /// Loop body.
+        body: Vec<Statement>,
+    },
+    /// `if (c1 && c2 && ...) body` — a conjunction of affine comparisons
+    /// guarding the body.
+    If {
+        /// The conjunction of conditions.
+        conditions: Vec<Condition>,
+        /// Guarded statements.
+        body: Vec<Statement>,
+    },
+    /// An assignment: the reads are performed left to right, then the write
+    /// (matching the access order used in §3.2 of the paper).
+    Assign {
+        /// The written array element.
+        write: ArrayAccess,
+        /// The array elements read by the right-hand side (and, for compound
+        /// assignments, the left-hand side), in program order.
+        reads: Vec<ArrayAccess>,
+    },
+}
+
+/// Declaration of an array: name, extents and element size in bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Extent of each dimension (empty for scalars).
+    pub extents: Vec<u64>,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+/// A whole affine program: array declarations followed by a loop nest.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Top-level statements.
+    pub stmts: Vec<Statement>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Declares an array and returns `self` for chaining.
+    pub fn with_array(mut self, name: &str, extents: &[u64], elem_size: u64) -> Self {
+        self.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+            extents: extents.to_vec(),
+            elem_size,
+        });
+        self
+    }
+
+    /// Appends a top-level statement and returns `self` for chaining.
+    pub fn with_stmt(mut self, stmt: Statement) -> Self {
+        self.stmts.push(stmt);
+        self
+    }
+}
+
+/// Convenience constructor for a `for` statement with unit stride.
+pub fn for_loop(iter: &str, lower: Expr, upper: Expr, body: Vec<Statement>) -> Statement {
+    Statement::For {
+        iter: iter.to_owned(),
+        lower,
+        upper,
+        body,
+    }
+}
+
+/// Convenience constructor for an array access.
+pub fn access(array: &str, indices: Vec<Expr>) -> ArrayAccess {
+    ArrayAccess {
+        array: array.to_owned(),
+        indices,
+    }
+}
+
+/// Convenience constructor for an assignment statement.
+pub fn assign(write: ArrayAccess, reads: Vec<ArrayAccess>) -> Statement {
+    Statement::Assign { write, reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_builders_and_iterators() {
+        let e = Expr::iter("i").scale(2).add(Expr::iter("j")).offset(-1);
+        assert_eq!(e.iterators(), vec!["i", "j"]);
+        assert_eq!(format!("{e}"), "((2*i + j) + -1)");
+    }
+
+    #[test]
+    fn program_builder() {
+        let p = Program::new()
+            .with_array("A", &[10], 8)
+            .with_stmt(for_loop(
+                "i",
+                Expr::Const(0),
+                Expr::Const(10),
+                vec![assign(access("A", vec![Expr::iter("i")]), vec![])],
+            ));
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.stmts.len(), 1);
+    }
+}

@@ -1,0 +1,651 @@
+//! A mini-C frontend for affine loop nests.
+//!
+//! The parser accepts the subset of C that PolyBench-style kernels are
+//! written in:
+//!
+//! * array declarations `double A[1000][1200];`
+//! * `for` loops with affine bounds and unit increment,
+//! * `if` guards that are conjunctions of affine comparisons,
+//! * assignment statements (including the compound assignments `+=`, `-=`,
+//!   `*=`, `/=`) whose array subscripts are affine expressions of the loop
+//!   iterators.
+//!
+//! Right-hand sides may contain arbitrary arithmetic, floating-point
+//! literals and function calls; the parser only extracts the array (and
+//! scalar) references in program order, which is all that cache simulation
+//! needs.  Preprocessor lines and comments are skipped.
+
+use crate::ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statement};
+use std::fmt;
+
+/// A parse error with a human-readable message and source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line on which the problem was detected.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a mini-C source text into an affine [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the source is outside the supported subset
+/// (non-affine subscripts, unsupported loop forms, unbalanced brackets, ...).
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float,
+    Punct(&'static str),
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "(", ")", "[", "]",
+    "{", "}", ";", ",", "=", "+", "-", "*", "/", "<", ">", "%", "!", "?", ":", ".", "&",
+];
+
+fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i < bytes.len() && !(bytes[i] == '*' && bytes.get(i + 1) == Some(&'/')) {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                tok: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || bytes[i] == 'f'
+                    || bytes[i] == 'F'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes.get(i - 1), Some('e') | Some('E'))))
+            {
+                if bytes[i] != '0'
+                    && bytes[i] != '1'
+                    && bytes[i] != '2'
+                    && bytes[i] != '3'
+                    && bytes[i] != '4'
+                    && bytes[i] != '5'
+                    && bytes[i] != '6'
+                    && bytes[i] != '7'
+                    && bytes[i] != '8'
+                    && bytes[i] != '9'
+                {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            if is_float {
+                tokens.push(Token {
+                    tok: Tok::Float,
+                    line,
+                });
+            } else {
+                let value = text.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("invalid integer literal `{text}`"),
+                    line,
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+        } else {
+            let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+            let punct = PUNCTS
+                .iter()
+                .find(|p| rest.starts_with(**p))
+                .ok_or_else(|| ParseError {
+                    message: format!("unexpected character `{c}`"),
+                    line,
+                })?;
+            tokens.push(Token {
+                tok: Tok::Punct(punct),
+                line,
+            });
+            i += punct.len();
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self
+                .tokens
+                .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+                .map_or(0, |t| t.line),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn is_type_name(name: &str) -> bool {
+        matches!(name, "double" | "float" | "int" | "long" | "char" | "unsigned" | "short")
+    }
+
+    fn elem_size(name: &str) -> u64 {
+        match name {
+            "double" | "long" => 8,
+            "float" | "int" | "unsigned" => 4,
+            "short" => 2,
+            _ => 1,
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        while self.peek().is_some() {
+            if let Some(Tok::Ident(name)) = self.peek() {
+                if Self::is_type_name(name) {
+                    self.declaration(&mut program)?;
+                    continue;
+                }
+            }
+            let stmt = self.statement()?;
+            program.stmts.push(stmt);
+        }
+        Ok(program)
+    }
+
+    fn declaration(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        let type_name = self.expect_ident()?;
+        let elem_size = Self::elem_size(&type_name);
+        loop {
+            let name = self.expect_ident()?;
+            let mut extents = Vec::new();
+            while self.eat_punct("[") {
+                match self.advance() {
+                    Some(Tok::Int(n)) if n > 0 => extents.push(n as u64),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a positive array extent, found {other:?}"
+                        )))
+                    }
+                }
+                self.expect_punct("]")?;
+            }
+            program.arrays.push(ArrayDecl {
+                name,
+                extents,
+                elem_size,
+            });
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(";")?;
+            break;
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) if name == "for" => self.for_statement(),
+            Some(Tok::Ident(name)) if name == "if" => self.if_statement(),
+            Some(Tok::Punct("{")) => {
+                // An anonymous block: wrap it in an always-true guard.
+                let body = self.block()?;
+                Ok(Statement::If {
+                    conditions: Vec::new(),
+                    body,
+                })
+            }
+            _ => self.assignment(),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Statement>, ParseError> {
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::Punct("}")) {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            body.push(self.statement()?);
+        }
+        self.expect_punct("}")?;
+        Ok(body)
+    }
+
+    fn body(&mut self) -> Result<Vec<Statement>, ParseError> {
+        if self.peek() == Some(&Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn for_statement(&mut self) -> Result<Statement, ParseError> {
+        self.expect_ident()?; // "for"
+        self.expect_punct("(")?;
+        // Optional type of the induction variable: `int i = ...`.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if Self::is_type_name(name) {
+                self.advance();
+            }
+        }
+        let iter = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let lower = self.affine_expr()?;
+        self.expect_punct(";")?;
+        let cond_iter = self.expect_ident()?;
+        if cond_iter != iter {
+            return Err(self.error(format!(
+                "loop condition must test the loop iterator `{iter}`, found `{cond_iter}`"
+            )));
+        }
+        let inclusive = if self.eat_punct("<=") {
+            true
+        } else if self.eat_punct("<") {
+            false
+        } else {
+            return Err(self.error("only `<` and `<=` loop conditions are supported"));
+        };
+        let mut upper = self.affine_expr()?;
+        if inclusive {
+            upper = upper.offset(1);
+        }
+        self.expect_punct(";")?;
+        let inc_iter = self.expect_ident()?;
+        if inc_iter != iter {
+            return Err(self.error("loop increment must update the loop iterator"));
+        }
+        if !self.eat_punct("++") {
+            return Err(self.error("only unit-stride `i++` loops are supported"));
+        }
+        self.expect_punct(")")?;
+        let body = self.body()?;
+        Ok(Statement::For {
+            iter,
+            lower,
+            upper,
+            body,
+        })
+    }
+
+    fn if_statement(&mut self) -> Result<Statement, ParseError> {
+        self.expect_ident()?; // "if"
+        self.expect_punct("(")?;
+        let mut conditions = vec![self.condition()?];
+        while self.eat_punct("&&") {
+            conditions.push(self.condition()?);
+        }
+        self.expect_punct(")")?;
+        let body = self.body()?;
+        Ok(Statement::If { conditions, body })
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let lhs = self.affine_expr()?;
+        let op = if self.eat_punct("<=") {
+            CmpOp::Le
+        } else if self.eat_punct(">=") {
+            CmpOp::Ge
+        } else if self.eat_punct("==") {
+            CmpOp::Eq
+        } else if self.eat_punct("<") {
+            CmpOp::Lt
+        } else if self.eat_punct(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.error("expected a comparison operator"));
+        };
+        let rhs = self.affine_expr()?;
+        Ok(Condition { lhs, op, rhs })
+    }
+
+    fn assignment(&mut self) -> Result<Statement, ParseError> {
+        let write = self.array_reference()?;
+        let compound = match self.peek() {
+            Some(Tok::Punct("=")) => {
+                self.advance();
+                false
+            }
+            Some(Tok::Punct("+=")) | Some(Tok::Punct("-=")) | Some(Tok::Punct("*="))
+            | Some(Tok::Punct("/=")) => {
+                self.advance();
+                true
+            }
+            other => return Err(self.error(format!("expected an assignment operator, found {other:?}"))),
+        };
+        let mut reads = Vec::new();
+        if compound {
+            reads.push(write.clone());
+        }
+        self.scan_rhs(&mut reads)?;
+        self.expect_punct(";")?;
+        Ok(Statement::Assign { write, reads })
+    }
+
+    /// Parses `ident` optionally followed by affine subscripts.
+    fn array_reference(&mut self) -> Result<ArrayAccess, ParseError> {
+        let array = self.expect_ident()?;
+        let mut indices = Vec::new();
+        while self.peek() == Some(&Tok::Punct("[")) {
+            self.advance();
+            indices.push(self.affine_expr()?);
+            self.expect_punct("]")?;
+        }
+        Ok(ArrayAccess { array, indices })
+    }
+
+    /// Tolerant scan of a right-hand side up to (but not including) the
+    /// terminating `;`, extracting array and scalar references in order.
+    fn scan_rhs(&mut self, reads: &mut Vec<ArrayAccess>) -> Result<(), ParseError> {
+        let mut paren_depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated statement")),
+                Some(Tok::Punct(";")) if paren_depth == 0 => return Ok(()),
+                Some(Tok::Punct("(")) => {
+                    paren_depth += 1;
+                    self.advance();
+                }
+                Some(Tok::Punct(")")) => {
+                    if paren_depth == 0 {
+                        return Err(self.error("unbalanced `)` in expression"));
+                    }
+                    paren_depth -= 1;
+                    self.advance();
+                }
+                Some(Tok::Ident(_)) => {
+                    // A function call: record nothing for the callee, its
+                    // arguments are scanned as part of the surrounding loop.
+                    if self.peek_at(1) == Some(&Tok::Punct("(")) {
+                        self.advance();
+                        continue;
+                    }
+                    let reference = self.array_reference()?;
+                    reads.push(reference);
+                }
+                Some(_) => {
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// Strict affine expression parser used for subscripts, bounds and guard
+    /// conditions.
+    fn affine_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.affine_term()?;
+        loop {
+            if self.eat_punct("+") {
+                expr = expr.add(self.affine_term()?);
+            } else if self.eat_punct("-") {
+                expr = expr.sub(self.affine_term()?);
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn affine_term(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.affine_factor()?];
+        while self.eat_punct("*") {
+            factors.push(self.affine_factor()?);
+        }
+        // At most one factor may be non-constant for the product to stay
+        // affine.
+        let mut constant = 1i64;
+        let mut symbolic: Option<Expr> = None;
+        for f in factors {
+            match f {
+                Expr::Const(c) => constant *= c,
+                other => {
+                    if symbolic.is_some() {
+                        return Err(self.error("non-affine product of two iterators"));
+                    }
+                    symbolic = Some(other);
+                }
+            }
+        }
+        Ok(match symbolic {
+            None => Expr::Const(constant),
+            Some(e) if constant == 1 => e,
+            Some(e) => e.scale(constant),
+        })
+    }
+
+    fn affine_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Tok::Int(n)) => Ok(Expr::Const(n)),
+            Some(Tok::Ident(name)) => Ok(Expr::Iter(name)),
+            Some(Tok::Punct("-")) => Ok(Expr::Const(0).sub(self.affine_factor()?)),
+            Some(Tok::Punct("(")) => {
+                let e = self.affine_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected an affine expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_running_example() {
+        let src = r#"
+            double A[1000];
+            double B[1000];
+            for (i = 1; i < 999; i++)
+                B[i-1] = A[i-1] + A[i];
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.stmts.len(), 1);
+        let Statement::For { iter, body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(iter, "i");
+        let Statement::Assign { write, reads } = &body[0] else { panic!() };
+        assert_eq!(write.array, "B");
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].array, "A");
+    }
+
+    #[test]
+    fn parses_triangular_matvec() {
+        // The upper-triangular matrix-vector product of Figure 4.
+        let src = r#"
+            double A[100][100];
+            double x[100];
+            double c[100];
+            for (i = 0; i < 100; i++) {
+                c[i] = 0;
+                for (j = i; j < 100; j++) {
+                    c[i] = c[i] + A[i][j] * x[j];
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(body.len(), 2);
+        let Statement::For { lower, .. } = &body[1] else { panic!() };
+        assert_eq!(lower, &Expr::Iter("i".into()));
+        let Statement::For { body: inner, .. } = &body[1] else { panic!() };
+        let Statement::Assign { reads, .. } = &inner[0] else { panic!() };
+        // Reads: c[i], A[i][j], x[j] — in program order.
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads[1].array, "A");
+        assert_eq!(reads[1].indices.len(), 2);
+    }
+
+    #[test]
+    fn compound_assignment_reads_lhs_first() {
+        let src = r#"
+            double C[10][10];
+            for (i = 0; i < 10; i++)
+                for (j = 0; j < 10; j++)
+                    C[i][j] *= 2.5;
+        "#;
+        let p = parse_program(src).unwrap();
+        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Statement::For { body, .. } = &body[0] else { panic!() };
+        let Statement::Assign { write, reads } = &body[0] else { panic!() };
+        assert_eq!(write.array, "C");
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].array, "C");
+    }
+
+    #[test]
+    fn function_calls_and_floats_are_tolerated() {
+        let src = r#"
+            double A[10];
+            double B[10];
+            for (i = 0; i < 10; i++)
+                B[i] = sqrt(A[i]) * 1.5e-3 + alpha;
+        "#;
+        let p = parse_program(src).unwrap();
+        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Statement::Assign { reads, .. } = &body[0] else { panic!() };
+        // A[i] and the scalar alpha; `sqrt` is recognised as a call.
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].array, "A");
+        assert_eq!(reads[1].array, "alpha");
+        assert!(reads[1].indices.is_empty());
+    }
+
+    #[test]
+    fn if_guards_and_le_bounds() {
+        let src = r#"
+            double A[20];
+            for (i = 0; i <= 18; i++)
+                if (i >= 2 && i < 10)
+                    A[i] = A[i-2];
+        "#;
+        let p = parse_program(src).unwrap();
+        let Statement::For { upper, body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(upper, &Expr::Const(18).offset(1));
+        let Statement::If { conditions, .. } = &body[0] else { panic!() };
+        assert_eq!(conditions.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse_program("for (i = 0; i < 10; i--) ;").is_err());
+        assert!(parse_program("double A[10]; for (i = 0; i != 10; i++) A[i] = 0;").is_err());
+        assert!(
+            parse_program("double A[10]; for (i = 0; i < 10; i++) A[i*i] = 0;").is_err(),
+            "non-affine subscripts are rejected"
+        );
+        assert!(parse_program("double A[-3];").is_err());
+    }
+
+    #[test]
+    fn preprocessor_and_comments_are_skipped() {
+        let src = r#"
+            #include <stdio.h>
+            /* matrices */
+            double A[4]; // data
+            for (i = 0; i < 4; i++)
+                A[i] = 0; // init
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.stmts.len(), 1);
+    }
+}

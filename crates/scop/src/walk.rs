@@ -1,0 +1,132 @@
+//! Walking the dynamic accesses of a SCoP in execution order.
+//!
+//! This module contains the reference traversal that both the non-warping
+//! simulator (Algorithm 1 of the paper) and the trace generator build on:
+//! loop nodes step through their iteration domains in lexicographic order and
+//! access nodes report the byte address they touch at the current iteration.
+
+use crate::tree::{AccessNode, Node, Scop};
+use cache_model::AccessKind;
+
+/// One dynamic memory access produced by walking a SCoP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DynamicAccess<'a> {
+    /// The access node that produced this access.
+    pub node: &'a AccessNode,
+    /// The accessed byte address.
+    pub address: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Walks every dynamic access of the SCoP in execution order, invoking
+/// `visit` for each.  Returns the number of accesses visited.
+///
+/// The traversal is exactly Algorithm 1 of the paper with the cache update
+/// replaced by the callback: loop nodes iterate from `initial` to `final`
+/// with their stride, checking domain membership to honour guards.
+pub fn for_each_access<'a>(scop: &'a Scop, mut visit: impl FnMut(DynamicAccess<'a>)) -> u64 {
+    let mut count = 0;
+    for root in scop.roots() {
+        walk_node(root, &[], &mut visit, &mut count);
+    }
+    count
+}
+
+fn walk_node<'a>(
+    node: &'a Node,
+    outer: &[i64],
+    visit: &mut impl FnMut(DynamicAccess<'a>),
+    count: &mut u64,
+) {
+    match node {
+        Node::Access(a) => {
+            if a.domain.contains(outer) {
+                visit(DynamicAccess {
+                    node: a,
+                    address: a.address_at(outer),
+                    kind: a.kind,
+                });
+                *count += 1;
+            }
+        }
+        Node::Loop(l) => {
+            let Some(mut i) = l.initial(outer) else {
+                return;
+            };
+            let Some(last) = l.last(outer) else {
+                return;
+            };
+            while i.as_slice() <= last.as_slice() {
+                if l.domain.contains(&i) {
+                    for child in &l.children {
+                        walk_node(child, &i, visit, count);
+                    }
+                }
+                *i.last_mut().expect("loop domains have at least one dimension") += l.stride;
+            }
+        }
+    }
+}
+
+/// Counts the dynamic accesses of a SCoP without doing anything else.
+pub fn count_accesses(scop: &Scop) -> u64 {
+    for_each_access(scop, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elaborate, parse_program, ElaborateOptions};
+
+    fn scop_of(src: &str) -> Scop {
+        elaborate(&parse_program(src).unwrap(), &ElaborateOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn stencil_access_count_and_order() {
+        let scop = scop_of(
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+        );
+        let mut first_iteration = Vec::new();
+        let total = for_each_access(&scop, |acc| {
+            if first_iteration.len() < 3 {
+                first_iteration.push((acc.node.id, acc.address));
+            }
+        });
+        assert_eq!(total, 3 * 998);
+        let a_base = scop.arrays()[0].base_address;
+        let b_base = scop.arrays()[1].base_address;
+        assert_eq!(first_iteration, vec![(0, a_base), (1, a_base + 8), (2, b_base)]);
+    }
+
+    #[test]
+    fn triangular_loop_access_count() {
+        // Figure 4: sum over i of (1 + 4 * (100 - i)) accesses.
+        let scop = scop_of(
+            "double A[100][100]; double x[100]; double c[100];\n\
+             for (i = 0; i < 100; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 100; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+        );
+        let expected: u64 = (0..100u64).map(|i| 1 + 4 * (100 - i)).sum();
+        assert_eq!(count_accesses(&scop), expected);
+    }
+
+    #[test]
+    fn guarded_accesses_are_skipped() {
+        let scop = scop_of(
+            "double A[100];\n\
+             for (i = 0; i < 100; i++) if (i >= 90) A[i] = 0;",
+        );
+        assert_eq!(count_accesses(&scop), 10);
+    }
+
+    #[test]
+    fn empty_domain_loops_produce_nothing() {
+        let scop = scop_of("double A[10]; for (i = 5; i < 5; i++) A[i] = 0;");
+        assert_eq!(count_accesses(&scop), 0);
+    }
+}

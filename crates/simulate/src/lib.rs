@@ -1,0 +1,286 @@
+//! Non-warping cache simulation of polyhedral programs.
+//!
+//! This crate implements Algorithm 1 of *Warping Cache Simulation of
+//! Polyhedral Programs* (Morelli & Reineke, PLDI 2022): the SCoP tree is
+//! walked in execution order and every dynamic memory access is classified
+//! and applied to a cache model.  Its runtime is proportional to the number
+//! of memory accesses — it is the baseline that warping accelerates.
+//!
+//! The cache model is abstracted behind the [`MemorySystem`] trait so the
+//! same driver simulates single-level caches ([`SingleCacheSystem`]) and
+//! two-level hierarchies ([`TwoLevelSystem`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cache_model::{CacheConfig, ReplacementPolicy};
+//! use scop::parse_scop;
+//! use simulate::{simulate, SingleCacheSystem};
+//!
+//! let scop = parse_scop(
+//!     "double A[1000]; double B[1000];
+//!      for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+//! ).unwrap();
+//! // A two-line fully-associative LRU cache with 8-byte lines: the paper's
+//! // running example (each array cell occupies a full cache line).
+//! let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+//! let mut memory = SingleCacheSystem::new(config);
+//! let result = simulate(&scop, &mut memory);
+//! assert_eq!(result.accesses, 3 * 998);
+//! assert_eq!(result.l1.misses, 3 + 2 * 997);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cache_model::{
+    AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, HierarchyStats,
+    LevelStats, MemBlock,
+};
+use scop::{for_each_access, Scop};
+
+/// The result of simulating a SCoP against a memory system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SimulationResult {
+    /// Total number of dynamic memory accesses simulated.
+    pub accesses: u64,
+    /// First-level statistics.
+    pub l1: LevelStats,
+    /// Second-level statistics, if the memory system has an L2.
+    pub l2: Option<LevelStats>,
+}
+
+impl SimulationResult {
+    /// The number of misses at the last simulated level (the quantity the
+    /// paper's figures report as "cache misses").
+    pub fn last_level_misses(&self) -> u64 {
+        self.l2.map_or(self.l1.misses, |l2| l2.misses)
+    }
+}
+
+/// A memory system that can be driven by the simulator.
+pub trait MemorySystem {
+    /// Performs one access and updates internal statistics.
+    fn access(&mut self, address: u64, kind: AccessKind);
+    /// The statistics accumulated so far.
+    fn result(&self) -> SimulationResult;
+    /// Resets the cache contents and statistics.
+    fn reset(&mut self);
+}
+
+/// A single set-associative (or fully-associative) cache level.
+#[derive(Clone, Debug)]
+pub struct SingleCacheSystem {
+    config: CacheConfig,
+    state: CacheState<MemBlock>,
+    stats: LevelStats,
+    accesses: u64,
+}
+
+impl SingleCacheSystem {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let state = CacheState::new(&config);
+        SingleCacheSystem {
+            config,
+            state,
+            stats: LevelStats::default(),
+            accesses: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The current cache state (for inspection in tests).
+    pub fn state(&self) -> &CacheState<MemBlock> {
+        &self.state
+    }
+}
+
+impl MemorySystem for SingleCacheSystem {
+    fn access(&mut self, address: u64, kind: AccessKind) {
+        let hit = self
+            .state
+            .access(&self.config, cache_model::Access { address, kind });
+        self.stats.record(hit);
+        self.accesses += 1;
+    }
+
+    fn result(&self) -> SimulationResult {
+        SimulationResult {
+            accesses: self.accesses,
+            l1: self.stats,
+            l2: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = CacheState::new(&self.config);
+        self.stats = LevelStats::default();
+        self.accesses = 0;
+    }
+}
+
+/// A two-level non-inclusive non-exclusive hierarchy.
+#[derive(Clone, Debug)]
+pub struct TwoLevelSystem {
+    config: HierarchyConfig,
+    state: HierarchyState<MemBlock>,
+    stats: HierarchyStats,
+    accesses: u64,
+}
+
+impl TwoLevelSystem {
+    /// An empty hierarchy with the given configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        let state = HierarchyState::new(&config);
+        TwoLevelSystem {
+            config,
+            state,
+            stats: HierarchyStats::default(),
+            accesses: 0,
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+}
+
+impl MemorySystem for TwoLevelSystem {
+    fn access(&mut self, address: u64, kind: AccessKind) {
+        let outcome = self
+            .state
+            .access(&self.config, cache_model::Access { address, kind });
+        self.stats.record(outcome);
+        self.accesses += 1;
+    }
+
+    fn result(&self) -> SimulationResult {
+        SimulationResult {
+            accesses: self.accesses,
+            l1: self.stats.l1,
+            l2: Some(self.stats.l2),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = HierarchyState::new(&self.config);
+        self.stats = HierarchyStats::default();
+        self.accesses = 0;
+    }
+}
+
+/// Simulates a SCoP against a memory system (Algorithm 1) and returns the
+/// accumulated statistics.  The memory system is *not* reset first, so
+/// simulations can be composed, as discussed at the end of §4 of the paper.
+pub fn simulate<M: MemorySystem>(scop: &Scop, memory: &mut M) -> SimulationResult {
+    for_each_access(scop, |acc| memory.access(acc.address, acc.kind));
+    memory.result()
+}
+
+/// Convenience helper: simulates a SCoP on a fresh single-level cache.
+pub fn simulate_single(scop: &Scop, config: &CacheConfig) -> SimulationResult {
+    let mut memory = SingleCacheSystem::new(config.clone());
+    simulate(scop, &mut memory)
+}
+
+/// Convenience helper: simulates a SCoP on a fresh two-level hierarchy.
+pub fn simulate_hierarchy(scop: &Scop, config: &HierarchyConfig) -> SimulationResult {
+    let mut memory = TwoLevelSystem::new(config.clone());
+    simulate(scop, &mut memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::ReplacementPolicy;
+    use scop::parse_scop;
+
+    fn stencil() -> Scop {
+        parse_scop(
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn running_example_miss_count() {
+        // Figure 1: 3 misses in the first iteration, then 1 hit and 2 misses
+        // per iteration.
+        let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let result = simulate_single(&stencil(), &config);
+        assert_eq!(result.accesses, 3 * 998);
+        assert_eq!(result.l1.misses, 3 + 2 * 997);
+        assert_eq!(result.l1.hits, 997);
+    }
+
+    #[test]
+    fn set_associative_example_matches_figure_3() {
+        // Figure 3: 4 sets of associativity 2, LRU, one array cell per line.
+        // The steady state is also 1 hit + 2 misses per iteration.
+        let config = CacheConfig::with_sets(4, 2, 8, ReplacementPolicy::Lru);
+        let result = simulate_single(&stencil(), &config);
+        assert_eq!(result.l1.misses, 3 + 2 * 997);
+    }
+
+    #[test]
+    fn two_level_hierarchy_counts() {
+        let config = HierarchyConfig::new(
+            CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru),
+            CacheConfig::fully_associative(1024, 8, ReplacementPolicy::Lru),
+        );
+        let result = simulate_hierarchy(&stencil(), &config);
+        // L2 sees exactly the L1 misses; it is big enough that every block
+        // misses only once (cold misses: 999 of A, 998 of B).
+        assert_eq!(result.l2.unwrap().accesses, result.l1.misses);
+        assert_eq!(result.l2.unwrap().misses, 999 + 998);
+    }
+
+    #[test]
+    fn larger_cache_only_cold_misses() {
+        let config = CacheConfig::fully_associative(4096, 8, ReplacementPolicy::Lru);
+        let result = simulate_single(&stencil(), &config);
+        assert_eq!(result.l1.misses, 999 + 998);
+    }
+
+    #[test]
+    fn policies_agree_on_streaming_workload() {
+        // A pure streaming kernel has no reuse, so every policy misses on
+        // every access.
+        let scop = parse_scop("double A[4096]; for (i = 0; i < 4096; i++) A[i] = 0;").unwrap();
+        for policy in ReplacementPolicy::ALL {
+            let config = CacheConfig::with_sets(8, 2, 8, policy);
+            let result = simulate_single(&scop, &config);
+            assert_eq!(result.l1.misses, 4096, "{policy}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let mut memory = SingleCacheSystem::new(config);
+        let first = simulate(&stencil(), &mut memory);
+        memory.reset();
+        let second = simulate(&stencil(), &mut memory);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn composition_without_reset_keeps_state() {
+        let config = CacheConfig::fully_associative(64, 8, ReplacementPolicy::Lru);
+        let scop = parse_scop("double A[32]; for (i = 0; i < 32; i++) A[i] = A[i];").unwrap();
+        let mut memory = SingleCacheSystem::new(config);
+        let first = simulate(&scop, &mut memory);
+        assert_eq!(first.l1.misses, 32);
+        // Second run hits everywhere because the cache is still warm.
+        let second = simulate(&scop, &mut memory);
+        assert_eq!(second.l1.misses, 32);
+        assert_eq!(second.l1.hits, 2 * 32 + 32);
+    }
+}

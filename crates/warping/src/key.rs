@@ -1,0 +1,180 @@
+//! Rotation-invariant canonical keys of symbolic cache states.
+//!
+//! Two symbolic cache states recorded at different iterations of the same
+//! loop are candidates for warping when they are equal up to a rotation of
+//! their cache sets and a uniform shift of the warped loop iterator in their
+//! symbolic labels (Theorem 3 of the paper).  The canonical key makes such
+//! states compare equal:
+//!
+//! * the enumeration of cache sets starts at the most-recently-accessed set
+//!   and cycles around, which factors out set rotations;
+//! * labels of access nodes that are descendants of the warping loop are
+//!   stored relative to the current value of the warped iterator, which
+//!   factors out the iterator shift;
+//! * replacement-policy metadata is included verbatim, since matching states
+//!   must agree on it exactly.
+//!
+//! The key is an exact encoding (not just a hash), so key equality implies
+//! symbolic equality — hash collisions cannot cause unsound warps.
+
+use crate::symstate::SymLevel;
+use cache_model::PolicyState;
+use std::collections::HashSet;
+
+/// An exact, rotation- and shift-invariant encoding of one or more symbolic
+/// cache levels.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalKey(Vec<i64>);
+
+impl CanonicalKey {
+    /// Builds the canonical key of a collection of cache levels for a warp
+    /// attempt at a loop of depth `warp_depth` whose warped iterator
+    /// currently has value `current`.
+    ///
+    /// `descendants` are the ids of the access nodes below the loop: only
+    /// their labels are normalised by the warped iterator.
+    pub fn of_levels(
+        levels: &[SymLevel],
+        descendants: &HashSet<usize>,
+        warp_depth: usize,
+        current: i64,
+    ) -> Self {
+        let mut data = Vec::new();
+        for level in levels {
+            encode_level(level, descendants, warp_depth, current, &mut data);
+        }
+        CanonicalKey(data)
+    }
+}
+
+fn encode_level(
+    level: &SymLevel,
+    descendants: &HashSet<usize>,
+    warp_depth: usize,
+    current: i64,
+    data: &mut Vec<i64>,
+) {
+    let num_sets = level.state.num_sets();
+    data.push(i64::MIN + 1); // level separator
+    for t in 0..num_sets {
+        let s = (level.mru_set + t) % num_sets;
+        let set = level.state.set(s);
+        data.push(i64::MIN + 2); // set separator
+        for line in set.lines() {
+            match line {
+                None => data.push(i64::MIN + 3),
+                Some(l) => {
+                    data.push(l.node as i64);
+                    let normalise =
+                        descendants.contains(&l.node) && l.iter.len() >= warp_depth;
+                    for (d, v) in l.iter.iter().enumerate() {
+                        if normalise && d == warp_depth - 1 {
+                            data.push(v - current);
+                        } else {
+                            data.push(*v);
+                        }
+                    }
+                    data.push(i64::MIN + 4); // label terminator
+                }
+            }
+        }
+        encode_policy_state(set.policy_state(), data);
+    }
+}
+
+fn encode_policy_state(state: &PolicyState, data: &mut Vec<i64>) {
+    match state {
+        PolicyState::None => data.push(0),
+        PolicyState::PlruBits(bits) => {
+            data.push(1);
+            for b in bits {
+                data.push(i64::from(*b));
+            }
+        }
+        PolicyState::Ages(ages) => {
+            data.push(2);
+            for a in ages {
+                data.push(i64::from(*a));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::{AccessKind, CacheConfig, MemBlock, ReplacementPolicy};
+
+    fn level() -> SymLevel {
+        SymLevel::new(CacheConfig::with_sets(4, 2, 1, ReplacementPolicy::Lru))
+    }
+
+    fn key_of(level: &SymLevel, descendants: &HashSet<usize>, current: i64) -> CanonicalKey {
+        CanonicalKey::of_levels(std::slice::from_ref(level), descendants, 1, current)
+    }
+
+    #[test]
+    fn shifted_states_have_equal_keys() {
+        // The 1D stencil pattern on a tiny cache: after iteration i the cache
+        // holds A[i] and B[i-1]; states of consecutive iterations are equal
+        // up to rotation and label shift.
+        let descendants: HashSet<usize> = [0, 1].into_iter().collect();
+        let mut s1 = level();
+        s1.access(MemBlock(10), AccessKind::Read, 0, &[5]);
+        s1.access(MemBlock(110), AccessKind::Write, 1, &[5]);
+        let mut s2 = level();
+        s2.access(MemBlock(11), AccessKind::Read, 0, &[6]);
+        s2.access(MemBlock(111), AccessKind::Write, 1, &[6]);
+        assert_eq!(
+            key_of(&s1, &descendants, 5),
+            key_of(&s2, &descendants, 6),
+            "states shifted by one iteration must produce identical keys"
+        );
+        assert_ne!(
+            key_of(&s1, &descendants, 5),
+            key_of(&s2, &descendants, 7),
+            "a wrong iterator value breaks the match"
+        );
+    }
+
+    #[test]
+    fn non_descendant_labels_are_absolute() {
+        let descendants: HashSet<usize> = HashSet::new();
+        let mut s1 = level();
+        s1.access(MemBlock(10), AccessKind::Read, 0, &[5]);
+        let mut s2 = level();
+        s2.access(MemBlock(10), AccessKind::Read, 0, &[6]);
+        assert_ne!(
+            key_of(&s1, &descendants, 5),
+            key_of(&s2, &descendants, 6),
+            "labels of non-descendant nodes must match exactly"
+        );
+    }
+
+    #[test]
+    fn policy_state_is_part_of_the_key() {
+        let config = CacheConfig::with_sets(1, 4, 1, ReplacementPolicy::Qlru);
+        let descendants: HashSet<usize> = [0].into_iter().collect();
+        let mut s1 = SymLevel::new(config.clone());
+        let mut s2 = SymLevel::new(config);
+        s1.access(MemBlock(0), AccessKind::Read, 0, &[0]);
+        s2.access(MemBlock(0), AccessKind::Read, 0, &[0]);
+        // Promote the block in s2 only: ages differ, keys must differ.
+        s2.access(MemBlock(0), AccessKind::Read, 0, &[0]);
+        let k1 = CanonicalKey::of_levels(std::slice::from_ref(&s1), &descendants, 1, 0);
+        let k2 = CanonicalKey::of_levels(std::slice::from_ref(&s2), &descendants, 1, 0);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn different_occupancy_or_nodes_differ() {
+        let descendants: HashSet<usize> = [0, 1].into_iter().collect();
+        let mut s1 = level();
+        s1.access(MemBlock(10), AccessKind::Read, 0, &[5]);
+        let mut s2 = level();
+        s2.access(MemBlock(10), AccessKind::Read, 1, &[5]);
+        assert_ne!(key_of(&s1, &descendants, 5), key_of(&s2, &descendants, 5));
+        let empty = level();
+        assert_ne!(key_of(&s1, &descendants, 5), key_of(&empty, &descendants, 5));
+    }
+}

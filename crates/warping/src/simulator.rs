@@ -1,0 +1,488 @@
+//! The warping symbolic cache simulator (Algorithm 2 of the paper).
+
+use crate::key::CanonicalKey;
+use crate::plan::plan_warp;
+use crate::symstate::SymLevel;
+use cache_model::{CacheConfig, HierarchyConfig, LevelStats, MemBlock};
+use polyhedra::Aff;
+use scop::{AccessNode, LoopNode, Node, Scop};
+use simulate::SimulationResult;
+use std::collections::{HashMap, HashSet};
+
+/// The memory system simulated by the warping simulator.
+#[derive(Clone, Debug)]
+pub enum WarpingMemory {
+    /// A single cache level.
+    Single(CacheConfig),
+    /// A two-level non-inclusive non-exclusive hierarchy.
+    Hierarchy(HierarchyConfig),
+}
+
+/// The outcome of a warping simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WarpingOutcome {
+    /// Access and miss counts, identical to what non-warping simulation
+    /// produces.
+    pub result: SimulationResult,
+    /// Number of accesses that were simulated explicitly.
+    pub non_warped_accesses: u64,
+    /// Number of accesses that were skipped by warping.
+    pub warped_accesses: u64,
+    /// Number of successful warp events.
+    pub warps: u64,
+}
+
+impl WarpingOutcome {
+    /// The share of accesses that could not be warped (the quantity plotted
+    /// at the top of Fig. 6 of the paper), in `[0, 1]`.
+    pub fn non_warped_share(&self) -> f64 {
+        let total = self.non_warped_accesses + self.warped_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.non_warped_accesses as f64 / total as f64
+        }
+    }
+}
+
+/// Tuning knobs of the warping simulator.
+///
+/// The defaults keep the overhead of key construction small on loops that
+/// never warp while still finding matches whose period is a small multiple
+/// of the cache-line phase.
+#[derive(Clone, Copy, Debug)]
+pub struct WarpingOptions {
+    /// Number of initial iterations of each loop execution during which a
+    /// match is attempted on every iteration.
+    pub eager_attempts: u64,
+    /// After the eager phase, matches are attempted every `backoff_interval`
+    /// iterations.  This bounds the overhead of key construction on loops
+    /// that never warp.
+    pub backoff_interval: u64,
+    /// Maximum number of symbolic states remembered per loop execution.
+    pub max_map_entries: usize,
+    /// Loops whose trip count (for the current outer iteration) is below
+    /// this threshold are simulated without attempting to warp: the possible
+    /// gain cannot amortise the cost of key construction.
+    pub min_trip_count: i64,
+    /// Warping is abandoned for a loop node after this many match attempts
+    /// (across all executions of the node) that did not lead to a warp.
+    /// This caps the overhead on loops whose states never recur while still
+    /// allowing matches that only appear after the cache has warmed up.
+    pub max_fruitless_attempts: u64,
+}
+
+impl Default for WarpingOptions {
+    fn default() -> Self {
+        WarpingOptions {
+            eager_attempts: 32,
+            backoff_interval: 16,
+            max_map_entries: 4096,
+            min_trip_count: 24,
+            max_fruitless_attempts: 512,
+        }
+    }
+}
+
+/// Per-entry bookkeeping of the per-loop hash map of Algorithm 2.
+#[derive(Clone, Debug)]
+struct MatchEntry {
+    /// Warped-iterator value at which the state was recorded.
+    v: i64,
+    /// Counter snapshot at that point.
+    counters: Counters,
+}
+
+/// Snapshot of all monotonically increasing counters, used to extrapolate
+/// across warped chunks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct Counters {
+    accesses: u64,
+    level: [LevelStats; 2],
+}
+
+/// The warping symbolic cache simulator.
+///
+/// See the crate-level documentation for an example.
+#[derive(Clone, Debug)]
+pub struct WarpingSimulator {
+    levels: Vec<SymLevel>,
+    hierarchy: bool,
+    options: WarpingOptions,
+    accesses: u64,
+    warped_accesses: u64,
+    warps: u64,
+    /// Match attempts that did not result in a warp, per loop node (keyed by
+    /// the node's address within the SCoP currently being simulated).
+    fruitless: HashMap<usize, u64>,
+}
+
+impl WarpingSimulator {
+    /// A simulator for a single cache level.
+    pub fn single(config: CacheConfig) -> Self {
+        WarpingSimulator {
+            levels: vec![SymLevel::new(config)],
+            hierarchy: false,
+            options: WarpingOptions::default(),
+            accesses: 0,
+            warped_accesses: 0,
+            warps: 0,
+            fruitless: HashMap::new(),
+        }
+    }
+
+    /// A simulator for a two-level hierarchy.
+    pub fn hierarchy(config: HierarchyConfig) -> Self {
+        WarpingSimulator {
+            levels: vec![SymLevel::new(config.l1), SymLevel::new(config.l2)],
+            hierarchy: true,
+            options: WarpingOptions::default(),
+            accesses: 0,
+            warped_accesses: 0,
+            warps: 0,
+            fruitless: HashMap::new(),
+        }
+    }
+
+    /// A simulator for either kind of memory system.
+    pub fn new(memory: WarpingMemory) -> Self {
+        match memory {
+            WarpingMemory::Single(c) => WarpingSimulator::single(c),
+            WarpingMemory::Hierarchy(h) => WarpingSimulator::hierarchy(h),
+        }
+    }
+
+    /// Overrides the tuning options.
+    pub fn with_options(mut self, options: WarpingOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Simulates a SCoP and returns the outcome.  The cache state persists
+    /// across calls, so SCoPs can be simulated in sequence; use a fresh
+    /// simulator for independent runs.
+    pub fn run(&mut self, scop: &Scop) -> WarpingOutcome {
+        let addresses: Vec<Aff> = {
+            let mut v: Vec<(usize, Aff)> = scop
+                .access_nodes()
+                .map(|a| (a.id, a.address.clone()))
+                .collect();
+            v.sort_by_key(|(id, _)| *id);
+            v.into_iter().map(|(_, a)| a).collect()
+        };
+        for root in scop.roots() {
+            self.simulate_node(root, &[], &addresses);
+        }
+        self.outcome()
+    }
+
+    /// The accumulated outcome.
+    pub fn outcome(&self) -> WarpingOutcome {
+        let l1 = self.levels[0].stats;
+        let l2 = self.levels.get(1).map(|l| l.stats);
+        WarpingOutcome {
+            result: SimulationResult {
+                accesses: self.accesses,
+                l1,
+                l2,
+            },
+            non_warped_accesses: self.accesses - self.warped_accesses,
+            warped_accesses: self.warped_accesses,
+            warps: self.warps,
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            accesses: self.accesses,
+            level: [
+                self.levels[0].stats,
+                self.levels.get(1).map(|l| l.stats).unwrap_or_default(),
+            ],
+        }
+    }
+
+    fn simulate_node(&mut self, node: &Node, outer: &[i64], addresses: &[Aff]) {
+        match node {
+            Node::Access(a) => self.simulate_access(a, outer),
+            Node::Loop(l) => self.simulate_loop(l, outer, addresses),
+        }
+    }
+
+    fn simulate_access(&mut self, access: &AccessNode, outer: &[i64]) {
+        if !access.domain.contains(outer) {
+            return;
+        }
+        let address = access.address_at(outer);
+        self.accesses += 1;
+        let block_l1 = MemBlock(address / self.levels[0].config.line_size());
+        let l1_hit = self.levels[0].access(block_l1, access.kind, access.id, outer);
+        if self.hierarchy && !l1_hit {
+            let block_l2 = MemBlock(address / self.levels[1].config.line_size());
+            self.levels[1].access(block_l2, access.kind, access.id, outer);
+        }
+    }
+
+    fn simulate_loop(&mut self, loop_node: &LoopNode, outer: &[i64], addresses: &[Aff]) {
+        let Some(mut i) = loop_node.initial(outer) else {
+            return;
+        };
+        let Some(last) = loop_node.last(outer) else {
+            return;
+        };
+        let depth = loop_node.depth;
+        let v_last = last[depth - 1];
+        // Cheap gating: warping at this loop can only ever succeed if every
+        // access below it shifts by the same amount per iteration (see
+        // `plan_warp`), and it can only pay off if the loop has enough
+        // iterations to amortise the cost of key construction.  Checking
+        // these once per loop execution keeps the overhead on non-warpable
+        // loops negligible.
+        let trip_count = v_last - i[depth - 1] + 1;
+        let node_key = loop_node as *const LoopNode as usize;
+        let mut fruitless = self.fruitless.get(&node_key).copied().unwrap_or(0);
+        let descendant_nodes = descendants(loop_node);
+        let warpable = trip_count >= self.options.min_trip_count
+            && !descendant_nodes.is_empty()
+            && uniform_coefficient(&descendant_nodes, depth - 1).is_some();
+        let descendant_ids: HashSet<usize> = if warpable {
+            descendant_nodes.iter().map(|a| a.id).collect()
+        } else {
+            HashSet::new()
+        };
+        let mut map: HashMap<CanonicalKey, MatchEntry> = HashMap::new();
+        let mut iteration_index: u64 = 0;
+
+        while i.as_slice() <= last.as_slice() {
+            let v1 = i[depth - 1];
+            if warpable
+                && fruitless < self.options.max_fruitless_attempts
+                && self.should_attempt(iteration_index)
+            {
+                fruitless += 1;
+                let key = CanonicalKey::of_levels(&self.levels, &descendant_ids, depth, v1);
+                if let Some(entry) = map.get(&key) {
+                    if let Some(plan) = plan_warp(
+                        &descendant_nodes,
+                        &descendant_ids,
+                        &self.levels,
+                        depth,
+                        outer,
+                        entry.v,
+                        v1,
+                        v_last,
+                    ) {
+                        let period = v1 - entry.v;
+                        let chunk = self.counters();
+                        let chunk_accesses = chunk.accesses - entry.counters.accesses;
+                        // Extrapolate the counters across the warped chunks
+                        // (Equation 19 / line 12 of Algorithm 2).
+                        let n = plan.chunks as u64;
+                        self.accesses += n * chunk_accesses;
+                        self.warped_accesses += n * chunk_accesses;
+                        for (idx, level) in self.levels.iter_mut().enumerate() {
+                            let diff_hits = chunk.level[idx].hits - entry.counters.level[idx].hits;
+                            let diff_misses =
+                                chunk.level[idx].misses - entry.counters.level[idx].misses;
+                            level.stats.hits += n * diff_hits;
+                            level.stats.misses += n * diff_misses;
+                            level.stats.accesses += n * (diff_hits + diff_misses);
+                        }
+                        // Advance the symbolic cache state (Equation 18).
+                        for level in &mut self.levels {
+                            level.apply_warp(
+                                addresses,
+                                &descendant_ids,
+                                depth,
+                                period,
+                                plan.chunks,
+                                plan.byte_shift_per_chunk * plan.chunks,
+                            );
+                        }
+                        i[depth - 1] += plan.chunks * period;
+                        self.warps += 1;
+                        fruitless = 0;
+                        iteration_index += plan.chunks as u64 * period as u64;
+                        // Do not consume this iteration: re-enter the loop
+                        // header so the landed-on iteration is simulated (or
+                        // warped again).
+                        continue;
+                    }
+                } else if map.len() < self.options.max_map_entries {
+                    map.insert(
+                        key,
+                        MatchEntry {
+                            v: v1,
+                            counters: self.counters(),
+                        },
+                    );
+                }
+            }
+            if loop_node.domain.contains(&i) {
+                for child in &loop_node.children {
+                    self.simulate_node(child, &i, addresses);
+                }
+            }
+            i[depth - 1] += loop_node.stride;
+            iteration_index += 1;
+        }
+        if warpable {
+            self.fruitless.insert(node_key, fruitless);
+        }
+    }
+
+    fn should_attempt(&self, iteration_index: u64) -> bool {
+        iteration_index < self.options.eager_attempts
+            || iteration_index % self.options.backoff_interval == 0
+    }
+}
+
+/// The common per-iteration byte-shift coefficient of all access nodes on
+/// the given dimension, if they agree (`None` if they differ, in which case
+/// warping at that loop can never satisfy the uniform-shift condition).
+fn uniform_coefficient(nodes: &[&AccessNode], dim: usize) -> Option<i64> {
+    let mut common = None;
+    for node in nodes {
+        let c = node.address.coeff(dim);
+        match common {
+            None => common = Some(c),
+            Some(existing) if existing == c => {}
+            Some(_) => return None,
+        }
+    }
+    common
+}
+
+/// Collects the access nodes below a loop node.
+fn descendants(loop_node: &LoopNode) -> Vec<&AccessNode> {
+    let mut out = Vec::new();
+    let mut stack: Vec<&Node> = loop_node.children.iter().collect();
+    while let Some(node) = stack.pop() {
+        match node {
+            Node::Access(a) => out.push(a),
+            Node::Loop(l) => stack.extend(l.children.iter()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::ReplacementPolicy;
+    use scop::parse_scop;
+    use simulate::{simulate_hierarchy, simulate_single};
+
+    fn stencil(n: i64) -> Scop {
+        parse_scop(&format!(
+            "double A[{n}]; double B[{n}];\n\
+             for (i = 1; i < {m}; i++) B[i-1] = A[i-1] + A[i];",
+            n = n,
+            m = n - 1
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn warping_is_exact_on_the_running_example() {
+        let scop = stencil(1000);
+        let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+        assert!(outcome.warps >= 1, "the stencil must warp");
+        assert!(
+            outcome.non_warped_accesses < reference.accesses / 10,
+            "most accesses are warped ({} of {})",
+            outcome.non_warped_accesses,
+            reference.accesses
+        );
+    }
+
+    #[test]
+    fn warping_is_exact_on_a_set_associative_plru_cache() {
+        let scop = stencil(4000);
+        let config = CacheConfig::new(4 * 1024, 8, 64, ReplacementPolicy::Plru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+        assert!(outcome.warps >= 1);
+    }
+
+    #[test]
+    fn warping_is_exact_for_all_policies() {
+        let scop = stencil(3000);
+        for policy in ReplacementPolicy::ALL {
+            let config = CacheConfig::new(2 * 1024, 4, 64, policy);
+            let reference = simulate_single(&scop, &config);
+            let outcome = WarpingSimulator::single(config).run(&scop);
+            assert_eq!(outcome.result, reference, "{policy}");
+        }
+    }
+
+    #[test]
+    fn warping_is_exact_on_a_two_level_hierarchy() {
+        let scop = stencil(3000);
+        let config = HierarchyConfig::new(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Lru),
+        );
+        let reference = simulate_hierarchy(&scop, &config);
+        let outcome = WarpingSimulator::hierarchy(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn triangular_matvec_is_exact() {
+        let scop = parse_scop(
+            "double A[200][200]; double x[200]; double c[200];\n\
+             for (i = 0; i < 200; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 200; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+        )
+        .unwrap();
+        let config = CacheConfig::new(2 * 1024, 4, 64, ReplacementPolicy::Lru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn guarded_kernel_is_exact() {
+        let scop = parse_scop(
+            "double A[3000]; double B[3000];\n\
+             for (i = 1; i < 2999; i++) if (i < 1500) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap();
+        let config = CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn multiple_loop_nests_are_exact() {
+        let scop = parse_scop(
+            "double A[2000]; double B[2000]; double C[2000];\n\
+             for (i = 0; i < 2000; i++) B[i] = A[i];\n\
+             for (j = 0; j < 2000; j++) C[j] = B[j] + A[j];",
+        )
+        .unwrap();
+        let config = CacheConfig::new(2 * 1024, 8, 64, ReplacementPolicy::Plru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn small_working_sets_do_not_warp_incorrectly() {
+        // jacobi-1d-like situation: the working set fits in the cache, so
+        // warping opportunities are limited but correctness must hold.
+        let scop = stencil(64);
+        let config = CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Plru);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert_eq!(outcome.result, reference);
+    }
+}

@@ -1,0 +1,196 @@
+//! Symbolic cache states.
+//!
+//! A symbolic cache state associates every occupied cache line with a
+//! *symbolic memory block*: the identifier of the access node that loaded
+//! (or most recently touched) the line together with the iteration vector at
+//! which that happened.  Concretising the label — evaluating the access
+//! node's affine address function at the recorded iteration — yields the
+//! concrete memory block, which the state also caches for fast
+//! classification.  This mirrors §5.2 of the paper; keeping absolute
+//! iteration vectors (instead of rewriting expressions on every iterator
+//! increment) is the "on demand" renormalisation the paper alludes to.
+
+use cache_model::{AccessKind, CacheConfig, CacheState, LevelStats, MemBlock};
+use polyhedra::Aff;
+
+/// A symbolic cache line: concrete block plus symbolic label.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SymLine {
+    /// The concrete memory block currently held by the line.
+    pub block: MemBlock,
+    /// Identifier of the access node that most recently touched the line.
+    pub node: usize,
+    /// The iteration vector (at the node's depth) of that access.
+    pub iter: Vec<i64>,
+}
+
+/// One cache level simulated symbolically.
+#[derive(Clone, Debug)]
+pub struct SymLevel {
+    /// The level's configuration.
+    pub config: CacheConfig,
+    /// The symbolic cache state.
+    pub state: CacheState<SymLine>,
+    /// Index of the most recently accessed cache set (anchor for the
+    /// rotation-invariant canonical key).
+    pub mru_set: usize,
+    /// Hit/miss counters of the level.
+    pub stats: LevelStats,
+}
+
+impl SymLevel {
+    /// An empty symbolic level.
+    pub fn new(config: CacheConfig) -> Self {
+        let state = CacheState::new(&config);
+        SymLevel {
+            config,
+            state,
+            mru_set: 0,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// Classifies and performs an access to `block`, labelling the touched
+    /// line with `(node, iter)`.  Returns `true` on a hit.
+    ///
+    /// For no-write-allocate configurations a write miss does not allocate.
+    pub fn access(&mut self, block: MemBlock, kind: AccessKind, node: usize, iter: &[i64]) -> bool {
+        let set_idx = self.config.index(block);
+        self.mru_set = set_idx;
+        let policy = self.config.policy();
+        let set = self.state.set_mut(set_idx);
+        let hit = match set.find(|l| l.block == block) {
+            Some(way) => {
+                set.on_hit(policy, way);
+                // The paper's SymUpSet replaces the hit line's symbolic block
+                // by the freshly accessed one.
+                let way = set
+                    .find(|l| l.block == block)
+                    .expect("the hit block remains cached");
+                let line = set.line_mut(way).expect("occupied line");
+                line.node = node;
+                line.iter.clear();
+                line.iter.extend_from_slice(iter);
+                true
+            }
+            None => {
+                if kind != AccessKind::Write || self.config.write_allocate() {
+                    set.on_miss_insert(
+                        policy,
+                        SymLine {
+                            block,
+                            node,
+                            iter: iter.to_vec(),
+                        },
+                    );
+                }
+                false
+            }
+        };
+        self.stats.record(hit);
+        hit
+    }
+
+    /// Resets the level to an empty state.
+    pub fn reset(&mut self) {
+        self.state = CacheState::new(&self.config);
+        self.mru_set = 0;
+        self.stats = LevelStats::default();
+    }
+
+    /// Applies a warp of `chunks` periods to the level: every line whose
+    /// label belongs to one of the `descendants` access nodes (at depth
+    /// `>= warp_depth`) advances its label by `chunks * period` along
+    /// dimension `warp_depth - 1`, its concrete block shifts by
+    /// `total_block_shift`, and the cache sets rotate accordingly
+    /// (Equation 18 of the paper: the new state is `γ(sym-c ∘ π_Set^n)`).
+    pub fn apply_warp(
+        &mut self,
+        addresses: &[Aff],
+        descendants: &std::collections::HashSet<usize>,
+        warp_depth: usize,
+        period: i64,
+        chunks: i64,
+        total_byte_shift: i64,
+    ) {
+        let line_size = self.config.line_size() as i64;
+        debug_assert_eq!(total_byte_shift % line_size, 0);
+        let total_block_shift = total_byte_shift / line_size;
+        let num_sets = self.config.num_sets() as i64;
+        let rotation = total_block_shift.rem_euclid(num_sets);
+        // Rotate the sets: the set holding a block b now holds b + shift, and
+        // (b + shift) mod S = (old index + rotation) mod S.
+        let rotated = self
+            .state
+            .permute_sets(|i| ((i as i64 - rotation).rem_euclid(num_sets)) as usize);
+        self.state = rotated.map_payloads(|line| {
+            if descendants.contains(&line.node) && line.iter.len() >= warp_depth {
+                let mut iter = line.iter.clone();
+                iter[warp_depth - 1] += chunks * period;
+                let address = addresses[line.node].eval(&iter);
+                debug_assert!(address >= 0);
+                let block = MemBlock(address as u64 / self.config.line_size());
+                debug_assert_eq!(
+                    block.0 as i64,
+                    line.block.0 as i64 + total_block_shift,
+                    "warped label concretisation must shift uniformly"
+                );
+                SymLine {
+                    block,
+                    node: line.node,
+                    iter,
+                }
+            } else {
+                debug_assert_eq!(total_block_shift, 0, "stale lines require a zero shift");
+                line.clone()
+            }
+        });
+        self.mru_set = ((self.mru_set as i64 + rotation).rem_euclid(num_sets)) as usize;
+    }
+
+    /// The concrete cache state (dropping symbolic labels).
+    pub fn concrete_state(&self) -> CacheState<MemBlock> {
+        self.state.map_payloads(|l| l.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::ReplacementPolicy;
+
+    fn level() -> SymLevel {
+        SymLevel::new(CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru))
+    }
+
+    #[test]
+    fn access_tracks_labels_and_stats() {
+        let mut l = level();
+        assert!(!l.access(MemBlock(0), AccessKind::Read, 7, &[1, 2]));
+        assert!(l.access(MemBlock(0), AccessKind::Read, 9, &[1, 3]));
+        assert_eq!(l.stats.hits, 1);
+        assert_eq!(l.stats.misses, 1);
+        let line = l.state.set(0).lines()[0].clone().unwrap();
+        assert_eq!(line.node, 9, "a hit refreshes the symbolic label");
+        assert_eq!(line.iter, vec![1, 3]);
+        assert_eq!(l.mru_set, 0);
+    }
+
+    #[test]
+    fn no_write_allocate_does_not_fill() {
+        let config = CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru).no_write_allocate();
+        let mut l = SymLevel::new(config);
+        assert!(!l.access(MemBlock(0), AccessKind::Write, 0, &[0]));
+        assert!(l.state.set(0).lines().iter().all(Option::is_none));
+        assert!(!l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
+        assert!(l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
+    }
+
+    #[test]
+    fn concrete_state_projection() {
+        let mut l = level();
+        l.access(MemBlock(5), AccessKind::Read, 0, &[0]);
+        let c = l.concrete_state();
+        assert_eq!(c.set(1).lines()[0], Some(MemBlock(5)));
+    }
+}

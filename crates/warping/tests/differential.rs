@@ -1,0 +1,205 @@
+//! Differential testing: warping simulation must produce exactly the same
+//! access, hit and miss counts as non-warping simulation (Algorithm 1), for
+//! random polyhedral programs, random cache geometries and all replacement
+//! policies.  This is the central correctness property of the paper: warping
+//! only accelerates the simulation, it never changes its outcome.
+
+use cache_model::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+use proptest::prelude::*;
+use scop::ast::{access, assign, for_loop, Expr, Program, Statement};
+use scop::{elaborate, ElaborateOptions, Scop};
+use simulate::{simulate_hierarchy, simulate_single};
+use warping::{WarpingOptions, WarpingSimulator};
+
+/// A randomly generated affine index expression `c0 + c1*i (+ c2*j)`.
+fn arb_index(depth: usize) -> impl Strategy<Value = Expr> {
+    (0i64..3, 0i64..3, 0i64..3).prop_map(move |(c0, c1, c2)| {
+        let mut e = Expr::Const(c0);
+        e = e.add(Expr::iter("i").scale(c1));
+        if depth > 1 {
+            e = e.add(Expr::iter("j").scale(c2));
+        }
+        e
+    })
+}
+
+/// A random statement accessing one of the declared arrays.
+fn arb_statement(depth: usize, num_arrays: usize) -> impl Strategy<Value = Statement> {
+    let arrays: Vec<String> = (0..num_arrays).map(|k| format!("A{k}")).collect();
+    (
+        prop::sample::select(arrays.clone()),
+        arb_index(depth),
+        proptest::collection::vec((prop::sample::select(arrays), arb_index(depth)), 0..3),
+    )
+        .prop_map(|(warr, widx, reads)| {
+            assign(
+                access(&warr, vec![widx]),
+                reads
+                    .into_iter()
+                    .map(|(arr, idx)| access(&arr, vec![idx]))
+                    .collect(),
+            )
+        })
+}
+
+/// A random one- or two-deep loop nest over small 1D arrays.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1usize..=3,                 // number of arrays
+        8i64..48,                   // outer trip count
+        prop::bool::ANY,            // nested?
+        prop::bool::ANY,            // triangular inner loop?
+        4i64..24,                   // inner trip count
+        1usize..=3,                 // statements in the innermost body
+    )
+        .prop_flat_map(|(arrays, n, nested, triangular, m, stmts)| {
+            let depth = if nested { 2 } else { 1 };
+            (
+                Just((arrays, n, nested, triangular, m)),
+                proptest::collection::vec(arb_statement(depth, arrays), stmts),
+            )
+        })
+        .prop_map(|((arrays, n, nested, triangular, m), body)| {
+            let mut program = Program::new();
+            for k in 0..arrays {
+                // Large enough that all generated subscripts stay in bounds.
+                program = program.with_array(&format!("A{k}"), &[600], 8);
+            }
+            let inner_lower = if triangular && nested {
+                Expr::iter("i")
+            } else {
+                Expr::Const(0)
+            };
+            let stmt = if nested {
+                for_loop(
+                    "i",
+                    Expr::Const(0),
+                    Expr::Const(n),
+                    vec![for_loop("j", inner_lower, Expr::Const(m + n), body)],
+                )
+            } else {
+                for_loop("i", Expr::Const(0), Expr::Const(n), body)
+            };
+            program.with_stmt(stmt)
+        })
+}
+
+fn build(program: &Program) -> Scop {
+    elaborate(program, &ElaborateOptions::default()).expect("generated programs elaborate")
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop::sample::select(ReplacementPolicy::ALL.to_vec())
+}
+
+fn arb_cache() -> impl Strategy<Value = CacheConfig> {
+    (
+        arb_policy(),
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        prop::sample::select(vec![2usize, 4]),
+        prop::sample::select(vec![8u64, 32, 64]),
+    )
+        .prop_map(|(policy, sets, assoc, line)| CacheConfig::with_sets(sets, assoc, line, policy))
+}
+
+/// Aggressive options so that warping is attempted as often as possible,
+/// maximising the chance of exposing an unsound warp.
+fn eager() -> WarpingOptions {
+    WarpingOptions {
+        eager_attempts: u64::MAX,
+        backoff_interval: 1,
+        max_map_entries: 1 << 16,
+                min_trip_count: 0,
+                max_fruitless_attempts: u64::MAX,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn warping_matches_nonwarping_single_level(program in arb_program(), config in arb_cache()) {
+        let scop = build(&program);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config.clone())
+            .with_options(eager())
+            .run(&scop);
+        prop_assert_eq!(outcome.result, reference, "config: {:?}", config);
+        prop_assert_eq!(
+            outcome.non_warped_accesses + outcome.warped_accesses,
+            reference.accesses
+        );
+    }
+
+    #[test]
+    fn warping_matches_nonwarping_hierarchy(
+        program in arb_program(),
+        policy1 in arb_policy(),
+        policy2 in arb_policy(),
+    ) {
+        let scop = build(&program);
+        let config = HierarchyConfig::new(
+            CacheConfig::with_sets(2, 2, 32, policy1),
+            CacheConfig::with_sets(8, 4, 32, policy2),
+        );
+        let reference = simulate_hierarchy(&scop, &config);
+        let outcome = WarpingSimulator::hierarchy(config)
+            .with_options(eager())
+            .run(&scop);
+        prop_assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn warping_matches_nonwarping_across_sequential_nests(
+        first in arb_program(),
+        second in arb_program(),
+        config in arb_cache(),
+    ) {
+        // Concatenate two random programs over a shared set of arrays: the
+        // second nest starts with a warm, possibly stale cache, exercising
+        // the cache-agreement check.
+        let mut program = Program::new();
+        for k in 0..3 {
+            program = program.with_array(&format!("A{k}"), &[600], 8);
+        }
+        for stmt in first.stmts.into_iter().chain(second.stmts) {
+            program.stmts.push(stmt);
+        }
+        let scop = build(&program);
+        let reference = simulate_single(&scop, &config);
+        let outcome = WarpingSimulator::single(config)
+            .with_options(eager())
+            .run(&scop);
+        prop_assert_eq!(outcome.result, reference);
+    }
+}
+
+/// A deterministic stress test: the paper's running example on every policy
+/// and several geometries, with eager warping.
+#[test]
+fn stencil_exact_across_policies_and_geometries() {
+    let scop = scop::parse_scop(
+        "double A[6000]; double B[6000];\n\
+         for (i = 1; i < 5999; i++) B[i-1] = A[i-1] + A[i];",
+    )
+    .unwrap();
+    for policy in ReplacementPolicy::ALL {
+        for (sets, assoc, line) in [(1, 2, 8), (4, 2, 8), (64, 8, 64), (16, 4, 32)] {
+            let config = CacheConfig::with_sets(sets, assoc, line, policy);
+            let reference = simulate_single(&scop, &config);
+            let outcome = WarpingSimulator::single(config.clone())
+                .with_options(WarpingOptions {
+                    eager_attempts: u64::MAX,
+                    backoff_interval: 1,
+                    max_map_entries: 1 << 16,
+                min_trip_count: 0,
+                max_fruitless_attempts: u64::MAX,
+                })
+                .run(&scop);
+            assert_eq!(
+                outcome.result, reference,
+                "policy {policy}, sets {sets}, assoc {assoc}, line {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Influence of the replacement policy on cache performance (Fig. 10 of the
+//! paper): simulate a few PolyBench kernels under LRU, FIFO, Pseudo-LRU and
+//! Quad-age LRU and report misses relative to set-associative LRU.
+//!
+//! Run with `cargo run --release --example policy_comparison [-- <dataset>]`
+//! where `<dataset>` is one of `mini`, `small`, `medium`.
+
+use warpsim::prelude::*;
+
+fn main() {
+    let dataset = match std::env::args().nth(1).as_deref() {
+        Some("small") => Dataset::Small,
+        Some("medium") => Dataset::Medium,
+        _ => Dataset::Mini,
+    };
+    let kernels = [
+        Kernel::Doitgen,
+        Kernel::Durbin,
+        Kernel::Jacobi2d,
+        Kernel::Trisolv,
+        Kernel::Gemm,
+    ];
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>14} {:>8}",
+        "kernel", "LRU misses", "FA-LRU", "Pseudo-LRU", "Quad-age LRU", "FIFO"
+    );
+    for kernel in kernels {
+        let scop = kernel.build(dataset).expect("kernel builds");
+        let misses = |policy: ReplacementPolicy| {
+            WarpingSimulator::single(CacheConfig::new(32 * 1024, 8, 64, policy))
+                .run(&scop)
+                .result
+                .l1
+                .misses
+        };
+        let lru = misses(ReplacementPolicy::Lru);
+        let fa = WarpingSimulator::single(CacheConfig::fully_associative(
+            512,
+            64,
+            ReplacementPolicy::Lru,
+        ))
+        .run(&scop)
+        .result
+        .l1
+        .misses;
+        let rel = |m: u64| m as f64 / lru.max(1) as f64;
+        println!(
+            "{:<14} {:>12} {:>10.3} {:>12.3} {:>14.3} {:>8.3}",
+            kernel.name(),
+            lru,
+            rel(fa),
+            rel(misses(ReplacementPolicy::Plru)),
+            rel(misses(ReplacementPolicy::Qlru)),
+            rel(misses(ReplacementPolicy::Fifo)),
+        );
+    }
+}

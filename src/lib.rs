@@ -1,0 +1,78 @@
+//! # warpsim — warping cache simulation of polyhedral programs
+//!
+//! A from-scratch Rust reproduction of *Warping Cache Simulation of
+//! Polyhedral Programs* (Canberk Morelli and Jan Reineke, PLDI 2022),
+//! including every substrate the paper's tool depends on.
+//!
+//! The crates of the workspace are re-exported here so that applications can
+//! depend on `warpsim` alone:
+//!
+//! * [`polyhedra`] — Presburger-style integer sets and affine maps (the isl
+//!   substitute).
+//! * [`scop`] — the polyhedral program representation: loop/access trees, a
+//!   builder AST and a mini-C frontend (the pet substitute).
+//! * [`cache_model`] — set-associative caches, the LRU/FIFO/Pseudo-LRU/
+//!   Quad-age-LRU replacement policies, write policies and two-level
+//!   hierarchies.
+//! * [`simulate`] — classic, non-warping cache simulation (Algorithm 1).
+//! * [`warping`] — the paper's contribution: warping symbolic cache
+//!   simulation (Algorithm 2).
+//! * [`trace_sim`] — trace generation, a Dinero-IV-style trace-driven
+//!   simulator and the hardware-measurement stand-in.
+//! * [`analytical`] — HayStack- and PolyCache-style analytical baselines.
+//! * [`polybench`] — the 30 PolyBench 4.2.1 kernels as SCoPs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use warpsim::prelude::*;
+//!
+//! // The paper's running example: a 1D stencil.
+//! let scop = parse_scop(
+//!     "double A[1000]; double B[1000];
+//!      for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+//! )?;
+//!
+//! // A two-line fully-associative LRU cache, one array cell per line.
+//! let cache = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+//!
+//! // Non-warping and warping simulation agree exactly ...
+//! let reference = simulate_single(&scop, &cache);
+//! let outcome = WarpingSimulator::single(cache).run(&scop);
+//! assert_eq!(outcome.result, reference);
+//! assert_eq!(reference.l1.misses, 3 + 2 * 997);
+//!
+//! // ... but warping skips almost all of the accesses.
+//! assert!(outcome.warped_accesses > 9 * outcome.non_warped_accesses);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analytical;
+pub use cache_model;
+pub use polybench;
+pub use polyhedra;
+pub use scop;
+pub use simulate;
+pub use trace_sim;
+pub use warping;
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use analytical::{HaystackModel, PolyCacheModel};
+    pub use cache_model::{
+        Access, AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, MemBlock,
+        ReplacementPolicy, WritePolicy,
+    };
+    pub use polybench::{Dataset, Kernel};
+    pub use polyhedra::{Aff, BasicSet, Constraint, Set};
+    pub use scop::{parse_scop, ElaborateOptions, Scop};
+    pub use simulate::{
+        simulate, simulate_hierarchy, simulate_single, MemorySystem, SimulationResult,
+        SingleCacheSystem, TwoLevelSystem,
+    };
+    pub use trace_sim::{dinero_style_simulation, generate_trace, HardwareReference};
+    pub use warping::{WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator};
+}
