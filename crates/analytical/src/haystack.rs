@@ -88,7 +88,10 @@ impl HaystackModel {
 
     /// Computes the profile of an explicit block sequence (useful for the
     /// per-set decomposition of the PolyCache stand-in and for tests).
-    pub fn analyze_blocks(&self, blocks: impl IntoIterator<Item = MemBlock>) -> StackDistanceProfile {
+    pub fn analyze_blocks(
+        &self,
+        blocks: impl IntoIterator<Item = MemBlock>,
+    ) -> StackDistanceProfile {
         let mut analyzer = StackDistanceAnalyzer::new();
         for b in blocks {
             analyzer.record(b);

@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
                 &scop,
                 |b, scop| {
                     b.iter(|| {
-                        WarpingSimulator::single(test_system_l1(policy)).run(scop).result.l1.misses
+                        WarpingSimulator::single(test_system_l1(policy))
+                            .run(scop)
+                            .result
+                            .l1
+                            .misses
                     })
                 },
             );

@@ -10,11 +10,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(400));
-    let config = ExperimentConfig::at(Dataset::Mini)
-        .with_kernels(vec![Kernel::Atax, Kernel::Doitgen]);
-    group.bench_function("accuracy-pipeline", |b| {
-        b.iter(|| fig11(&config).len())
-    });
+    let config =
+        ExperimentConfig::at(Dataset::Mini).with_kernels(vec![Kernel::Atax, Kernel::Doitgen]);
+    group.bench_function("accuracy-pipeline", |b| b.iter(|| fig11(&config).len()));
     group.finish();
 }
 

@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     for kernel in [Kernel::Cholesky, Kernel::Ludcmp] {
         let scop = kernel.build(Dataset::Mini).unwrap();
-        group.bench_with_input(BenchmarkId::new("dinero", kernel.name()), &scop, |b, scop| {
-            b.iter(|| dinero_style_simulation(scop, &cache).1.misses)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dinero", kernel.name()),
+            &scop,
+            |b, scop| b.iter(|| dinero_style_simulation(scop, &cache).1.misses),
+        );
         group.bench_with_input(
             BenchmarkId::new("nonwarping", kernel.name()),
             &scop,

@@ -7,7 +7,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polybench::{Dataset, Kernel};
 
 fn bench(c: &mut Criterion) {
-    let kernels = [Kernel::Jacobi1d, Kernel::Jacobi2d, Kernel::Trisolv, Kernel::Bicg];
+    let kernels = [
+        Kernel::Jacobi1d,
+        Kernel::Jacobi2d,
+        Kernel::Trisolv,
+        Kernel::Bicg,
+    ];
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));

@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
             |b, k| {
                 b.iter(|| {
                     let scop = k.build(Dataset::Mini).unwrap();
-                    WarpingSimulator::single(cache.clone()).run(&scop).result.l1.misses
+                    WarpingSimulator::single(cache.clone())
+                        .run(&scop)
+                        .result
+                        .l1
+                        .misses
                 })
             },
         );

@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
             |b, k| {
                 b.iter(|| {
                     let scop = k.build(Dataset::Mini).unwrap();
-                    WarpingSimulator::hierarchy(hierarchy.clone()).run(&scop).result.accesses
+                    WarpingSimulator::hierarchy(hierarchy.clone())
+                        .run(&scop)
+                        .result
+                        .accesses
                 })
             },
         );
@@ -29,7 +32,9 @@ fn bench(c: &mut Criterion) {
             |b, k| {
                 b.iter(|| {
                     let scop = k.build(Dataset::Mini).unwrap();
-                    PolyCacheModel::new(hierarchy.clone()).analyze(&scop).l2_misses
+                    PolyCacheModel::new(hierarchy.clone())
+                        .analyze(&scop)
+                        .l2_misses
                 })
             },
         );

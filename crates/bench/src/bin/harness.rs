@@ -1,5 +1,6 @@
 //! Experiment harness: regenerates the data behind every figure of the
-//! paper's evaluation.
+//! paper's evaluation, and serves ad-hoc simulation grids through the
+//! unified engine.
 //!
 //! ```text
 //! harness <experiment> [--size mini|small|medium|large|extralarge]
@@ -15,11 +16,20 @@
 //!   fig12   non-warping simulation vs the Dinero-IV-style trace simulator
 //!   verify  check that warping and non-warping agree on every kernel
 //!   all     run every figure
+//!
+//!   grid    fan a kernel × policy × backend grid out through the engine:
+//!           harness grid [--size S] [--kernels k1,k2,...]
+//!                        [--policies lru,fifo,plru,qlru]
+//!                        [--backends classic,warping,haystack,polycache,trace]
+//!                        [--hierarchy] [--threads N] [--json]
+//!           --hierarchy simulates two-level (L1+L2) memories, which the
+//!           polycache backend and two-level comparisons require
 //! ```
 
 use bench_suite::*;
+use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+use engine::{Backend, Engine, KernelSpec, SimRequest};
 use polybench::{Dataset, Kernel};
-use cache_model::ReplacementPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +40,10 @@ fn main() {
     let experiment = args[0].clone();
     let mut dataset = Dataset::Small;
     let mut kernels: Vec<Kernel> = Kernel::ALL.to_vec();
+    let mut policies: Vec<ReplacementPolicy> = vec![ReplacementPolicy::Plru];
+    let mut backends: Vec<Backend> = vec![Backend::Classic, Backend::warping()];
+    let mut hierarchy = false;
+    let mut threads: Option<usize> = None;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -52,6 +66,41 @@ fn main() {
                     })
                     .collect();
             }
+            "--policies" => {
+                i += 1;
+                policies = args
+                    .get(i)
+                    .map(String::as_str)
+                    .unwrap_or("")
+                    .split(',')
+                    .map(|name| {
+                        parse_policy(name.trim())
+                            .unwrap_or_else(|| die(&format!("unknown policy `{name}`")))
+                    })
+                    .collect();
+            }
+            "--backends" => {
+                i += 1;
+                backends = args
+                    .get(i)
+                    .map(String::as_str)
+                    .unwrap_or("")
+                    .split(',')
+                    .map(|name| {
+                        Backend::by_name(name.trim())
+                            .unwrap_or_else(|| die(&format!("unknown backend `{name}`")))
+                    })
+                    .collect();
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| die("--threads expects a number")),
+                );
+            }
+            "--hierarchy" => hierarchy = true,
             "--json" => json = true,
             other => die(&format!("unknown argument `{other}`")),
         }
@@ -60,35 +109,185 @@ fn main() {
     let config = ExperimentConfig::at(dataset).with_kernels(kernels.clone());
 
     match experiment.as_str() {
-        "fig6" => emit(json, "Fig. 6: warping vs non-warping", &fig6(&config), fig6_text),
+        "fig6" => emit(
+            json,
+            "Fig. 6: warping vs non-warping",
+            &fig6(&config),
+            fig6_text,
+        ),
         "fig7" => {
             let rows = fig7(&kernels, &[dataset, next_size(dataset)]);
             emit(json, "Fig. 7: problem-size scaling", &rows, fig7_text)
         }
-        "fig8" => emit(json, "Fig. 8: warping vs HayStack", &fig8(&config), fig8_text),
-        "fig9" => emit(json, "Fig. 9: warping vs PolyCache", &fig9(&config), fig9_text),
-        "fig10" => emit(json, "Fig. 10: policy influence", &fig10(&config), fig10_text),
-        "fig11" => emit(json, "Fig. 11: accuracy vs measurements", &fig11(&config), fig11_text),
-        "fig12" => emit(json, "Fig. 12: non-warping vs Dinero IV", &fig12(&config), fig12_text),
+        "fig8" => emit(
+            json,
+            "Fig. 8: warping vs HayStack",
+            &fig8(&config),
+            fig8_text,
+        ),
+        "fig9" => emit(
+            json,
+            "Fig. 9: warping vs PolyCache",
+            &fig9(&config),
+            fig9_text,
+        ),
+        "fig10" => emit(
+            json,
+            "Fig. 10: policy influence",
+            &fig10(&config),
+            fig10_text,
+        ),
+        "fig11" => emit(
+            json,
+            "Fig. 11: accuracy vs measurements",
+            &fig11(&config),
+            fig11_text,
+        ),
+        "fig12" => emit(
+            json,
+            "Fig. 12: non-warping vs Dinero IV",
+            &fig12(&config),
+            fig12_text,
+        ),
         "verify" => verify(&config),
+        "grid" => grid(&config, &policies, &backends, hierarchy, threads, json),
         "all" => {
-            emit(json, "Fig. 6: warping vs non-warping", &fig6(&config), fig6_text);
+            emit(
+                json,
+                "Fig. 6: warping vs non-warping",
+                &fig6(&config),
+                fig6_text,
+            );
             emit(
                 json,
                 "Fig. 7: problem-size scaling",
                 &fig7(&kernels, &[dataset, next_size(dataset)]),
                 fig7_text,
             );
-            emit(json, "Fig. 8: warping vs HayStack", &fig8(&config), fig8_text);
-            emit(json, "Fig. 9: warping vs PolyCache", &fig9(&config), fig9_text);
-            emit(json, "Fig. 10: policy influence", &fig10(&config), fig10_text);
-            emit(json, "Fig. 11: accuracy vs measurements", &fig11(&config), fig11_text);
-            emit(json, "Fig. 12: non-warping vs Dinero IV", &fig12(&config), fig12_text);
+            emit(
+                json,
+                "Fig. 8: warping vs HayStack",
+                &fig8(&config),
+                fig8_text,
+            );
+            emit(
+                json,
+                "Fig. 9: warping vs PolyCache",
+                &fig9(&config),
+                fig9_text,
+            );
+            emit(
+                json,
+                "Fig. 10: policy influence",
+                &fig10(&config),
+                fig10_text,
+            );
+            emit(
+                json,
+                "Fig. 11: accuracy vs measurements",
+                &fig11(&config),
+                fig11_text,
+            );
+            emit(
+                json,
+                "Fig. 12: non-warping vs Dinero IV",
+                &fig12(&config),
+                fig12_text,
+            );
         }
         _ => {
             print_usage();
             std::process::exit(2);
         }
+    }
+}
+
+/// Fans a kernel × policy × backend grid out through [`Engine::run_batch`]
+/// and prints one row (or JSON report) per request.  Backends that cannot
+/// serve a combination — e.g. `polycache` on a single-level memory — show
+/// up as error rows rather than aborting the batch.
+fn grid(
+    config: &ExperimentConfig,
+    policies: &[ReplacementPolicy],
+    backends: &[Backend],
+    hierarchy: bool,
+    threads: Option<usize>,
+    json: bool,
+) {
+    let kernels: Vec<KernelSpec> = config
+        .kernels
+        .iter()
+        .map(|&kernel| KernelSpec::polybench(kernel, config.dataset))
+        .collect();
+    let memories: Vec<MemoryConfig> = policies
+        .iter()
+        .map(|&policy| {
+            if hierarchy {
+                // The test system's private levels with a uniform policy
+                // (1 MiB 16-way L2) — the shape `polycache` and the
+                // two-level simulators expect.
+                MemoryConfig::two_level(
+                    test_system_l1(policy),
+                    CacheConfig::new(1024 * 1024, 16, 64, policy),
+                )
+            } else {
+                MemoryConfig::from(test_system_l1(policy))
+            }
+        })
+        .collect();
+    let requests = SimRequest::grid(&kernels, &memories, backends);
+    let mut engine = Engine::new();
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
+    }
+    let reports = engine.run_batch(&requests);
+
+    if json {
+        let ok: Vec<_> = reports.iter().filter_map(|r| r.as_ref().ok()).collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ok).expect("reports serialise")
+        );
+        for (request, report) in requests.iter().zip(&reports) {
+            if let Err(e) = report {
+                eprintln!("{}/{}: {e}", request.kernel.name(), request.backend);
+            }
+        }
+        return;
+    }
+    println!(
+        "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10} {:>7}",
+        "kernel", "backend", "policy", "LL misses", "accesses", "sim[ms]", "exact"
+    );
+    for (request, report) in requests.iter().zip(&reports) {
+        match report {
+            Ok(report) => println!(
+                "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10.2} {:>7}",
+                report.kernel,
+                report.backend,
+                request.memory.l1().policy().label(),
+                report.last_level_misses(),
+                report.result.accesses,
+                report.sim_ms,
+                report.exact
+            ),
+            Err(e) => println!(
+                "{:<22} {:<10} {:<14} error: {e}",
+                request.kernel.name(),
+                request.backend,
+                request.memory.l1().policy().label(),
+            ),
+        }
+    }
+}
+
+fn parse_policy(name: &str) -> Option<ReplacementPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "lru" => Some(ReplacementPolicy::Lru),
+        "fifo" => Some(ReplacementPolicy::Fifo),
+        "plru" => Some(ReplacementPolicy::Plru),
+        "qlru" => Some(ReplacementPolicy::Qlru),
+        _ => None,
     }
 }
 
@@ -136,7 +335,10 @@ fn next_size(dataset: Dataset) -> Dataset {
 
 fn emit<R: serde::Serialize>(json: bool, title: &str, rows: &[R], text: impl Fn(&[R])) {
     if json {
-        println!("{}", serde_json::to_string_pretty(rows).expect("rows serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(rows).expect("rows serialise")
+        );
     } else {
         println!("\n== {title} ==");
         text(rows);
@@ -249,8 +451,11 @@ fn fig12_text(rows: &[Fig12Row]) {
 
 fn print_usage() {
     eprintln!(
-        "usage: harness <fig6|fig7|fig8|fig9|fig10|fig11|fig12|verify|all> \
-         [--size mini|small|medium|large|extralarge] [--kernels a,b,c] [--json]"
+        "usage: harness <fig6|fig7|fig8|fig9|fig10|fig11|fig12|verify|grid|all> \
+         [--size mini|small|medium|large|extralarge] [--kernels a,b,c] \
+         [--policies lru,fifo,plru,qlru] \
+         [--backends classic,warping,haystack,polycache,trace] [--hierarchy] \
+         [--threads N] [--json]"
     );
 }
 

@@ -7,6 +7,11 @@
 //! benches in `benches/` time representative subsets of the same
 //! computations.
 //!
+//! Every experiment is phrased through the [`engine`] facade: a figure is a
+//! (kernel × memory × backend) grid of [`SimRequest`]s whose [`SimReport`]s
+//! are folded into rows.  The legacy `run_warping`/`run_nonwarping` helpers
+//! remain as thin wrappers over the same engine.
+//!
 //! Absolute runtimes depend on the host; what is expected to reproduce is
 //! the *shape* of each figure — which simulator wins, by roughly what
 //! factor, and where the crossovers fall.  EXPERIMENTS.md records the
@@ -15,15 +20,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use analytical::{HaystackModel, PolyCacheModel};
-use cache_model::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+use cache_model::{CacheConfig, HierarchyConfig, MemoryConfig, ReplacementPolicy};
+use engine::{Backend, Engine, EngineError, KernelSpec, SimReport, SimRequest};
 use polybench::{Dataset, Kernel};
 use scop::{ElaborateOptions, Scop};
 use serde::Serialize;
-use simulate::{simulate_hierarchy, simulate_single};
-use std::time::{Duration, Instant};
-use trace_sim::{dinero_style_simulation, AccuracyError, HardwareReference};
-use warping::{WarpingOutcome, WarpingSimulator};
+use simulate::SimulationResult;
+use std::time::Duration;
+use trace_sim::{AccuracyError, HardwareReference};
+use warping::WarpingOutcome;
 
 /// The L1 cache of the paper's test system with a configurable policy
 /// (32 KiB, 8-way, 64-byte lines).
@@ -72,21 +77,53 @@ impl ExperimentConfig {
     }
 }
 
-fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
-    let start = Instant::now();
-    let value = f();
-    (start.elapsed(), value)
+/// Runs one request on a process-wide engine, panicking on engine errors
+/// (figure grids are built from combinations known to be supported).
+fn run(request: &SimRequest) -> SimReport {
+    static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    ENGINE
+        .get_or_init(Engine::new)
+        .run(request)
+        .unwrap_or_else(|e| panic!("figure request failed: {e}"))
+}
+
+fn sim_time(report: &SimReport) -> Duration {
+    Duration::from_secs_f64(report.sim_ms / 1e3)
+}
+
+fn warping_outcome(report: &SimReport) -> WarpingOutcome {
+    let stats = report
+        .warping
+        .expect("warping reports carry warping statistics");
+    WarpingOutcome {
+        result: report.result,
+        non_warped_accesses: stats.non_warped_accesses,
+        warped_accesses: stats.warped_accesses,
+        warps: stats.warps,
+    }
 }
 
 /// Runs the warping simulator on a single cache level and returns the wall
-/// time and the outcome.
+/// time and the outcome.  Thin wrapper over [`Engine::run`] with
+/// [`Backend::Warping`].
 pub fn run_warping(scop: &Scop, config: &CacheConfig) -> (Duration, WarpingOutcome) {
-    time(|| WarpingSimulator::single(config.clone()).run(scop))
+    let report = run(&SimRequest::new(
+        KernelSpec::prebuilt("kernel", scop.clone()),
+        config.clone(),
+        Backend::warping(),
+    ));
+    (sim_time(&report), warping_outcome(&report))
 }
 
 /// Runs the non-warping simulator (Algorithm 1) on a single cache level.
-pub fn run_nonwarping(scop: &Scop, config: &CacheConfig) -> (Duration, simulate::SimulationResult) {
-    time(|| simulate_single(scop, config))
+/// Thin wrapper over [`Engine::run`] with [`Backend::Classic`].
+pub fn run_nonwarping(scop: &Scop, config: &CacheConfig) -> (Duration, SimulationResult) {
+    let report = run(&SimRequest::new(
+        KernelSpec::prebuilt("kernel", scop.clone()),
+        config.clone(),
+        Backend::Classic,
+    ));
+    (sim_time(&report), report.result)
 }
 
 /// One row of Fig. 6: warping vs non-warping per kernel and policy.
@@ -115,18 +152,23 @@ pub fn fig6(config: &ExperimentConfig) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for &kernel in &config.kernels {
         let scop = kernel.build(config.dataset).expect("kernel builds");
+        let spec = KernelSpec::prebuilt(kernel.name(), scop);
         for policy in ReplacementPolicy::ALL {
-            let cache = test_system_l1(policy);
-            let (t_plain, plain) = run_nonwarping(&scop, &cache);
-            let (t_warp, warp) = run_warping(&scop, &cache);
+            let memory = MemoryConfig::from(test_system_l1(policy));
+            let plain = run(&SimRequest::new(
+                spec.clone(),
+                memory.clone(),
+                Backend::Classic,
+            ));
+            let warp = run(&SimRequest::new(spec.clone(), memory, Backend::warping()));
             rows.push(Fig6Row {
                 kernel: kernel.name().to_owned(),
                 policy: policy.label().to_owned(),
-                nonwarping_ms: t_plain.as_secs_f64() * 1e3,
-                warping_ms: t_warp.as_secs_f64() * 1e3,
-                speedup: ratio(t_plain, t_warp),
-                non_warped_share: warp.non_warped_share(),
-                exact: warp.result == plain,
+                nonwarping_ms: plain.sim_ms,
+                warping_ms: warp.sim_ms,
+                speedup: ratio_ms(plain.sim_ms, warp.sim_ms),
+                non_warped_share: warp.warping.expect("warping stats").non_warped_share,
+                exact: warp.result == plain.result,
             });
         }
     }
@@ -150,18 +192,23 @@ pub struct Fig7Row {
 /// Fig. 7: impact of the problem size on warping and non-warping simulation
 /// times (the paper uses L and XL; pass any two datasets).
 pub fn fig7(kernels: &[Kernel], datasets: &[Dataset]) -> Vec<Fig7Row> {
-    let cache = test_system_l1(ReplacementPolicy::Plru);
+    let memory = MemoryConfig::from(test_system_l1(ReplacementPolicy::Plru));
     let mut rows = Vec::new();
     for &kernel in kernels {
         for &dataset in datasets {
             let scop = kernel.build(dataset).expect("kernel builds");
-            let (t_plain, _) = run_nonwarping(&scop, &cache);
-            let (t_warp, _) = run_warping(&scop, &cache);
+            let spec = KernelSpec::prebuilt(kernel.name(), scop);
+            let plain = run(&SimRequest::new(
+                spec.clone(),
+                memory.clone(),
+                Backend::Classic,
+            ));
+            let warp = run(&SimRequest::new(spec, memory.clone(), Backend::warping()));
             rows.push(Fig7Row {
                 kernel: kernel.name().to_owned(),
                 dataset: dataset.name().to_owned(),
-                nonwarping_ms: t_plain.as_secs_f64() * 1e3,
-                warping_ms: t_warp.as_secs_f64() * 1e3,
+                nonwarping_ms: plain.sim_ms,
+                warping_ms: warp.sim_ms,
             });
         }
     }
@@ -192,26 +239,23 @@ pub struct Fig8Row {
 /// fully-associative LRU version of the test system's L1.  Both sides
 /// include the SCoP extraction overhead, as in the paper.
 pub fn fig8(config: &ExperimentConfig) -> Vec<Fig8Row> {
-    let cache = fully_associative_l1();
+    let memory = MemoryConfig::from(fully_associative_l1());
     let mut rows = Vec::new();
     for &kernel in &config.kernels {
-        let (t_warp, warp_misses) = time(|| {
-            let scop = kernel.build(config.dataset).expect("kernel builds");
-            WarpingSimulator::single(cache.clone()).run(&scop).result.l1.misses
-        });
-        let (t_hay, hay_misses) = time(|| {
-            let scop = kernel.build(config.dataset).expect("kernel builds");
-            HaystackModel::new(cache.line_size())
-                .analyze(&scop)
-                .misses(cache.assoc())
-        });
+        let spec = KernelSpec::polybench(kernel, config.dataset);
+        let warp = run(&SimRequest::new(
+            spec.clone(),
+            memory.clone(),
+            Backend::warping(),
+        ));
+        let hay = run(&SimRequest::new(spec, memory.clone(), Backend::Haystack));
         rows.push(Fig8Row {
             kernel: kernel.name().to_owned(),
             dataset: config.dataset.name().to_owned(),
-            warping_ms: t_warp.as_secs_f64() * 1e3,
-            haystack_ms: t_hay.as_secs_f64() * 1e3,
-            speedup: ratio(t_hay, t_warp),
-            exact: warp_misses == hay_misses,
+            warping_ms: warp.total_ms(),
+            haystack_ms: hay.total_ms(),
+            speedup: ratio_ms(hay.total_ms(), warp.total_ms()),
+            exact: warp.result.l1.misses == hay.result.l1.misses,
         });
     }
     rows
@@ -238,24 +282,23 @@ pub struct Fig9Row {
 /// PolyCache comparison configuration (32 KiB 4-way L1, 256 KiB 4-way L2,
 /// LRU, write-back write-allocate).
 pub fn fig9(config: &ExperimentConfig) -> Vec<Fig9Row> {
-    let hierarchy = HierarchyConfig::polycache_comparison();
+    let memory = MemoryConfig::from(HierarchyConfig::polycache_comparison());
     let mut rows = Vec::new();
     for &kernel in &config.kernels {
-        let (t_warp, warp) = time(|| {
-            let scop = kernel.build(config.dataset).expect("kernel builds");
-            WarpingSimulator::hierarchy(hierarchy.clone()).run(&scop)
-        });
-        let (t_poly, poly) = time(|| {
-            let scop = kernel.build(config.dataset).expect("kernel builds");
-            PolyCacheModel::new(hierarchy.clone()).analyze(&scop)
-        });
+        let spec = KernelSpec::polybench(kernel, config.dataset);
+        let warp = run(&SimRequest::new(
+            spec.clone(),
+            memory.clone(),
+            Backend::warping(),
+        ));
+        let poly = run(&SimRequest::new(spec, memory.clone(), Backend::PolyCache));
         rows.push(Fig9Row {
             kernel: kernel.name().to_owned(),
-            warping_ms: t_warp.as_secs_f64() * 1e3,
-            polycache_ms: t_poly.as_secs_f64() * 1e3,
-            speedup: ratio(t_poly, t_warp),
-            exact: warp.result.l1.misses == poly.l1_misses
-                && warp.result.l2.map(|l| l.misses) == Some(poly.l2_misses),
+            warping_ms: warp.total_ms(),
+            polycache_ms: poly.total_ms(),
+            speedup: ratio_ms(poly.total_ms(), warp.total_ms()),
+            exact: warp.result.l1.misses == poly.result.l1.misses
+                && warp.result.l2.map(|l| l.misses) == poly.result.l2.map(|l| l.misses),
         });
     }
     rows
@@ -285,27 +328,23 @@ pub fn fig10(config: &ExperimentConfig) -> Vec<Fig10Row> {
     let mut rows = Vec::new();
     for &kernel in &config.kernels {
         let scop = kernel.build(config.dataset).expect("kernel builds");
-        let misses = |policy: ReplacementPolicy| {
-            WarpingSimulator::single(test_system_l1(policy))
-                .run(&scop)
+        let spec = KernelSpec::prebuilt(kernel.name(), scop);
+        let misses = |memory: CacheConfig| {
+            run(&SimRequest::new(spec.clone(), memory, Backend::warping()))
                 .result
                 .l1
                 .misses
         };
-        let lru = misses(ReplacementPolicy::Lru);
-        let fa = WarpingSimulator::single(fully_associative_l1())
-            .run(&scop)
-            .result
-            .l1
-            .misses;
+        let lru = misses(test_system_l1(ReplacementPolicy::Lru));
+        let fa = misses(fully_associative_l1());
         let rel = |m: u64| if lru == 0 { 0.0 } else { m as f64 / lru as f64 };
         rows.push(Fig10Row {
             kernel: kernel.name().to_owned(),
             lru_misses: lru,
             fully_associative_lru: rel(fa),
-            pseudo_lru: rel(misses(ReplacementPolicy::Plru)),
-            quad_age_lru: rel(misses(ReplacementPolicy::Qlru)),
-            fifo: rel(misses(ReplacementPolicy::Fifo)),
+            pseudo_lru: rel(misses(test_system_l1(ReplacementPolicy::Plru))),
+            quad_age_lru: rel(misses(test_system_l1(ReplacementPolicy::Qlru))),
+            fifo: rel(misses(test_system_l1(ReplacementPolicy::Fifo))),
         });
     }
     rows
@@ -349,18 +388,38 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Fig11Row> {
         let with_scalars = kernel
             .build_with_options(config.dataset, &ElaborateOptions::with_scalars())
             .expect("kernel builds");
-        let (_, dinero_stats) =
-            dinero_style_simulation(&with_scalars, &test_system_l1(ReplacementPolicy::Lru));
-        // Warping: the test system's PLRU cache, arrays only.
-        let arrays_only = kernel.build(config.dataset).expect("kernel builds");
-        let warping_misses = WarpingSimulator::single(test_system_l1(ReplacementPolicy::Plru))
-            .run(&arrays_only)
-            .result
-            .l1
-            .misses;
+        let dinero_misses = run(&SimRequest::new(
+            KernelSpec::prebuilt(kernel.name(), with_scalars),
+            test_system_l1(ReplacementPolicy::Lru),
+            Backend::Trace,
+        ))
+        .result
+        .l1
+        .misses;
+        // Warping: the test system's PLRU cache, arrays only.  Built once
+        // and shared with the HayStack request below.
+        let arrays_only = KernelSpec::prebuilt(
+            kernel.name(),
+            kernel.build(config.dataset).expect("kernel builds"),
+        );
+        let warping_misses = run(&SimRequest::new(
+            arrays_only.clone(),
+            test_system_l1(ReplacementPolicy::Plru),
+            Backend::warping(),
+        ))
+        .result
+        .l1
+        .misses;
         // HayStack: fully-associative LRU, arrays only.
-        let haystack_misses = HaystackModel::new(64).analyze(&arrays_only).misses(512);
-        let dinero = AccuracyError::of(dinero_stats.misses, measured);
+        let haystack_misses = run(&SimRequest::new(
+            arrays_only,
+            fully_associative_l1(),
+            Backend::Haystack,
+        ))
+        .result
+        .l1
+        .misses;
+        let dinero = AccuracyError::of(dinero_misses, measured);
         let warping = AccuracyError::of(warping_misses, measured);
         let haystack = AccuracyError::of(haystack_misses, measured);
         rows.push(Fig11Row {
@@ -396,17 +455,22 @@ pub struct Fig12Row {
 /// simulator (both on the test system's L1 with LRU replacement, since
 /// Dinero IV does not support Pseudo-LRU).
 pub fn fig12(config: &ExperimentConfig) -> Vec<Fig12Row> {
-    let cache = test_system_l1(ReplacementPolicy::Lru);
+    let memory = MemoryConfig::from(test_system_l1(ReplacementPolicy::Lru));
     let mut rows = Vec::new();
     for &kernel in &config.kernels {
         let scop = kernel.build(config.dataset).expect("kernel builds");
-        let (t_dinero, _) = time(|| dinero_style_simulation(&scop, &cache));
-        let (t_plain, _) = run_nonwarping(&scop, &cache);
+        let spec = KernelSpec::prebuilt(kernel.name(), scop);
+        let dinero = run(&SimRequest::new(
+            spec.clone(),
+            memory.clone(),
+            Backend::Trace,
+        ));
+        let plain = run(&SimRequest::new(spec, memory.clone(), Backend::Classic));
         rows.push(Fig12Row {
             kernel: kernel.name().to_owned(),
-            dinero_ms: t_dinero.as_secs_f64() * 1e3,
-            nonwarping_ms: t_plain.as_secs_f64() * 1e3,
-            speedup: ratio(t_dinero, t_plain),
+            dinero_ms: dinero.sim_ms,
+            nonwarping_ms: plain.sim_ms,
+            speedup: ratio_ms(dinero.sim_ms, plain.sim_ms),
         });
     }
     rows
@@ -416,16 +480,17 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Fig12Row> {
 /// miss counts of the stencil of Fig. 1 under every policy (used by tests
 /// and the quickstart example).
 pub fn running_example_misses() -> Vec<(ReplacementPolicy, u64)> {
-    let scop = scop::parse_scop(
+    let spec = KernelSpec::source(
+        "running-example",
         "double A[1000]; double B[1000];\n\
          for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
-    )
-    .expect("the running example parses");
+    );
     ReplacementPolicy::ALL
         .iter()
         .map(|&p| {
             let config = CacheConfig::fully_associative(2, 8, p);
-            (p, simulate_single(&scop, &config).l1.misses)
+            let report = run(&SimRequest::new(spec.clone(), config, Backend::Classic));
+            (p, report.result.l1.misses)
         })
         .collect()
 }
@@ -433,34 +498,33 @@ pub fn running_example_misses() -> Vec<(ReplacementPolicy, u64)> {
 /// Validates that warping and non-warping agree on a kernel (used by the
 /// harness's `verify` command and by integration tests).
 pub fn verify_kernel(kernel: Kernel, dataset: Dataset, policy: ReplacementPolicy) -> bool {
-    let scop = match kernel.build(dataset) {
-        Ok(s) => s,
-        Err(_) => return false,
-    };
-    let cache = test_system_l1(policy);
-    let reference = simulate_single(&scop, &cache);
-    let outcome = WarpingSimulator::single(cache).run(&scop);
-    outcome.result == reference
+    verify_memory(kernel, dataset, MemoryConfig::from(test_system_l1(policy)))
 }
 
 /// Validates warping against non-warping on the two-level hierarchy.
 pub fn verify_kernel_hierarchy(kernel: Kernel, dataset: Dataset) -> bool {
-    let scop = match kernel.build(dataset) {
-        Ok(s) => s,
-        Err(_) => return false,
-    };
-    let config = HierarchyConfig::test_system();
-    let reference = simulate_hierarchy(&scop, &config);
-    let outcome = WarpingSimulator::hierarchy(config).run(&scop);
-    outcome.result == reference
+    verify_memory(kernel, dataset, MemoryConfig::test_system())
 }
 
-fn ratio(numerator: Duration, denominator: Duration) -> f64 {
-    let d = denominator.as_secs_f64();
-    if d == 0.0 {
+fn verify_memory(kernel: Kernel, dataset: Dataset, memory: MemoryConfig) -> bool {
+    let engine = Engine::new();
+    let spec = KernelSpec::polybench(kernel, dataset);
+    let reports: Vec<Result<SimReport, EngineError>> = engine.run_batch(&SimRequest::grid(
+        &[spec],
+        &[memory],
+        &[Backend::Classic, Backend::warping()],
+    ));
+    match reports.as_slice() {
+        [Ok(classic), Ok(warp)] => classic.result == warp.result,
+        _ => false,
+    }
+}
+
+fn ratio_ms(numerator_ms: f64, denominator_ms: f64) -> f64 {
+    if denominator_ms == 0.0 {
         f64::INFINITY
     } else {
-        numerator.as_secs_f64() / d
+        numerator_ms / denominator_ms
     }
 }
 
@@ -474,19 +538,21 @@ mod tests {
         let rows = fig6(&config);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.exact));
-        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.non_warped_share)));
+        assert!(rows
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.non_warped_share)));
     }
 
     #[test]
     fn fig8_and_fig9_match_miss_counts() {
-        let config = ExperimentConfig::at(Dataset::Mini)
-            .with_kernels(vec![Kernel::Jacobi1d, Kernel::Atax]);
+        let config =
+            ExperimentConfig::at(Dataset::Mini).with_kernels(vec![Kernel::Jacobi1d, Kernel::Atax]);
         assert!(fig8(&config).iter().all(|r| r.exact));
         assert!(fig9(&config).iter().all(|r| r.exact));
     }
 
     #[test]
-    fn fig10_ratios_are_positive(){
+    fn fig10_ratios_are_positive() {
         let config = ExperimentConfig::at(Dataset::Mini).with_kernels(vec![Kernel::Trisolv]);
         let rows = fig10(&config);
         assert_eq!(rows.len(), 1);
@@ -520,7 +586,11 @@ mod tests {
 
     #[test]
     fn verify_helpers_accept_mini_kernels() {
-        assert!(verify_kernel(Kernel::Jacobi2d, Dataset::Mini, ReplacementPolicy::Plru));
+        assert!(verify_kernel(
+            Kernel::Jacobi2d,
+            Dataset::Mini,
+            ReplacementPolicy::Plru
+        ));
         assert!(verify_kernel_hierarchy(Kernel::Trisolv, Dataset::Mini));
     }
 }

@@ -79,7 +79,7 @@ pub fn rotate_index(index: usize, offset: i64, num_sets: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ReplacementPolicy};
+    use crate::ReplacementPolicy;
 
     #[test]
     fn shift_preserves_index_partition() {

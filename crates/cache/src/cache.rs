@@ -31,7 +31,10 @@ impl CacheConfig {
     /// Panics if the size is not an exact multiple of `assoc * line_size`
     /// or any parameter is zero.
     pub fn new(size_bytes: u64, assoc: usize, line_size: u64, policy: ReplacementPolicy) -> Self {
-        assert!(size_bytes > 0 && assoc > 0 && line_size > 0, "cache parameters must be positive");
+        assert!(
+            size_bytes > 0 && assoc > 0 && line_size > 0,
+            "cache parameters must be positive"
+        );
         let way_bytes = assoc as u64 * line_size;
         assert_eq!(
             size_bytes % way_bytes,
@@ -52,7 +55,10 @@ impl CacheConfig {
         line_size: u64,
         policy: ReplacementPolicy,
     ) -> Self {
-        assert!(num_sets > 0 && assoc > 0 && line_size > 0, "cache parameters must be positive");
+        assert!(
+            num_sets > 0 && assoc > 0 && line_size > 0,
+            "cache parameters must be positive"
+        );
         CacheConfig {
             num_sets,
             assoc,
@@ -70,6 +76,13 @@ impl CacheConfig {
     /// Disables write allocation: write misses do not fill the cache.
     pub fn no_write_allocate(mut self) -> Self {
         self.write_allocate = false;
+        self
+    }
+
+    /// Sets the write-allocation flag explicitly (used to normalize a
+    /// level against a hierarchy-wide write policy).
+    pub fn with_write_allocate(mut self, allocate: bool) -> Self {
+        self.write_allocate = allocate;
         self
     }
 

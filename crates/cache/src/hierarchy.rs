@@ -209,7 +209,13 @@ mod tests {
             }
         );
         let second = h.access_block(&config, b);
-        assert_eq!(second, AccessOutcome { l1_hit: true, l2_hit: None });
+        assert_eq!(
+            second,
+            AccessOutcome {
+                l1_hit: true,
+                l2_hit: None
+            }
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * two-level non-inclusive non-exclusive hierarchies
 //!   ([`HierarchyConfig`], [`HierarchyState`]) with write-allocate and
 //!   no-write-allocate write policies,
+//! * the N-level [`MemoryConfig`] — the workspace-wide memory-system
+//!   description accepted by every simulator backend, with conversions from
+//!   [`CacheConfig`] and [`HierarchyConfig`] and JSON (de)serialization,
 //! * block bijections and rotations ([`bijection`]) used to state and test
 //!   the data-independence theorems.
 //!
@@ -40,11 +43,13 @@ pub mod bijection;
 mod block;
 mod cache;
 mod hierarchy;
+mod memory;
 mod policy;
 mod set;
 
 pub use block::{Access, AccessKind, MemBlock};
 pub use cache::{CacheConfig, CacheState, LevelStats};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyState, HierarchyStats, WritePolicy};
+pub use memory::{MemoryConfig, MemoryConfigError};
 pub use policy::{PolicyState, ReplacementPolicy};
 pub use set::SetState;

@@ -66,7 +66,7 @@ impl<B: Clone> SetState<B> {
     pub fn find(&self, mut pred: impl FnMut(&B) -> bool) -> Option<usize> {
         self.lines
             .iter()
-            .position(|l| l.as_ref().is_some_and(|b| pred(b)))
+            .position(|l| l.as_ref().is_some_and(&mut pred))
     }
 
     /// Mutable access to the payload of line `idx`, if it is occupied.
@@ -81,11 +81,7 @@ impl<B: Clone> SetState<B> {
     /// state.  Used to concretise symbolic states and to apply bijections.
     pub fn map_payloads<C>(&self, mut f: impl FnMut(&B) -> C) -> SetState<C> {
         SetState {
-            lines: self
-                .lines
-                .iter()
-                .map(|l| l.as_ref().map(&mut f))
-                .collect(),
+            lines: self.lines.iter().map(|l| l.as_ref().map(&mut f)).collect(),
             policy_state: self.policy_state.clone(),
         }
     }
@@ -322,7 +318,10 @@ mod tests {
                     }
                     None => set.on_miss_insert(policy, b),
                 };
-                assert_eq!(evicted, None, "no eviction while lines are empty ({policy})");
+                assert_eq!(
+                    evicted, None,
+                    "no eviction while lines are empty ({policy})"
+                );
             }
             assert_eq!(set.occupancy(), 4);
         }

@@ -19,7 +19,11 @@ fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
 }
 
 fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (arb_policy(), prop::sample::select(vec![1usize, 2, 4, 8]), prop::sample::select(vec![1usize, 2, 4]))
+    (
+        arb_policy(),
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        prop::sample::select(vec![1usize, 2, 4]),
+    )
         .prop_map(|(policy, sets, assoc)| CacheConfig::with_sets(sets, assoc, 64, policy))
 }
 

@@ -1,0 +1,601 @@
+//! One front door for every simulator in the workspace.
+//!
+//! The paper's evaluation compares five ways of counting cache misses —
+//! per-access simulation (Algorithm 1), warping simulation (Algorithm 2),
+//! HayStack- and PolyCache-style analytical models, and Dinero-IV-style
+//! trace simulation — which historically each had a differently-shaped
+//! entry point.  This crate redesigns the public API around three types:
+//!
+//! * [`MemoryConfig`] — an N-level memory-system description (re-exported
+//!   from `cache_model`), replacing the ad-hoc single/two-level split;
+//! * [`Backend`] — which simulator or model answers the request;
+//! * [`Engine`] — [`Engine::run`] dispatches one [`SimRequest`] to its
+//!   backend and returns a unified, JSON-serializable [`SimReport`];
+//!   [`Engine::run_batch`] fans a request grid out across threads.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{Backend, Engine, KernelSpec, SimRequest};
+//! use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+//!
+//! let kernel = KernelSpec::source(
+//!     "stencil",
+//!     "double A[1000]; double B[1000];
+//!      for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+//! );
+//! let memory = MemoryConfig::from(
+//!     CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru),
+//! );
+//!
+//! let engine = Engine::new();
+//! let classic = engine
+//!     .run(&SimRequest::new(kernel.clone(), memory.clone(), Backend::Classic))
+//!     .unwrap();
+//! let warping = engine
+//!     .run(&SimRequest::new(kernel, memory, Backend::warping()))
+//!     .unwrap();
+//!
+//! // Warping is exact: identical counts, almost no explicit simulation.
+//! assert_eq!(classic.result, warping.result);
+//! assert_eq!(classic.result.l1.misses, 3 + 2 * 997);
+//! assert!(warping.warping.unwrap().warps > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod request;
+
+pub use cache_model::{MemoryConfig, MemoryConfigError};
+pub use report::{SimReport, WarpingStats};
+pub use request::{dataset_by_name, Backend, KernelSpec, SimRequest};
+
+use analytical::{HaystackModel, PolyCacheModel};
+use cache_model::{LevelStats, ReplacementPolicy, WritePolicy};
+use simulate::{simulate, MultiLevelSystem, SimulationResult};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use trace_sim::{generate_trace, simulate_trace, simulate_trace_hierarchy};
+use warping::WarpingSimulator;
+
+/// Why a request could not be served.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The kernel failed to parse or elaborate.
+    Kernel {
+        /// Kernel display name.
+        kernel: String,
+        /// The parse/elaboration error.
+        message: String,
+    },
+    /// The backend does not support the requested memory system.
+    UnsupportedMemory {
+        /// Backend label.
+        backend: &'static str,
+        /// What is unsupported.
+        message: String,
+    },
+    /// The warping options fail validation.
+    InvalidOptions(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Kernel { kernel, message } => {
+                write!(f, "kernel `{kernel}` failed to build: {message}")
+            }
+            EngineError::UnsupportedMemory { backend, message } => {
+                write!(
+                    f,
+                    "backend `{backend}` cannot simulate this memory system: {message}"
+                )
+            }
+            EngineError::InvalidOptions(message) => {
+                write!(f, "invalid warping options: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The backend-polymorphic simulation engine.
+///
+/// An `Engine` is cheap to construct and stateless between requests; share
+/// one per process and call [`Engine::run`]/[`Engine::run_batch`] freely
+/// from any thread.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine that fans batches out over all available cores.
+    pub fn new() -> Self {
+        Engine {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Overrides the number of worker threads used by
+    /// [`Engine::run_batch`] (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of worker threads used by [`Engine::run_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves one request: builds the kernel, dispatches to the backend and
+    /// reports the unified outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Kernel`] if the kernel does not build,
+    /// [`EngineError::UnsupportedMemory`] if the backend cannot simulate
+    /// the requested memory system, and [`EngineError::InvalidOptions`] for
+    /// degenerate warping options.
+    pub fn run(&self, request: &SimRequest) -> Result<SimReport, EngineError> {
+        let kernel = request.kernel.name();
+        let build_start = Instant::now();
+        let scop = request
+            .kernel
+            .build()
+            .map_err(|message| EngineError::Kernel {
+                kernel: kernel.clone(),
+                message,
+            })?;
+        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+        let memory = &request.memory;
+        let sim_start = Instant::now();
+        let (result, levels, warping, exact) = match &request.backend {
+            Backend::Classic => {
+                let mut system = MultiLevelSystem::new(memory.clone());
+                let result = simulate(&scop, &mut system);
+                (result, system.level_stats().to_vec(), None, true)
+            }
+            Backend::Warping(options) => {
+                options
+                    .validate()
+                    .map_err(|e| EngineError::InvalidOptions(e.to_string()))?;
+                let mut simulator = WarpingSimulator::try_new(memory.clone())
+                    .map_err(|message| EngineError::UnsupportedMemory {
+                        backend: "warping",
+                        message,
+                    })?
+                    .with_options(*options);
+                let outcome = simulator.run(&scop);
+                let levels = std::iter::once(outcome.result.l1)
+                    .chain(outcome.result.l2)
+                    .collect();
+                (
+                    outcome.result,
+                    levels,
+                    Some(WarpingStats::from(outcome)),
+                    true,
+                )
+            }
+            Backend::Haystack => {
+                let single = memory
+                    .as_single()
+                    .ok_or_else(|| EngineError::UnsupportedMemory {
+                        backend: "haystack",
+                        message: format!(
+                            "the HayStack model covers a single cache level, got {} levels",
+                            memory.depth()
+                        ),
+                    })?;
+                let lines = single.num_sets() * single.assoc();
+                let profile = HaystackModel::new(single.line_size()).analyze(&scop);
+                let l1 = LevelStats {
+                    accesses: profile.accesses,
+                    hits: profile.hits(lines),
+                    misses: profile.misses(lines),
+                };
+                let exact = single.num_sets() == 1
+                    && single.policy() == ReplacementPolicy::Lru
+                    && memory.write_policy() == WritePolicy::WriteBackWriteAllocate;
+                let result = SimulationResult {
+                    accesses: profile.accesses,
+                    l1,
+                    l2: None,
+                };
+                (result, vec![l1], None, exact)
+            }
+            Backend::PolyCache => {
+                let hierarchy =
+                    memory
+                        .to_hierarchy()
+                        .ok_or_else(|| EngineError::UnsupportedMemory {
+                            backend: "polycache",
+                            message: format!(
+                                "the PolyCache model covers two-level hierarchies, got {} levels",
+                                memory.depth()
+                            ),
+                        })?;
+                if hierarchy.l1.policy() != ReplacementPolicy::Lru
+                    || hierarchy.l2.policy() != ReplacementPolicy::Lru
+                {
+                    return Err(EngineError::UnsupportedMemory {
+                        backend: "polycache",
+                        message: "the PolyCache model supports LRU replacement only".to_string(),
+                    });
+                }
+                let exact = memory.write_policy() == WritePolicy::WriteBackWriteAllocate;
+                let analysis = PolyCacheModel::new(hierarchy).analyze(&scop);
+                let l1 = LevelStats {
+                    accesses: analysis.accesses,
+                    hits: analysis.accesses - analysis.l1_misses,
+                    misses: analysis.l1_misses,
+                };
+                let l2 = LevelStats {
+                    accesses: analysis.l1_misses,
+                    hits: analysis.l1_misses - analysis.l2_misses,
+                    misses: analysis.l2_misses,
+                };
+                let result = SimulationResult {
+                    accesses: analysis.accesses,
+                    l1,
+                    l2: Some(l2),
+                };
+                (result, vec![l1, l2], None, exact)
+            }
+            // The trace replayer consumes per-level configs directly, so
+            // normalize them against the hierarchy-wide write policy (the
+            // classic and warping backends normalize internally).
+            Backend::Trace => match memory.normalized().levels() {
+                [single] => {
+                    let trace = generate_trace(&scop);
+                    let l1 = simulate_trace(&trace, single);
+                    let result = SimulationResult {
+                        accesses: trace.len() as u64,
+                        l1,
+                        l2: None,
+                    };
+                    (result, vec![l1], None, true)
+                }
+                [_, _] => {
+                    let hierarchy = memory.to_hierarchy().expect("two levels form a hierarchy");
+                    let trace = generate_trace(&scop);
+                    let stats = simulate_trace_hierarchy(&trace, &hierarchy);
+                    let result = SimulationResult {
+                        accesses: trace.len() as u64,
+                        l1: stats.l1,
+                        l2: Some(stats.l2),
+                    };
+                    (result, vec![stats.l1, stats.l2], None, true)
+                }
+                levels => {
+                    return Err(EngineError::UnsupportedMemory {
+                        backend: "trace",
+                        message: format!(
+                            "the trace simulator supports 1- or 2-level memory systems, got {} \
+                             levels",
+                            levels.len()
+                        ),
+                    })
+                }
+            },
+        };
+        let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
+
+        Ok(SimReport {
+            kernel,
+            backend: request.backend.label().to_string(),
+            memory: memory.clone(),
+            result,
+            levels,
+            warping,
+            exact,
+            build_ms,
+            sim_ms,
+        })
+    }
+
+    /// Serves a batch of requests, fanning them out across
+    /// [`Engine::threads`] worker threads.  Reports come back in request
+    /// order and are identical (up to wall-clock timings) to sequential
+    /// [`Engine::run`] calls.
+    pub fn run_batch(&self, requests: &[SimRequest]) -> Vec<Result<SimReport, EngineError>> {
+        let workers = self.threads.min(requests.len());
+        if workers <= 1 {
+            return requests.iter().map(|request| self.run(request)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<SimReport, EngineError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(index) else {
+                        break;
+                    };
+                    let outcome = self.run(request);
+                    *slots[index]
+                        .lock()
+                        .expect("no panics while holding the slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker threads joined")
+                    .expect("every request was served")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::{CacheConfig, HierarchyConfig};
+
+    fn stencil() -> KernelSpec {
+        KernelSpec::source(
+            "stencil",
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+        )
+    }
+
+    fn fa_lru() -> MemoryConfig {
+        MemoryConfig::from(CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru))
+    }
+
+    #[test]
+    fn all_five_backends_dispatch() {
+        let engine = Engine::new();
+        let single = fa_lru();
+        let hierarchy = MemoryConfig::from(HierarchyConfig::polycache_comparison());
+        for backend in Backend::ALL {
+            let memory = if backend == Backend::PolyCache {
+                hierarchy.clone()
+            } else {
+                single.clone()
+            };
+            let report = engine
+                .run(&SimRequest::new(stencil(), memory, backend))
+                .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert_eq!(report.backend, backend.label());
+            assert_eq!(report.result.accesses, 3 * 998, "{backend}");
+        }
+    }
+
+    #[test]
+    fn exact_backends_agree_on_the_running_example() {
+        let engine = Engine::new();
+        for backend in [Backend::Classic, Backend::warping(), Backend::Trace] {
+            let report = engine
+                .run(&SimRequest::new(stencil(), fa_lru(), backend))
+                .unwrap();
+            assert_eq!(report.result.l1.misses, 3 + 2 * 997, "{backend}");
+            assert!(report.exact);
+        }
+        // HayStack models exactly this cache (fully-associative LRU).
+        let haystack = engine
+            .run(&SimRequest::new(stencil(), fa_lru(), Backend::Haystack))
+            .unwrap();
+        assert_eq!(haystack.result.l1.misses, 3 + 2 * 997);
+        assert!(haystack.exact);
+    }
+
+    #[test]
+    fn haystack_flags_approximate_configurations() {
+        let engine = Engine::new();
+        let set_associative =
+            MemoryConfig::from(CacheConfig::with_sets(4, 2, 8, ReplacementPolicy::Plru));
+        let report = engine
+            .run(&SimRequest::new(
+                stencil(),
+                set_associative,
+                Backend::Haystack,
+            ))
+            .unwrap();
+        assert!(!report.exact);
+    }
+
+    #[test]
+    fn unsupported_memory_is_a_clean_error() {
+        let engine = Engine::new();
+        let three_levels = MemoryConfig::new(vec![
+            CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(4, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(8, 8, 64, ReplacementPolicy::Lru),
+        ])
+        .unwrap();
+        for backend in [Backend::warping(), Backend::Haystack, Backend::Trace] {
+            let err = engine
+                .run(&SimRequest::new(stencil(), three_levels.clone(), backend))
+                .unwrap_err();
+            assert!(
+                matches!(err, EngineError::UnsupportedMemory { .. }),
+                "{backend}"
+            );
+        }
+        // ... but the classic backend simulates any depth.
+        let classic = engine
+            .run(&SimRequest::new(stencil(), three_levels, Backend::Classic))
+            .unwrap();
+        assert_eq!(classic.levels.len(), 3);
+    }
+
+    #[test]
+    fn exact_backends_agree_under_no_write_allocate() {
+        // Write misses that do not allocate change the miss counts of the
+        // re-read loop; classic, warping and trace must all honour the
+        // hierarchy-wide write policy identically (regression test: the
+        // warping/trace paths used to ignore it on single-level configs).
+        let engine = Engine::new();
+        // The array fits in the cache, so with write allocation the second
+        // loop hits everywhere, while without it the first loop leaves the
+        // cache empty and the second loop's reads all miss.
+        let kernel = KernelSpec::source(
+            "write-then-read",
+            "double A[16];\n\
+             for (i = 0; i < 16; i++) A[i] = 0;\n\
+             for (j = 0; j < 16; j++) A[j] = A[j];",
+        );
+        for policy in [
+            WritePolicy::WriteBackWriteAllocate,
+            WritePolicy::WriteThroughNoAllocate,
+        ] {
+            let memory = MemoryConfig::from(CacheConfig::fully_associative(
+                32,
+                8,
+                ReplacementPolicy::Lru,
+            ))
+            .with_write_policy(policy);
+            let reports: Vec<SimReport> = [Backend::Classic, Backend::warping(), Backend::Trace]
+                .into_iter()
+                .map(|backend| {
+                    engine
+                        .run(&SimRequest::new(kernel.clone(), memory.clone(), backend))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(reports[0].result, reports[1].result, "{policy:?}");
+            assert_eq!(reports[0].result, reports[2].result, "{policy:?}");
+        }
+        // And the two policies genuinely differ, so the test has teeth.
+        let misses = |policy: WritePolicy| {
+            let memory = MemoryConfig::from(CacheConfig::fully_associative(
+                32,
+                8,
+                ReplacementPolicy::Lru,
+            ))
+            .with_write_policy(policy);
+            engine
+                .run(&SimRequest::new(kernel.clone(), memory, Backend::Classic))
+                .unwrap()
+                .result
+                .l1
+                .misses
+        };
+        assert!(
+            misses(WritePolicy::WriteThroughNoAllocate)
+                > misses(WritePolicy::WriteBackWriteAllocate)
+        );
+    }
+
+    #[test]
+    fn polycache_rejects_non_lru() {
+        let engine = Engine::new();
+        let plru = MemoryConfig::two_level(
+            CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Plru),
+            CacheConfig::new(256 * 1024, 8, 64, ReplacementPolicy::Plru),
+        );
+        let err = engine
+            .run(&SimRequest::new(stencil(), plru, Backend::PolyCache))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedMemory { .. }));
+    }
+
+    #[test]
+    fn invalid_warping_options_are_rejected() {
+        let engine = Engine::new();
+        let options = warping::WarpingOptions {
+            backoff_interval: 0,
+            ..warping::WarpingOptions::default()
+        };
+        let err = engine
+            .run(&SimRequest::new(
+                stencil(),
+                fa_lru(),
+                Backend::Warping(options),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidOptions(_)));
+    }
+
+    #[test]
+    fn kernel_errors_carry_the_kernel_name() {
+        let engine = Engine::new();
+        let bad = KernelSpec::source("broken", "for (i = 0; i < ; i++) ;");
+        let err = engine
+            .run(&SimRequest::new(bad, fa_lru(), Backend::Classic))
+            .unwrap_err();
+        match err {
+            EngineError::Kernel { kernel, .. } => assert_eq!(kernel, "broken"),
+            other => panic!("expected a kernel error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let engine = Engine::new().with_threads(4);
+        let kernels = [
+            stencil(),
+            KernelSpec::source(
+                "streaming",
+                "double A[4096]; for (i = 0; i < 4096; i++) A[i] = 0;",
+            ),
+        ];
+        let memories = [
+            fa_lru(),
+            MemoryConfig::from(CacheConfig::with_sets(8, 2, 8, ReplacementPolicy::Fifo)),
+        ];
+        let backends = [Backend::Classic, Backend::warping(), Backend::Trace];
+        let grid = SimRequest::grid(&kernels, &memories, &backends);
+        assert_eq!(grid.len(), 12);
+        let batch = engine.run_batch(&grid);
+        for (request, batched) in grid.iter().zip(&batch) {
+            let sequential = engine.run(request);
+            match (batched, sequential) {
+                (Ok(b), Ok(s)) => assert!(b.same_outcome(&s)),
+                (b, s) => panic!("outcome mismatch: {b:?} vs {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let request = SimRequest::new(
+            KernelSpec::polybench(polybench::Kernel::Jacobi1d, polybench::Dataset::Mini),
+            MemoryConfig::test_system(),
+            Backend::Trace,
+        );
+        let json = serde_json::to_string(&request).unwrap();
+        let back: SimRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let engine = Engine::new();
+        let report = engine
+            .run(&SimRequest::new(stencil(), fa_lru(), Backend::warping()))
+            .unwrap();
+        let json = report.to_json();
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value
+                .get("result")
+                .and_then(|r| r.get("l1"))
+                .and_then(|l| l.get("misses")),
+            Some(&serde::Value::UInt(3 + 2 * 997))
+        );
+        assert_eq!(
+            value.get("backend").and_then(serde::Value::as_str),
+            Some("warping")
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The unified simulation report returned by every backend.
+
+use cache_model::{LevelStats, MemoryConfig};
+use serde::Serialize;
+use simulate::SimulationResult;
+use warping::WarpingOutcome;
+
+/// Warping-specific statistics (present when the request ran on
+/// [`Backend::Warping`](crate::Backend::Warping)).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub struct WarpingStats {
+    /// Number of successful warp events.
+    pub warps: u64,
+    /// Number of accesses skipped by warping.
+    pub warped_accesses: u64,
+    /// Number of accesses simulated explicitly.
+    pub non_warped_accesses: u64,
+    /// Share of accesses that could not be warped, in `[0, 1]` (the top
+    /// plot of Fig. 6 of the paper).
+    pub non_warped_share: f64,
+}
+
+impl From<WarpingOutcome> for WarpingStats {
+    fn from(outcome: WarpingOutcome) -> Self {
+        WarpingStats {
+            warps: outcome.warps,
+            warped_accesses: outcome.warped_accesses,
+            non_warped_accesses: outcome.non_warped_accesses,
+            non_warped_share: outcome.non_warped_share(),
+        }
+    }
+}
+
+/// The result of one [`SimRequest`](crate::SimRequest): every backend —
+/// simulators, analytical models and the trace replayer — reports through
+/// this one serializable shape.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimReport {
+    /// Kernel display name.
+    pub kernel: String,
+    /// Backend label (`classic`, `warping`, `haystack`, `polycache`,
+    /// `trace`).
+    pub backend: String,
+    /// The memory system the request asked for.
+    pub memory: MemoryConfig,
+    /// Access/hit/miss counts in the legacy [`SimulationResult`] shape
+    /// (`l2` is the second level, when the memory system has one).  For the
+    /// exact backends these counts are bit-for-bit what the legacy entry
+    /// points produce.
+    pub result: SimulationResult,
+    /// Per-level statistics, L1 first — unlike [`SimReport::result`] this
+    /// covers memory systems deeper than two levels.
+    pub levels: Vec<LevelStats>,
+    /// Warping statistics, for the warping backend.
+    pub warping: Option<WarpingStats>,
+    /// Whether the backend models the requested memory system exactly.
+    /// The simulators are always exact; the analytical backends are exact
+    /// only on the cache models they were built for (fully-associative LRU
+    /// for HayStack, write-allocate LRU hierarchies for PolyCache) and
+    /// otherwise report their model's counts as an approximation.
+    pub exact: bool,
+    /// Wall-clock time spent building (parsing + elaborating) the kernel,
+    /// in milliseconds.
+    pub build_ms: f64,
+    /// Wall-clock time spent simulating, in milliseconds.
+    pub sim_ms: f64,
+}
+
+impl SimReport {
+    /// Misses at the last level of the memory system (the quantity the
+    /// paper's figures report as "cache misses").
+    pub fn last_level_misses(&self) -> u64 {
+        self.levels.last().map_or(0, |stats| stats.misses)
+    }
+
+    /// Build + simulation time in milliseconds (the paper's Fig. 8/9
+    /// methodology, which includes SCoP extraction on both sides).
+    pub fn total_ms(&self) -> f64 {
+        self.build_ms + self.sim_ms
+    }
+
+    /// Whether two reports describe the same outcome: equal up to
+    /// wall-clock timings, which vary run to run.
+    pub fn same_outcome(&self, other: &SimReport) -> bool {
+        self.kernel == other.kernel
+            && self.backend == other.backend
+            && self.memory == other.memory
+            && self.result == other.result
+            && self.levels == other.levels
+            && self.warping == other.warping
+            && self.exact == other.exact
+    }
+
+    /// The report as a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("reports serialize")
+    }
+}

@@ -1,0 +1,329 @@
+//! Simulation requests: what to simulate ([`KernelSpec`]), on which memory
+//! system ([`MemoryConfig`]) and with which simulator ([`Backend`]).
+
+use cache_model::MemoryConfig;
+use polybench::{Dataset, Kernel};
+use scop::{parse_scop, Scop};
+use serde::{Deserialize, Serialize, Value};
+use warping::WarpingOptions;
+
+/// The kernel a request simulates.
+#[derive(Clone, PartialEq, Debug)]
+pub enum KernelSpec {
+    /// A mini-C source text, elaborated with the default options (array
+    /// accesses only).
+    Source {
+        /// Display name used in reports.
+        name: String,
+        /// The mini-C source.
+        code: String,
+    },
+    /// A PolyBench kernel at a dataset size.
+    PolyBench {
+        /// The kernel.
+        kernel: Kernel,
+        /// The dataset size.
+        dataset: Dataset,
+    },
+    /// An already-elaborated SCoP (skips parsing; useful when the same
+    /// kernel is simulated under many configurations, and for callers that
+    /// build SCoPs programmatically).  In-process only: serializing a
+    /// prebuilt spec records just its name, and such JSON is rejected on
+    /// deserialization — use [`KernelSpec::Source`] or
+    /// [`KernelSpec::PolyBench`] for requests that travel over the wire.
+    Prebuilt {
+        /// Display name used in reports.
+        name: String,
+        /// The SCoP.
+        scop: Scop,
+    },
+}
+
+impl KernelSpec {
+    /// A request kernel from mini-C source.
+    pub fn source(name: impl Into<String>, code: impl Into<String>) -> Self {
+        KernelSpec::Source {
+            name: name.into(),
+            code: code.into(),
+        }
+    }
+
+    /// A request kernel naming a PolyBench benchmark.
+    pub fn polybench(kernel: Kernel, dataset: Dataset) -> Self {
+        KernelSpec::PolyBench { kernel, dataset }
+    }
+
+    /// A request kernel wrapping an elaborated SCoP.
+    pub fn prebuilt(name: impl Into<String>, scop: Scop) -> Self {
+        KernelSpec::Prebuilt {
+            name: name.into(),
+            scop,
+        }
+    }
+
+    /// The display name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            KernelSpec::Source { name, .. } | KernelSpec::Prebuilt { name, .. } => name.clone(),
+            KernelSpec::PolyBench { kernel, dataset } => {
+                format!("{}@{}", kernel.name(), dataset.name())
+            }
+        }
+    }
+
+    /// Elaborates the kernel into a SCoP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/elaboration error message for invalid sources.
+    pub fn build(&self) -> Result<Scop, String> {
+        match self {
+            KernelSpec::Source { code, .. } => parse_scop(code),
+            KernelSpec::PolyBench { kernel, dataset } => kernel.build(*dataset),
+            KernelSpec::Prebuilt { scop, .. } => Ok(scop.clone()),
+        }
+    }
+}
+
+/// The simulator or model answering a request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Per-access simulation (Algorithm 1 of the paper); exact for any
+    /// memory depth.
+    Classic,
+    /// Warping symbolic simulation (Algorithm 2); exact, 1- and 2-level
+    /// memory systems.
+    Warping(WarpingOptions),
+    /// HayStack-style stack-distance model of a fully-associative LRU
+    /// cache; single-level memory systems.
+    Haystack,
+    /// PolyCache-style per-set model of a two-level set-associative LRU
+    /// hierarchy.
+    PolyCache,
+    /// Dinero-IV-style trace simulation: materialise the full access trace,
+    /// then replay it; exact, 1- and 2-level memory systems.
+    Trace,
+}
+
+impl Backend {
+    /// Every backend, warping with default options (the order of the
+    /// paper's evaluation).
+    pub const ALL: [Backend; 5] = [
+        Backend::Classic,
+        Backend::Warping(WarpingOptions::DEFAULT),
+        Backend::Haystack,
+        Backend::PolyCache,
+        Backend::Trace,
+    ];
+
+    /// The warping backend with default tuning options.
+    pub fn warping() -> Self {
+        Backend::Warping(WarpingOptions::default())
+    }
+
+    /// A short stable identifier, usable in JSON and on the command line.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Classic => "classic",
+            Backend::Warping(_) => "warping",
+            Backend::Haystack => "haystack",
+            Backend::PolyCache => "polycache",
+            Backend::Trace => "trace",
+        }
+    }
+
+    /// Parses a backend from its [`label`](Backend::label) (warping gets
+    /// the default options).
+    pub fn by_name(name: &str) -> Option<Backend> {
+        match name {
+            "classic" => Some(Backend::Classic),
+            "warping" => Some(Backend::warping()),
+            "haystack" => Some(Backend::Haystack),
+            "polycache" => Some(Backend::PolyCache),
+            "trace" => Some(Backend::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One unit of work for the [`Engine`](crate::Engine): a kernel × memory
+/// configuration × backend triple.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimRequest {
+    /// What to simulate.
+    pub kernel: KernelSpec,
+    /// The memory system to simulate it on.
+    pub memory: MemoryConfig,
+    /// The simulator to use.
+    pub backend: Backend,
+}
+
+impl SimRequest {
+    /// A request from any memory description convertible to
+    /// [`MemoryConfig`] (e.g. `CacheConfig` or `HierarchyConfig`).
+    pub fn new(kernel: KernelSpec, memory: impl Into<MemoryConfig>, backend: Backend) -> Self {
+        SimRequest {
+            kernel,
+            memory: memory.into(),
+            backend,
+        }
+    }
+
+    /// The full kernel × memory × backend grid, in row-major order
+    /// (kernels outermost) — the shape [`Engine::run_batch`]
+    /// (crate::Engine::run_batch) fans out across threads.
+    pub fn grid(
+        kernels: &[KernelSpec],
+        memories: &[MemoryConfig],
+        backends: &[Backend],
+    ) -> Vec<SimRequest> {
+        let mut requests = Vec::with_capacity(kernels.len() * memories.len() * backends.len());
+        for kernel in kernels {
+            for memory in memories {
+                for backend in backends {
+                    requests.push(SimRequest {
+                        kernel: kernel.clone(),
+                        memory: memory.clone(),
+                        backend: *backend,
+                    });
+                }
+            }
+        }
+        requests
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialization, so request grids can be served over the wire.
+
+impl Serialize for KernelSpec {
+    fn serialize_value(&self) -> Value {
+        match self {
+            KernelSpec::Source { name, code } => Value::Object(vec![
+                ("type".to_string(), Value::Str("source".to_string())),
+                ("name".to_string(), Value::Str(name.clone())),
+                ("code".to_string(), Value::Str(code.clone())),
+            ]),
+            KernelSpec::PolyBench { kernel, dataset } => Value::Object(vec![
+                ("type".to_string(), Value::Str("polybench".to_string())),
+                ("kernel".to_string(), Value::Str(kernel.name().to_string())),
+                (
+                    "dataset".to_string(),
+                    Value::Str(dataset.name().to_string()),
+                ),
+            ]),
+            // A prebuilt SCoP is an in-process optimisation; over the wire
+            // only its name travels.
+            KernelSpec::Prebuilt { name, .. } => Value::Object(vec![
+                ("type".to_string(), Value::Str("prebuilt".to_string())),
+                ("name".to_string(), Value::Str(name.clone())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for KernelSpec {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        let kind = value
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("kernel spec is missing `type`")?;
+        match kind {
+            "source" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("source kernel spec is missing `name`")?;
+                let code = value
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .ok_or("source kernel spec is missing `code`")?;
+                Ok(KernelSpec::source(name, code))
+            }
+            "polybench" => {
+                let kernel = value
+                    .get("kernel")
+                    .and_then(Value::as_str)
+                    .ok_or("polybench kernel spec is missing `kernel`")?;
+                let kernel = Kernel::by_name(kernel)
+                    .ok_or_else(|| format!("unknown PolyBench kernel `{kernel}`"))?;
+                let dataset = value
+                    .get("dataset")
+                    .and_then(Value::as_str)
+                    .ok_or("polybench kernel spec is missing `dataset`")?;
+                let dataset = dataset_by_name(dataset)
+                    .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+                Ok(KernelSpec::polybench(kernel, dataset))
+            }
+            "prebuilt" => Err(
+                "prebuilt kernel specs are an in-process optimisation and cannot travel over \
+                 the wire (only their name is serialized); send a `source` or `polybench` spec \
+                 instead"
+                    .to_string(),
+            ),
+            other => Err(format!("cannot deserialize kernel spec of type `{other}`")),
+        }
+    }
+}
+
+/// Parses a dataset name (case-insensitive, PolyBench spelling).
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "mini" => Some(Dataset::Mini),
+        "small" => Some(Dataset::Small),
+        "medium" => Some(Dataset::Medium),
+        "large" => Some(Dataset::Large),
+        "extralarge" | "xl" => Some(Dataset::ExtraLarge),
+        _ => None,
+    }
+}
+
+impl Serialize for Backend {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for Backend {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| format!("expected a backend name, got {value:?}"))?;
+        Backend::by_name(name).ok_or_else(|| format!("unknown backend `{name}`"))
+    }
+}
+
+impl Serialize for SimRequest {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("kernel".to_string(), self.kernel.serialize_value()),
+            ("memory".to_string(), self.memory.serialize_value()),
+            ("backend".to_string(), self.backend.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimRequest {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        let kernel = KernelSpec::deserialize_value(
+            value.get("kernel").ok_or("request is missing `kernel`")?,
+        )?;
+        let memory = MemoryConfig::deserialize_value(
+            value.get("memory").ok_or("request is missing `memory`")?,
+        )?;
+        let backend = Backend::deserialize_value(
+            value.get("backend").ok_or("request is missing `backend`")?,
+        )?;
+        Ok(SimRequest {
+            kernel,
+            memory,
+            backend,
+        })
+    }
+}

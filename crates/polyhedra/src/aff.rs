@@ -218,7 +218,7 @@ impl Aff {
     pub fn insert_dims(&self, at: usize, count: usize) -> Aff {
         let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
         coeffs.extend_from_slice(&self.coeffs[..at]);
-        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend(std::iter::repeat_n(0, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
         Aff {
             coeffs,

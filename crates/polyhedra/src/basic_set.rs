@@ -52,7 +52,9 @@ impl BasicSet {
         let mut s = BasicSet::universe(dims);
         for (d, (lo, hi)) in bounds.iter().enumerate() {
             let x = Aff::var(dims, d);
-            s = s.with_ge(x.clone().offset(-lo)).with_ge(Aff::constant(dims, *hi).sub(&x));
+            s = s
+                .with_ge(x.clone().offset(-lo))
+                .with_ge(Aff::constant(dims, *hi).sub(&x));
         }
         s
     }

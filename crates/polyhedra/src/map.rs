@@ -31,7 +31,11 @@ impl AffMap {
     /// dimensions.
     pub fn new(in_dims: usize, outputs: Vec<Aff>) -> Self {
         for o in &outputs {
-            assert_eq!(o.dims(), in_dims, "output expression dimensionality mismatch");
+            assert_eq!(
+                o.dims(),
+                in_dims,
+                "output expression dimensionality mismatch"
+            );
         }
         AffMap { in_dims, outputs }
     }

@@ -189,7 +189,11 @@ impl Set {
     pub fn extend_dims(&self, new_dims: usize) -> Set {
         Set {
             dims: new_dims,
-            basics: self.basics.iter().map(|b| b.extend_dims(new_dims)).collect(),
+            basics: self
+                .basics
+                .iter()
+                .map(|b| b.extend_dims(new_dims))
+                .collect(),
         }
     }
 
@@ -220,7 +224,11 @@ impl Set {
     ///
     /// Panics if `lo` and `hi` have different lengths.
     pub fn lex_interval(lo: &[i64], hi: &[i64]) -> Set {
-        assert_eq!(lo.len(), hi.len(), "interval endpoints must have equal length");
+        assert_eq!(
+            lo.len(),
+            hi.len(),
+            "interval endpoints must have equal length"
+        );
         Set::lex_ge_point(lo).intersect(&Set::lex_lt_point(hi))
     }
 
@@ -567,9 +575,8 @@ mod tests {
         assert_eq!(e.lexmin(), LexResult::Empty);
         assert_eq!(e.is_empty(), Some(true));
         assert_eq!(e.count_upto(10), Some(0));
-        let contradiction = Set::from_basic(
-            BasicSet::rect(&[(0, 5)]).with_ge(Aff::var(1, 0).offset(-10)),
-        );
+        let contradiction =
+            Set::from_basic(BasicSet::rect(&[(0, 5)]).with_ge(Aff::var(1, 0).offset(-10)));
         assert_eq!(contradiction.is_empty(), Some(true));
     }
 

@@ -28,10 +28,7 @@ fn box_points(dims: usize) -> Vec<Vec<i64>> {
 }
 
 fn arb_aff(dims: usize) -> impl Strategy<Value = Aff> {
-    (
-        proptest::collection::vec(-3i64..=3, dims),
-        -6i64..=6,
-    )
+    (proptest::collection::vec(-3i64..=3, dims), -6i64..=6)
         .prop_map(|(coeffs, c)| Aff::from_coeffs(coeffs, c))
 }
 

@@ -30,11 +30,13 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(other))
     }
@@ -233,14 +235,12 @@ mod tests {
 
     #[test]
     fn program_builder() {
-        let p = Program::new()
-            .with_array("A", &[10], 8)
-            .with_stmt(for_loop(
-                "i",
-                Expr::Const(0),
-                Expr::Const(10),
-                vec![assign(access("A", vec![Expr::iter("i")]), vec![])],
-            ));
+        let p = Program::new().with_array("A", &[10], 8).with_stmt(for_loop(
+            "i",
+            Expr::Const(0),
+            Expr::Const(10),
+            vec![assign(access("A", vec![Expr::iter("i")]), vec![])],
+        ));
         assert_eq!(p.arrays.len(), 1);
         assert_eq!(p.stmts.len(), 1);
     }

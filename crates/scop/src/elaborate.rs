@@ -349,17 +349,22 @@ mod tests {
 
     #[test]
     fn two_dimensional_linearisation() {
-        let p = Program::new().with_array("A", &[23, 42], 4).with_stmt(for_loop(
-            "i",
-            Expr::Const(0),
-            Expr::Const(23),
-            vec![for_loop(
-                "j",
+        let p = Program::new()
+            .with_array("A", &[23, 42], 4)
+            .with_stmt(for_loop(
+                "i",
                 Expr::Const(0),
-                Expr::Const(42),
-                vec![assign(access("A", vec![Expr::iter("i"), Expr::iter("j")]), vec![])],
-            )],
-        ));
+                Expr::Const(23),
+                vec![for_loop(
+                    "j",
+                    Expr::Const(0),
+                    Expr::Const(42),
+                    vec![assign(
+                        access("A", vec![Expr::iter("i"), Expr::iter("j")]),
+                        vec![],
+                    )],
+                )],
+            ));
         let scop = elaborate(&p, &ElaborateOptions::default()).unwrap();
         let a = scop.access_nodes().next().unwrap();
         let base = scop.arrays()[0].base_address;
@@ -388,7 +393,9 @@ mod tests {
         assert!(!a.domain.contains(&[4]));
         assert!(a.domain.contains(&[5]));
         // The loop itself still spans the full range.
-        let Node::Loop(l) = &scop.roots()[0] else { panic!() };
+        let Node::Loop(l) = &scop.roots()[0] else {
+            panic!()
+        };
         assert!(l.domain.contains(&[4]));
     }
 
@@ -422,12 +429,14 @@ mod tests {
             elaborate(&bad_iter, &ElaborateOptions::default()),
             Err(ElaborateError::UnknownIterator(_))
         ));
-        let bad_subscripts = Program::new().with_array("A", &[4, 4], 8).with_stmt(for_loop(
-            "i",
-            Expr::Const(0),
-            Expr::Const(4),
-            vec![assign(access("A", vec![Expr::iter("i")]), vec![])],
-        ));
+        let bad_subscripts = Program::new()
+            .with_array("A", &[4, 4], 8)
+            .with_stmt(for_loop(
+                "i",
+                Expr::Const(0),
+                Expr::Const(4),
+                vec![assign(access("A", vec![Expr::iter("i")]), vec![])],
+            ));
         assert!(matches!(
             elaborate(&bad_subscripts, &ElaborateOptions::default()),
             Err(ElaborateError::SubscriptCount { .. })

@@ -78,11 +78,8 @@ fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
             i += 1;
         } else if c.is_whitespace() {
             i += 1;
-        } else if c == '#' {
-            while i < bytes.len() && bytes[i] != '\n' {
-                i += 1;
-            }
-        } else if c == '/' && bytes.get(i + 1) == Some(&'/') {
+        } else if c == '#' || (c == '/' && bytes.get(i + 1) == Some(&'/')) {
+            // Line comments: `#` (preprocessor-style) and `//`.
             while i < bytes.len() && bytes[i] != '\n' {
                 i += 1;
             }
@@ -222,7 +219,10 @@ impl Parser {
     }
 
     fn is_type_name(name: &str) -> bool {
-        matches!(name, "double" | "float" | "int" | "long" | "char" | "unsigned" | "short")
+        matches!(
+            name,
+            "double" | "float" | "int" | "long" | "char" | "unsigned" | "short"
+        )
     }
 
     fn elem_size(name: &str) -> u64 {
@@ -259,9 +259,8 @@ impl Parser {
                 match self.advance() {
                     Some(Tok::Int(n)) if n > 0 => extents.push(n as u64),
                     other => {
-                        return Err(self.error(format!(
-                            "expected a positive array extent, found {other:?}"
-                        )))
+                        return Err(self
+                            .error(format!("expected a positive array extent, found {other:?}")))
                     }
                 }
                 self.expect_punct("]")?;
@@ -403,12 +402,16 @@ impl Parser {
                 self.advance();
                 false
             }
-            Some(Tok::Punct("+=")) | Some(Tok::Punct("-=")) | Some(Tok::Punct("*="))
+            Some(Tok::Punct("+="))
+            | Some(Tok::Punct("-="))
+            | Some(Tok::Punct("*="))
             | Some(Tok::Punct("/=")) => {
                 self.advance();
                 true
             }
-            other => return Err(self.error(format!("expected an assignment operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected an assignment operator, found {other:?}")))
+            }
         };
         let mut reads = Vec::new();
         if compound {
@@ -539,9 +542,13 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.arrays.len(), 2);
         assert_eq!(p.stmts.len(), 1);
-        let Statement::For { iter, body, .. } = &p.stmts[0] else { panic!() };
+        let Statement::For { iter, body, .. } = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(iter, "i");
-        let Statement::Assign { write, reads } = &body[0] else { panic!() };
+        let Statement::Assign { write, reads } = &body[0] else {
+            panic!()
+        };
         assert_eq!(write.array, "B");
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].array, "A");
@@ -562,12 +569,20 @@ mod tests {
             }
         "#;
         let p = parse_program(src).unwrap();
-        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Statement::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(body.len(), 2);
-        let Statement::For { lower, .. } = &body[1] else { panic!() };
+        let Statement::For { lower, .. } = &body[1] else {
+            panic!()
+        };
         assert_eq!(lower, &Expr::Iter("i".into()));
-        let Statement::For { body: inner, .. } = &body[1] else { panic!() };
-        let Statement::Assign { reads, .. } = &inner[0] else { panic!() };
+        let Statement::For { body: inner, .. } = &body[1] else {
+            panic!()
+        };
+        let Statement::Assign { reads, .. } = &inner[0] else {
+            panic!()
+        };
         // Reads: c[i], A[i][j], x[j] — in program order.
         assert_eq!(reads.len(), 3);
         assert_eq!(reads[1].array, "A");
@@ -583,9 +598,15 @@ mod tests {
                     C[i][j] *= 2.5;
         "#;
         let p = parse_program(src).unwrap();
-        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
-        let Statement::For { body, .. } = &body[0] else { panic!() };
-        let Statement::Assign { write, reads } = &body[0] else { panic!() };
+        let Statement::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let Statement::For { body, .. } = &body[0] else {
+            panic!()
+        };
+        let Statement::Assign { write, reads } = &body[0] else {
+            panic!()
+        };
         assert_eq!(write.array, "C");
         assert_eq!(reads.len(), 1);
         assert_eq!(reads[0].array, "C");
@@ -600,8 +621,12 @@ mod tests {
                 B[i] = sqrt(A[i]) * 1.5e-3 + alpha;
         "#;
         let p = parse_program(src).unwrap();
-        let Statement::For { body, .. } = &p.stmts[0] else { panic!() };
-        let Statement::Assign { reads, .. } = &body[0] else { panic!() };
+        let Statement::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let Statement::Assign { reads, .. } = &body[0] else {
+            panic!()
+        };
         // A[i] and the scalar alpha; `sqrt` is recognised as a call.
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].array, "A");
@@ -618,9 +643,13 @@ mod tests {
                     A[i] = A[i-2];
         "#;
         let p = parse_program(src).unwrap();
-        let Statement::For { upper, body, .. } = &p.stmts[0] else { panic!() };
+        let Statement::For { upper, body, .. } = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(upper, &Expr::Const(18).offset(1));
-        let Statement::If { conditions, .. } = &body[0] else { panic!() };
+        let Statement::If { conditions, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(conditions.len(), 2);
     }
 

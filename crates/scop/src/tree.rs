@@ -160,10 +160,7 @@ impl Scop {
 
     /// Looks up an array by name.
     pub fn array_by_name(&self, name: &str) -> Option<(usize, &ArrayInfo)> {
-        self.arrays
-            .iter()
-            .enumerate()
-            .find(|(_, a)| a.name == name)
+        self.arrays.iter().enumerate().find(|(_, a)| a.name == name)
     }
 }
 
@@ -245,7 +242,9 @@ mod tests {
     #[test]
     fn initial_and_last() {
         let scop = one_loop_scop();
-        let Node::Loop(l) = &scop.roots()[0] else { panic!() };
+        let Node::Loop(l) = &scop.roots()[0] else {
+            panic!()
+        };
         assert_eq!(l.initial(&[]), Some(vec![0]));
         assert_eq!(l.last(&[]), Some(vec![9]));
     }

@@ -63,7 +63,8 @@ fn walk_node<'a>(
                         walk_node(child, &i, visit, count);
                     }
                 }
-                *i.last_mut().expect("loop domains have at least one dimension") += l.stride;
+                *i.last_mut()
+                    .expect("loop domains have at least one dimension") += l.stride;
             }
         }
     }
@@ -98,7 +99,10 @@ mod tests {
         assert_eq!(total, 3 * 998);
         let a_base = scop.arrays()[0].base_address;
         let b_base = scop.arrays()[1].base_address;
-        assert_eq!(first_iteration, vec![(0, a_base), (1, a_base + 8), (2, b_base)]);
+        assert_eq!(
+            first_iteration,
+            vec![(0, a_base), (1, a_base + 8), (2, b_base)]
+        );
     }
 
     #[test]

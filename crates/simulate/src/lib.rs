@@ -35,9 +35,10 @@
 
 use cache_model::{
     AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, HierarchyStats,
-    LevelStats, MemBlock,
+    LevelStats, MemBlock, MemoryConfig,
 };
 use scop::{for_each_access, Scop};
+use serde::{Serialize, Value};
 
 /// The result of simulating a SCoP against a memory system.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -55,6 +56,16 @@ impl SimulationResult {
     /// paper's figures report as "cache misses").
     pub fn last_level_misses(&self) -> u64 {
         self.l2.map_or(self.l1.misses, |l2| l2.misses)
+    }
+}
+
+impl Serialize for SimulationResult {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("accesses".to_string(), Value::UInt(self.accesses)),
+            ("l1".to_string(), self.l1.serialize_value()),
+            ("l2".to_string(), self.l2.serialize_value()),
+        ])
     }
 }
 
@@ -175,6 +186,80 @@ impl MemorySystem for TwoLevelSystem {
     }
 }
 
+/// An N-level non-inclusive non-exclusive memory system driven by a
+/// [`MemoryConfig`]: the generalization behind both [`SingleCacheSystem`]
+/// and [`TwoLevelSystem`], and the memory model of the `engine` facade's
+/// `Backend::Classic`.
+///
+/// On a miss at level `i` the access is forwarded to level `i + 1`; write
+/// misses allocate according to the configuration's write policy.  For one-
+/// and two-level configurations the hit/miss counts are bit-for-bit those of
+/// the legacy systems.
+#[derive(Clone, Debug)]
+pub struct MultiLevelSystem {
+    /// Per-level configuration with the write-allocate flag normalized to
+    /// the hierarchy-wide write policy.
+    levels: Vec<(CacheConfig, CacheState<MemBlock>)>,
+    stats: Vec<LevelStats>,
+    accesses: u64,
+}
+
+impl MultiLevelSystem {
+    /// An empty memory system with the given configuration.
+    pub fn new(config: MemoryConfig) -> Self {
+        let levels: Vec<(CacheConfig, CacheState<MemBlock>)> = config
+            .normalized()
+            .levels()
+            .iter()
+            .map(|level| {
+                let state = CacheState::new(level);
+                (level.clone(), state)
+            })
+            .collect();
+        let stats = vec![LevelStats::default(); levels.len()];
+        MultiLevelSystem {
+            levels,
+            stats,
+            accesses: 0,
+        }
+    }
+
+    /// Per-level statistics, L1 first (covers levels beyond the L2 that
+    /// [`SimulationResult`] cannot express).
+    pub fn level_stats(&self) -> &[LevelStats] {
+        &self.stats
+    }
+}
+
+impl MemorySystem for MultiLevelSystem {
+    fn access(&mut self, address: u64, kind: AccessKind) {
+        self.accesses += 1;
+        for ((config, state), stats) in self.levels.iter_mut().zip(&mut self.stats) {
+            let hit = state.access(config, cache_model::Access { address, kind });
+            stats.record(hit);
+            if hit {
+                break;
+            }
+        }
+    }
+
+    fn result(&self) -> SimulationResult {
+        SimulationResult {
+            accesses: self.accesses,
+            l1: self.stats[0],
+            l2: self.stats.get(1).copied(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for (config, state) in &mut self.levels {
+            *state = CacheState::new(config);
+        }
+        self.stats.fill(LevelStats::default());
+        self.accesses = 0;
+    }
+}
+
 /// Simulates a SCoP against a memory system (Algorithm 1) and returns the
 /// accumulated statistics.  The memory system is *not* reset first, so
 /// simulations can be composed, as discussed at the end of §4 of the paper.
@@ -183,16 +268,22 @@ pub fn simulate<M: MemorySystem>(scop: &Scop, memory: &mut M) -> SimulationResul
     memory.result()
 }
 
-/// Convenience helper: simulates a SCoP on a fresh single-level cache.
-pub fn simulate_single(scop: &Scop, config: &CacheConfig) -> SimulationResult {
-    let mut memory = SingleCacheSystem::new(config.clone());
+/// Simulates a SCoP on a fresh N-level memory system.
+pub fn simulate_memory(scop: &Scop, config: &MemoryConfig) -> SimulationResult {
+    let mut memory = MultiLevelSystem::new(config.clone());
     simulate(scop, &mut memory)
 }
 
+/// Convenience helper: simulates a SCoP on a fresh single-level cache.
+/// Thin wrapper over [`simulate_memory`].
+pub fn simulate_single(scop: &Scop, config: &CacheConfig) -> SimulationResult {
+    simulate_memory(scop, &MemoryConfig::from(config.clone()))
+}
+
 /// Convenience helper: simulates a SCoP on a fresh two-level hierarchy.
+/// Thin wrapper over [`simulate_memory`].
 pub fn simulate_hierarchy(scop: &Scop, config: &HierarchyConfig) -> SimulationResult {
-    let mut memory = TwoLevelSystem::new(config.clone());
-    simulate(scop, &mut memory)
+    simulate_memory(scop, &MemoryConfig::from(config.clone()))
 }
 
 #[cfg(test)]
@@ -269,6 +360,56 @@ mod tests {
         memory.reset();
         let second = simulate(&stencil(), &mut memory);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn multi_level_system_matches_legacy_systems() {
+        let scop = stencil();
+        for policy in ReplacementPolicy::ALL {
+            let single = CacheConfig::with_sets(4, 2, 8, policy);
+            let mut legacy = SingleCacheSystem::new(single.clone());
+            let mut multi = MultiLevelSystem::new(MemoryConfig::from(single));
+            assert_eq!(simulate(&scop, &mut multi), simulate(&scop, &mut legacy));
+        }
+        let hierarchy = HierarchyConfig::new(
+            CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru),
+            CacheConfig::fully_associative(1024, 8, ReplacementPolicy::Lru),
+        );
+        let mut legacy = TwoLevelSystem::new(hierarchy.clone());
+        let mut multi = MultiLevelSystem::new(MemoryConfig::from(hierarchy));
+        assert_eq!(simulate(&scop, &mut multi), simulate(&scop, &mut legacy));
+    }
+
+    #[test]
+    fn write_policy_overrides_per_level_flags() {
+        // The hierarchy-wide write policy governs, exactly as in the legacy
+        // TwoLevelSystem, even if a level's own flag disagrees.
+        let scop = parse_scop("double A[64]; for (i = 0; i < 64; i++) A[i] = 0;").unwrap();
+        let l1 = CacheConfig::fully_associative(4, 8, ReplacementPolicy::Lru).no_write_allocate();
+        let l2 = CacheConfig::fully_associative(64, 8, ReplacementPolicy::Lru);
+        let hierarchy = HierarchyConfig::new(l1, l2);
+        let mut legacy = TwoLevelSystem::new(hierarchy.clone());
+        let mut multi = MultiLevelSystem::new(MemoryConfig::from(hierarchy));
+        assert_eq!(simulate(&scop, &mut multi), simulate(&scop, &mut legacy));
+    }
+
+    #[test]
+    fn three_level_memory_simulates() {
+        let config = MemoryConfig::new(vec![
+            CacheConfig::with_sets(2, 2, 8, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(8, 4, 8, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(64, 8, 8, ReplacementPolicy::Lru),
+        ])
+        .unwrap();
+        let mut memory = MultiLevelSystem::new(config);
+        let result = simulate(&stencil(), &mut memory);
+        let stats = memory.level_stats();
+        assert_eq!(stats.len(), 3);
+        // Each level only sees the misses of the previous one.
+        assert_eq!(stats[1].accesses, stats[0].misses);
+        assert_eq!(stats[2].accesses, stats[1].misses);
+        assert_eq!(result.l1, stats[0]);
+        assert_eq!(result.l2, Some(stats[1]));
     }
 
     #[test]

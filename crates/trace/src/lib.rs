@@ -119,7 +119,8 @@ impl HardwareReference {
     /// Returns an error string if the source cannot be parsed or elaborated.
     pub fn measure_source(&self, source: &str) -> Result<MeasuredKernel, String> {
         let program = parse_program(source).map_err(|e| e.to_string())?;
-        let scop = elaborate(&program, &ElaborateOptions::with_scalars()).map_err(|e| e.to_string())?;
+        let scop =
+            elaborate(&program, &ElaborateOptions::with_scalars()).map_err(|e| e.to_string())?;
         Ok(self.measure_scop(&scop))
     }
 

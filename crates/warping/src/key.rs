@@ -65,8 +65,7 @@ fn encode_level(
                 None => data.push(i64::MIN + 3),
                 Some(l) => {
                     data.push(l.node as i64);
-                    let normalise =
-                        descendants.contains(&l.node) && l.iter.len() >= warp_depth;
+                    let normalise = descendants.contains(&l.node) && l.iter.len() >= warp_depth;
                     for (d, v) in l.iter.iter().enumerate() {
                         if normalise && d == warp_depth - 1 {
                             data.push(v - current);
@@ -175,6 +174,9 @@ mod tests {
         s2.access(MemBlock(10), AccessKind::Read, 1, &[5]);
         assert_ne!(key_of(&s1, &descendants, 5), key_of(&s2, &descendants, 5));
         let empty = level();
-        assert_ne!(key_of(&s1, &descendants, 5), key_of(&empty, &descendants, 5));
+        assert_ne!(
+            key_of(&s1, &descendants, 5),
+            key_of(&empty, &descendants, 5)
+        );
     }
 }

@@ -64,5 +64,7 @@ pub mod symstate;
 
 pub use key::CanonicalKey;
 pub use plan::WarpPlan;
-pub use simulator::{WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator};
+pub use simulator::{
+    InvalidWarpingOptions, WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator,
+};
 pub use symstate::{SymLevel, SymLine};

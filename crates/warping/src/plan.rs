@@ -53,6 +53,7 @@ pub struct WarpPlan {
 ///   (length `warp_depth - 1`).
 /// * `v0`, `v1` — warped-iterator values of the matched and current states.
 /// * `v_last` — final value of the warped iterator for this loop execution.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_warp(
     descendant_nodes: &[&AccessNode],
     descendant_ids: &HashSet<usize>,
@@ -84,7 +85,11 @@ pub fn plan_warp(
     if byte_shift != 0 && byte_shift % line_size != 0 {
         return None;
     }
-    if byte_shift != 0 && levels.iter().any(|l| l.config.line_size() as i64 != line_size) {
+    if byte_shift != 0
+        && levels
+            .iter()
+            .any(|l| l.config.line_size() as i64 != line_size)
+    {
         return None;
     }
 

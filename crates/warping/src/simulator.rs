@@ -3,20 +3,21 @@
 use crate::key::CanonicalKey;
 use crate::plan::plan_warp;
 use crate::symstate::SymLevel;
-use cache_model::{CacheConfig, HierarchyConfig, LevelStats, MemBlock};
+use cache_model::{CacheConfig, HierarchyConfig, LevelStats, MemBlock, MemoryConfig};
 use polyhedra::Aff;
 use scop::{AccessNode, LoopNode, Node, Scop};
 use simulate::SimulationResult;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// The memory system simulated by the warping simulator.
-#[derive(Clone, Debug)]
-pub enum WarpingMemory {
-    /// A single cache level.
-    Single(CacheConfig),
-    /// A two-level non-inclusive non-exclusive hierarchy.
-    Hierarchy(HierarchyConfig),
-}
+///
+/// This is the workspace-wide [`MemoryConfig`] — the old parallel
+/// `WarpingMemory` enum (`Single`/`Hierarchy`) is gone; construct a
+/// `MemoryConfig` (e.g. via `From<CacheConfig>` or `From<HierarchyConfig>`)
+/// and pass it to [`WarpingSimulator::new`].  The warping simulator supports
+/// configurations of depth 1 and 2.
+pub type WarpingMemory = MemoryConfig;
 
 /// The outcome of a warping simulation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -50,7 +51,7 @@ impl WarpingOutcome {
 /// The defaults keep the overhead of key construction small on loops that
 /// never warp while still finding matches whose period is a small multiple
 /// of the cache-line phase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct WarpingOptions {
     /// Number of initial iterations of each loop execution during which a
     /// match is attempted on every iteration.
@@ -74,15 +75,62 @@ pub struct WarpingOptions {
 
 impl Default for WarpingOptions {
     fn default() -> Self {
-        WarpingOptions {
-            eager_attempts: 32,
-            backoff_interval: 16,
-            max_map_entries: 4096,
-            min_trip_count: 24,
-            max_fruitless_attempts: 512,
-        }
+        WarpingOptions::DEFAULT
     }
 }
+
+impl WarpingOptions {
+    /// The default tuning, as a `const` so it can appear in constant
+    /// contexts (e.g. backend tables).
+    pub const DEFAULT: WarpingOptions = WarpingOptions {
+        eager_attempts: 32,
+        backoff_interval: 16,
+        max_map_entries: 4096,
+        min_trip_count: 24,
+        max_fruitless_attempts: 512,
+    };
+
+    /// Checks the options for values that would make the simulator loop or
+    /// thrash instead of warping.
+    ///
+    /// # Errors
+    ///
+    /// * `backoff_interval == 0` — the match-attempt schedule would divide
+    ///   by zero once the eager phase ends.
+    /// * `max_map_entries == 0` — no symbolic state could ever be
+    ///   remembered, so every match attempt would pay the key-construction
+    ///   cost without any chance of a warp.
+    pub fn validate(&self) -> Result<(), InvalidWarpingOptions> {
+        if self.backoff_interval == 0 {
+            return Err(InvalidWarpingOptions {
+                message: "backoff_interval must be positive (0 would divide by zero in the \
+                          match-attempt schedule)",
+            });
+        }
+        if self.max_map_entries == 0 {
+            return Err(InvalidWarpingOptions {
+                message: "max_map_entries must be positive (0 would attempt matches without \
+                          ever remembering a state, thrashing instead of warping)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`WarpingOptions`] value, reported by
+/// [`WarpingOptions::validate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InvalidWarpingOptions {
+    message: &'static str,
+}
+
+impl fmt::Display for InvalidWarpingOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for InvalidWarpingOptions {}
 
 /// Per-entry bookkeeping of the per-loop hash map of Algorithm 2.
 #[derive(Clone, Debug)]
@@ -144,16 +192,49 @@ impl WarpingSimulator {
         }
     }
 
-    /// A simulator for either kind of memory system.
-    pub fn new(memory: WarpingMemory) -> Self {
-        match memory {
-            WarpingMemory::Single(c) => WarpingSimulator::single(c),
-            WarpingMemory::Hierarchy(h) => WarpingSimulator::hierarchy(h),
+    /// A simulator for any supported memory system.  The configuration is
+    /// [normalized](MemoryConfig::normalized) first, so the hierarchy-wide
+    /// write policy governs write allocation at every level, exactly as in
+    /// non-warping simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for configurations deeper than two levels, which
+    /// the warping simulator does not model.
+    pub fn try_new(memory: WarpingMemory) -> Result<Self, String> {
+        let memory = memory.normalized();
+        match memory.levels() {
+            [l1] => Ok(WarpingSimulator::single(l1.clone())),
+            [_, _] => Ok(WarpingSimulator::hierarchy(
+                memory.to_hierarchy().expect("two levels form a hierarchy"),
+            )),
+            levels => Err(format!(
+                "the warping simulator supports 1- or 2-level memory systems, got {} levels",
+                levels.len()
+            )),
         }
     }
 
+    /// A simulator for any supported memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics for configurations deeper than two levels; use
+    /// [`WarpingSimulator::try_new`] to handle that case gracefully.
+    pub fn new(memory: WarpingMemory) -> Self {
+        WarpingSimulator::try_new(memory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Overrides the tuning options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options fail [`WarpingOptions::validate`]
+    /// (`backoff_interval == 0` or `max_map_entries == 0`).
     pub fn with_options(mut self, options: WarpingOptions) -> Self {
+        if let Err(e) = options.validate() {
+            panic!("invalid warping options: {e}");
+        }
         self.options = options;
         self
     }
@@ -333,7 +414,7 @@ impl WarpingSimulator {
 
     fn should_attempt(&self, iteration_index: u64) -> bool {
         iteration_index < self.options.eager_attempts
-            || iteration_index % self.options.backoff_interval == 0
+            || iteration_index.is_multiple_of(self.options.backoff_interval)
     }
 }
 
@@ -473,6 +554,67 @@ mod tests {
         let reference = simulate_single(&scop, &config);
         let outcome = WarpingSimulator::single(config).run(&scop);
         assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn options_validation_rejects_degenerate_knobs() {
+        assert!(WarpingOptions::default().validate().is_ok());
+        let zero_backoff = WarpingOptions {
+            backoff_interval: 0,
+            ..WarpingOptions::default()
+        };
+        assert!(zero_backoff
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("backoff_interval"));
+        let zero_map = WarpingOptions {
+            max_map_entries: 0,
+            ..WarpingOptions::default()
+        };
+        assert!(zero_map
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_map_entries"));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff_interval")]
+    fn with_options_panics_on_zero_backoff() {
+        let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let _ = WarpingSimulator::single(config).with_options(WarpingOptions {
+            backoff_interval: 0,
+            ..WarpingOptions::default()
+        });
+    }
+
+    #[test]
+    fn memory_config_construction_matches_dedicated_constructors() {
+        let scop = stencil(1000);
+        let single = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let from_memory = WarpingSimulator::new(WarpingMemory::from(single.clone())).run(&scop);
+        let direct = WarpingSimulator::single(single).run(&scop);
+        assert_eq!(from_memory, direct);
+
+        let hierarchy = HierarchyConfig::new(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Lru),
+        );
+        let from_memory = WarpingSimulator::new(WarpingMemory::from(hierarchy.clone())).run(&scop);
+        let direct = WarpingSimulator::hierarchy(hierarchy).run(&scop);
+        assert_eq!(from_memory, direct);
+    }
+
+    #[test]
+    fn three_level_memory_is_rejected() {
+        let memory = WarpingMemory::new(vec![
+            CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(4, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(8, 8, 64, ReplacementPolicy::Lru),
+        ])
+        .unwrap();
+        assert!(WarpingSimulator::try_new(memory).is_err());
     }
 
     #[test]

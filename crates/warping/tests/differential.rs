@@ -45,12 +45,12 @@ fn arb_statement(depth: usize, num_arrays: usize) -> impl Strategy<Value = State
 /// A random one- or two-deep loop nest over small 1D arrays.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        1usize..=3,                 // number of arrays
-        8i64..48,                   // outer trip count
-        prop::bool::ANY,            // nested?
-        prop::bool::ANY,            // triangular inner loop?
-        4i64..24,                   // inner trip count
-        1usize..=3,                 // statements in the innermost body
+        1usize..=3,      // number of arrays
+        8i64..48,        // outer trip count
+        prop::bool::ANY, // nested?
+        prop::bool::ANY, // triangular inner loop?
+        4i64..24,        // inner trip count
+        1usize..=3,      // statements in the innermost body
     )
         .prop_flat_map(|(arrays, n, nested, triangular, m, stmts)| {
             let depth = if nested { 2 } else { 1 };
@@ -109,8 +109,8 @@ fn eager() -> WarpingOptions {
         eager_attempts: u64::MAX,
         backoff_interval: 1,
         max_map_entries: 1 << 16,
-                min_trip_count: 0,
-                max_fruitless_attempts: u64::MAX,
+        min_trip_count: 0,
+        max_fruitless_attempts: u64::MAX,
     }
 }
 
@@ -192,8 +192,8 @@ fn stencil_exact_across_policies_and_geometries() {
                     eager_attempts: u64::MAX,
                     backoff_interval: 1,
                     max_map_entries: 1 << 16,
-                min_trip_count: 0,
-                max_fruitless_attempts: u64::MAX,
+                    min_trip_count: 0,
+                    max_fruitless_attempts: u64::MAX,
                 })
                 .run(&scop);
             assert_eq!(

@@ -1,14 +1,16 @@
-//! Quickstart: parse an affine loop nest, simulate it with and without
-//! warping, and print the outcome.
+//! Quickstart: run one kernel through the unified `Engine` facade with and
+//! without warping, and print the outcome.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use warpsim::prelude::*;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), EngineError> {
     // A small matrix-vector product over an upper-triangular matrix — the
     // example of §3.2 of the paper.
-    let source = "
+    let kernel = KernelSpec::source(
+        "triangular-matvec",
+        "
         double A[400][400];
         double x[400];
         double c[400];
@@ -17,30 +19,42 @@ fn main() -> Result<(), String> {
             for (j = i; j < 400; j++)
                 c[i] = c[i] + A[i][j] * x[j];
         }
-    ";
-    let scop = parse_scop(source)?;
-    println!("SCoP with {} arrays and {} access nodes", scop.arrays().len(), scop.num_access_nodes());
+    ",
+    );
 
     // The test system's L1: 32 KiB, 8-way, 64-byte lines, Pseudo-LRU.
-    let cache = CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Plru);
-    println!("cache: {cache}");
+    let memory = MemoryConfig::test_system_l1(ReplacementPolicy::Plru);
+    println!("kernel: {}", kernel.name());
+    println!("memory: {memory}");
 
-    let reference = simulate_single(&scop, &cache);
+    let engine = Engine::new();
+    let classic = engine.run(&SimRequest::new(
+        kernel.clone(),
+        memory.clone(),
+        Backend::Classic,
+    ))?;
     println!(
-        "non-warping: {} accesses, {} misses ({:.2}% miss ratio)",
-        reference.accesses,
-        reference.l1.misses,
-        100.0 * reference.l1.miss_ratio()
+        "classic: {} accesses, {} misses ({:.2}% miss ratio) in {:.2} ms",
+        classic.result.accesses,
+        classic.result.l1.misses,
+        100.0 * classic.result.l1.miss_ratio(),
+        classic.sim_ms
     );
 
-    let outcome = WarpingSimulator::single(cache).run(&scop);
-    assert_eq!(outcome.result, reference, "warping is exact");
+    let warped = engine.run(&SimRequest::new(kernel, memory, Backend::warping()))?;
+    assert_eq!(warped.result, classic.result, "warping is exact");
+    let stats = warped.warping.expect("warping reports carry warp stats");
     println!(
-        "warping:     {} accesses, {} misses, {} warps, {:.2}% of accesses simulated explicitly",
-        outcome.result.accesses,
-        outcome.result.l1.misses,
-        outcome.warps,
-        100.0 * outcome.non_warped_share()
+        "warping: {} accesses, {} misses, {} warps, {:.2}% of accesses simulated explicitly, \
+         in {:.2} ms",
+        warped.result.accesses,
+        warped.result.l1.misses,
+        stats.warps,
+        100.0 * stats.non_warped_share,
+        warped.sim_ms
     );
+
+    // Every report is one JSON object away from being served.
+    println!("\nas JSON: {}", warped.to_json());
     Ok(())
 }

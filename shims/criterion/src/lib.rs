@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter` and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple timing loop: each benchmark runs `sample_size`
+//! samples (or until `measurement_time` is exceeded) and the median sample
+//! time is printed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A named benchmark, optionally parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId {
+            text: text.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Upper bound on the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Warm-up time hint (accepted for API compatibility; warm-up here is a
+    /// single untimed run).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.text);
+        self
+    }
+
+    /// Runs a benchmark against one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.text);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark body.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times the routine over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_time;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "  {group}/{id}: median {:.3} ms (min {:.3} ms, max {:.3} ms, {} samples)",
+            median.as_secs_f64() * 1e3,
+            min.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based `Serializer`/`Deserializer` pair, this
+//! shim uses a simplified data model: [`Serialize`] converts a value into a
+//! JSON-shaped [`Value`], and [`Deserialize`] reconstructs a value from one.
+//! The `serde_json` shim renders and parses `Value`s.  The surface is kept
+//! source-compatible with the idioms used in this workspace
+//! (`#[derive(Serialize)]`, `T: serde::Serialize` bounds,
+//! `serde_json::to_string_pretty`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value: the data model of this serde stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate to render `u64::MAX` faithfully).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(v) => Some(v),
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`], with a human-readable error.
+    fn deserialize_value(value: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, String> {
+                let v = value
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, got {value:?}"))?;
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, String> {
+                let v = value
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, got {value:?}"))?;
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_f64()
+            .ok_or_else(|| format!("expected number, got {value:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_bool()
+            .ok_or_else(|| format!("expected boolean, got {value:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {value:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("expected array, got {value:?}"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}

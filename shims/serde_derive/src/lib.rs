@@ -1,0 +1,183 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for the shapes this workspace uses:
+//! structs with named fields, and enums whose variants are all unit-like.
+//! The generated impl targets the simplified `serde` shim data model
+//! (`fn serialize_value(&self) -> serde::Value`).
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro walks
+//! the raw token stream, which is sufficient for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields or an enum with
+/// unit variants.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_item(&tokens);
+    let impl_text = match kind {
+        ItemKind::Struct => {
+            let fields = named_fields(&body);
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        ItemKind::Enum => {
+            let variants = unit_variants(&body);
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(", ")
+            )
+        }
+    };
+    impl_text.parse().expect("generated impl parses")
+}
+
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+/// Extracts the item kind, type name and brace-delimited body tokens.
+fn parse_item(tokens: &[TokenTree]) -> (ItemKind, String, Vec<TokenTree>) {
+    let mut iter = tokens.iter().peekable();
+    let mut kind = None;
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" {
+                kind = Some(if text == "struct" {
+                    ItemKind::Struct
+                } else {
+                    ItemKind::Enum
+                });
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let body = tokens
+        .iter()
+        .rev()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(g.stream().into_iter().collect())
+            }
+            _ => None,
+        })
+        .expect("derive(Serialize) requires a braced struct or enum body");
+    (
+        kind.expect("derive(Serialize) input contains `struct` or `enum`"),
+        name.expect("derive(Serialize) input names the type"),
+        body,
+    )
+}
+
+/// Splits a struct body into field names: for each top-level comma-separated
+/// chunk, skips attributes and visibility and takes the ident before `:`.
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut iter = chunk.iter().peekable();
+            while let Some(tt) = iter.peek() {
+                match tt {
+                    // Attribute: `#` followed by a bracket group.
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                        iter.next();
+                    }
+                    TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                        iter.next();
+                        // Optional `(crate)` / `(super)` group after `pub`.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    TokenTree::Ident(_) => {
+                        return match iter.next() {
+                            Some(TokenTree::Ident(ident)) => Some(ident.to_string()),
+                            _ => None,
+                        };
+                    }
+                    _ => return None,
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// Extracts unit-variant names from an enum body, rejecting data-carrying
+/// variants (unsupported by this shim).
+fn unit_variants(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut name = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {}
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {}
+                    TokenTree::Ident(ident) => {
+                        assert!(
+                            name.is_none(),
+                            "derive(Serialize) shim supports unit enum variants only"
+                        );
+                        name = Some(ident.to_string());
+                    }
+                    TokenTree::Group(_) => {
+                        panic!("derive(Serialize) shim supports unit enum variants only")
+                    }
+                    _ => {}
+                }
+            }
+            name
+        })
+        .collect()
+}
+
+/// Splits tokens on top-level commas.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}

@@ -12,8 +12,8 @@
 //! * [`scop`] — the polyhedral program representation: loop/access trees, a
 //!   builder AST and a mini-C frontend (the pet substitute).
 //! * [`cache_model`] — set-associative caches, the LRU/FIFO/Pseudo-LRU/
-//!   Quad-age-LRU replacement policies, write policies and two-level
-//!   hierarchies.
+//!   Quad-age-LRU replacement policies, write policies, two-level
+//!   hierarchies and the N-level [`MemoryConfig`](cache_model::MemoryConfig).
 //! * [`simulate`] — classic, non-warping cache simulation (Algorithm 1).
 //! * [`warping`] — the paper's contribution: warping symbolic cache
 //!   simulation (Algorithm 2).
@@ -21,37 +21,55 @@
 //!   simulator and the hardware-measurement stand-in.
 //! * [`analytical`] — HayStack- and PolyCache-style analytical baselines.
 //! * [`polybench`] — the 30 PolyBench 4.2.1 kernels as SCoPs.
+//! * [`engine`] — **the front door**: one backend-polymorphic API over all
+//!   of the above.  An [`Engine`](engine::Engine) dispatches
+//!   [`SimRequest`](engine::SimRequest)s (kernel × memory × backend) to any
+//!   of the five simulators and returns unified, JSON-serializable
+//!   [`SimReport`](engine::SimReport)s; request grids fan out across
+//!   threads with [`run_batch`](engine::Engine::run_batch).
 //!
 //! # Quickstart
 //!
 //! ```
 //! use warpsim::prelude::*;
 //!
-//! // The paper's running example: a 1D stencil.
-//! let scop = parse_scop(
+//! // The paper's running example: a 1D stencil ...
+//! let kernel = KernelSpec::source(
+//!     "stencil",
 //!     "double A[1000]; double B[1000];
 //!      for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
-//! )?;
-//!
-//! // A two-line fully-associative LRU cache, one array cell per line.
-//! let cache = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+//! );
+//! // ... on a two-line fully-associative LRU cache, one array cell per line.
+//! let memory = MemoryConfig::from(
+//!     CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru),
+//! );
 //!
 //! // Non-warping and warping simulation agree exactly ...
-//! let reference = simulate_single(&scop, &cache);
-//! let outcome = WarpingSimulator::single(cache).run(&scop);
-//! assert_eq!(outcome.result, reference);
-//! assert_eq!(reference.l1.misses, 3 + 2 * 997);
+//! let engine = Engine::new();
+//! let reference =
+//!     engine.run(&SimRequest::new(kernel.clone(), memory.clone(), Backend::Classic))?;
+//! let outcome = engine.run(&SimRequest::new(kernel, memory, Backend::warping()))?;
+//! assert_eq!(outcome.result, reference.result);
+//! assert_eq!(reference.result.l1.misses, 3 + 2 * 997);
 //!
 //! // ... but warping skips almost all of the accesses.
-//! assert!(outcome.warped_accesses > 9 * outcome.non_warped_accesses);
-//! # Ok::<(), String>(())
+//! let stats = outcome.warping.unwrap();
+//! assert!(stats.warped_accesses > 9 * stats.non_warped_accesses);
+//! # Ok::<(), warpsim::engine::EngineError>(())
 //! ```
+//!
+//! The legacy per-simulator entry points (`simulate_single`,
+//! `WarpingSimulator`, `HaystackModel`, `dinero_style_simulation`, ...)
+//! remain available — the engine is a facade over them, not a replacement —
+//! but new code should prefer the engine: it is the seam where batching,
+//! result caching and serving plug in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use analytical;
 pub use cache_model;
+pub use engine;
 pub use polybench;
 pub use polyhedra;
 pub use scop;
@@ -64,14 +82,17 @@ pub mod prelude {
     pub use analytical::{HaystackModel, PolyCacheModel};
     pub use cache_model::{
         Access, AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, MemBlock,
-        ReplacementPolicy, WritePolicy,
+        MemoryConfig, MemoryConfigError, ReplacementPolicy, WritePolicy,
+    };
+    pub use engine::{
+        Backend, Engine, EngineError, KernelSpec, SimReport, SimRequest, WarpingStats,
     };
     pub use polybench::{Dataset, Kernel};
     pub use polyhedra::{Aff, BasicSet, Constraint, Set};
     pub use scop::{parse_scop, ElaborateOptions, Scop};
     pub use simulate::{
-        simulate, simulate_hierarchy, simulate_single, MemorySystem, SimulationResult,
-        SingleCacheSystem, TwoLevelSystem,
+        simulate, simulate_hierarchy, simulate_memory, simulate_single, MemorySystem,
+        MultiLevelSystem, SimulationResult, SingleCacheSystem, TwoLevelSystem,
     };
     pub use trace_sim::{dinero_style_simulation, generate_trace, HardwareReference};
     pub use warping::{WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator};

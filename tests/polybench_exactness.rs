@@ -57,10 +57,18 @@ fn all_policies_are_exact_on_representative_kernels() {
 
 #[test]
 fn two_level_hierarchy_is_exact_on_representative_kernels() {
-    let kernels = [Kernel::Jacobi1d, Kernel::Jacobi2d, Kernel::Atax, Kernel::Trisolv];
+    let kernels = [
+        Kernel::Jacobi1d,
+        Kernel::Jacobi2d,
+        Kernel::Atax,
+        Kernel::Trisolv,
+    ];
     for kernel in kernels {
         let scop = kernel.build(Dataset::Mini).expect("kernel builds");
-        for config in [HierarchyConfig::test_system(), HierarchyConfig::polycache_comparison()] {
+        for config in [
+            HierarchyConfig::test_system(),
+            HierarchyConfig::polycache_comparison(),
+        ] {
             let reference = simulate_hierarchy(&scop, &config);
             let outcome = WarpingSimulator::hierarchy(config).run(&scop);
             assert_eq!(outcome.result, reference, "{kernel}");
@@ -72,7 +80,12 @@ fn two_level_hierarchy_is_exact_on_representative_kernels() {
 fn small_caches_stress_eviction_paths() {
     // Small, low-associativity caches maximise evictions and stress the
     // warp-validity checks.
-    let kernels = [Kernel::Jacobi1d, Kernel::Seidel2d, Kernel::Gemver, Kernel::Lu];
+    let kernels = [
+        Kernel::Jacobi1d,
+        Kernel::Seidel2d,
+        Kernel::Gemver,
+        Kernel::Lu,
+    ];
     for kernel in kernels {
         let scop = kernel.build(Dataset::Mini).expect("kernel builds");
         for (sets, assoc) in [(4usize, 1usize), (8, 2), (16, 4)] {
@@ -80,7 +93,10 @@ fn small_caches_stress_eviction_paths() {
                 let cache = CacheConfig::with_sets(sets, assoc, 64, policy);
                 let reference = simulate_single(&scop, &cache);
                 let outcome = WarpingSimulator::single(cache).run(&scop);
-                assert_eq!(outcome.result, reference, "{kernel} {sets}x{assoc} {policy}");
+                assert_eq!(
+                    outcome.result, reference,
+                    "{kernel} {sets}x{assoc} {policy}"
+                );
             }
         }
     }
@@ -88,7 +104,12 @@ fn small_caches_stress_eviction_paths() {
 
 #[test]
 fn analytical_models_agree_with_simulation_on_polybench() {
-    for kernel in [Kernel::Jacobi1d, Kernel::Atax, Kernel::Doitgen, Kernel::Trisolv] {
+    for kernel in [
+        Kernel::Jacobi1d,
+        Kernel::Atax,
+        Kernel::Doitgen,
+        Kernel::Trisolv,
+    ] {
         let scop = kernel.build(Dataset::Mini).expect("kernel builds");
         // HayStack stand-in vs fully-associative LRU simulation.
         let fa = CacheConfig::fully_associative(64, 64, ReplacementPolicy::Lru);
@@ -108,7 +129,9 @@ fn analytical_models_agree_with_simulation_on_polybench() {
 fn stencils_warp_the_vast_majority_of_accesses_at_scale() {
     // The paper's headline claim: for stencils, warping skips almost all
     // accesses once the problem is large relative to the cache.
-    let scop = Kernel::Jacobi1d.build(Dataset::Medium).expect("kernel builds");
+    let scop = Kernel::Jacobi1d
+        .build(Dataset::Medium)
+        .expect("kernel builds");
     let cache = l1(ReplacementPolicy::Plru);
     let outcome = WarpingSimulator::single(cache).run(&scop);
     assert!(
