@@ -139,8 +139,8 @@ mod tests {
         );
         let reference = simulate_hierarchy(&stencil(), &config);
         let result = PolyCacheModel::new(config).analyze(&stencil());
-        assert_eq!(result.l1_misses, reference.l1.misses);
-        assert_eq!(result.l2_misses, reference.l2.unwrap().misses);
+        assert_eq!(result.l1_misses, reference.l1().misses);
+        assert_eq!(result.l2_misses, reference.l2().unwrap().misses);
         assert_eq!(result.accesses, reference.accesses);
     }
 
@@ -149,8 +149,8 @@ mod tests {
         let config = HierarchyConfig::polycache_comparison();
         let reference = simulate_hierarchy(&stencil(), &config);
         let result = PolyCacheModel::new(config).analyze(&stencil());
-        assert_eq!(result.l1_misses, reference.l1.misses);
-        assert_eq!(result.l2_misses, reference.l2.unwrap().misses);
+        assert_eq!(result.l1_misses, reference.l1().misses);
+        assert_eq!(result.l2_misses, reference.l2().unwrap().misses);
     }
 
     #[test]

@@ -46,8 +46,8 @@ proptest! {
         let profile = HaystackModel::new(64).analyze(&scop);
         let config = CacheConfig::fully_associative(lines, 64, ReplacementPolicy::Lru);
         let reference = simulate_single(&scop, &config);
-        prop_assert_eq!(profile.misses(lines), reference.l1.misses);
-        prop_assert_eq!(profile.hits(lines), reference.l1.hits);
+        prop_assert_eq!(profile.misses(lines), reference.l1().misses);
+        prop_assert_eq!(profile.hits(lines), reference.l1().hits);
         prop_assert_eq!(profile.accesses, reference.accesses);
     }
 
@@ -60,8 +60,8 @@ proptest! {
         );
         let reference = simulate_hierarchy(&scop, &config);
         let result = PolyCacheModel::new(config).analyze(&scop);
-        prop_assert_eq!(result.l1_misses, reference.l1.misses);
-        prop_assert_eq!(result.l2_misses, reference.l2.unwrap().misses);
+        prop_assert_eq!(result.l1_misses, reference.l1().misses);
+        prop_assert_eq!(result.l2_misses, reference.l2().unwrap().misses);
     }
 
     #[test]
@@ -71,7 +71,7 @@ proptest! {
         for lines in [1usize, 2, 3, 5, 8, 13] {
             let config = CacheConfig::fully_associative(lines, 8, ReplacementPolicy::Lru);
             let reference = simulate_single(&scop, &config);
-            prop_assert_eq!(profile.misses(lines), reference.l1.misses, "lines = {}", lines);
+            prop_assert_eq!(profile.misses(lines), reference.l1().misses, "lines = {}", lines);
         }
     }
 }

@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
                         .with_options(options)
                         .run(scop)
                         .result
-                        .l1
+                        .l1()
                         .misses
                 })
             });

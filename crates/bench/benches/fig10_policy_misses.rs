@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                         WarpingSimulator::single(test_system_l1(policy))
                             .run(scop)
                             .result
-                            .l1
+                            .l1()
                             .misses
                     })
                 },

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("nonwarping", kernel.name()),
             &scop,
-            |b, scop| b.iter(|| simulate_single(scop, &cache).l1.misses),
+            |b, scop| b.iter(|| simulate_single(scop, &cache).l1().misses),
         );
     }
     group.finish();

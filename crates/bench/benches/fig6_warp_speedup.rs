@@ -24,12 +24,12 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("warping/{policy}"), kernel.name()),
                 &scop,
-                |b, scop| b.iter(|| run_warping(scop, &cache).1.result.l1.misses),
+                |b, scop| b.iter(|| run_warping(scop, &cache).1.result.l1().misses),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("nonwarping/{policy}"), kernel.name()),
                 &scop,
-                |b, scop| b.iter(|| run_nonwarping(scop, &cache).1.l1.misses),
+                |b, scop| b.iter(|| run_nonwarping(scop, &cache).1.l1().misses),
             );
         }
     }

@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                     WarpingSimulator::single(cache.clone())
                         .run(&scop)
                         .result
-                        .l1
+                        .l1()
                         .misses
                 })
             },

@@ -21,9 +21,19 @@
 //!           harness grid [--size S] [--kernels k1,k2,...]
 //!                        [--policies lru,fifo,plru,qlru]
 //!                        [--backends classic,warping,haystack,polycache,trace]
-//!                        [--hierarchy] [--threads N] [--json]
-//!           --hierarchy simulates two-level (L1+L2) memories, which the
-//!           polycache backend and two-level comparisons require
+//!                        [--levels SPEC] [--threads N] [--json]
+//!
+//!           --levels describes the memory system as a comma-separated list
+//!           of cache levels, innermost first.  Each level is
+//!           `[name:]size:assoc:line_size` with `K`/`M` size suffixes, e.g.
+//!
+//!               --levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64
+//!
+//!           for an L1/L2/L3 hierarchy (the optional `l1:`-style name is
+//!           documentation only).  The named presets `l1` (default,
+//!           single-level 32K:8:64), `l1l2` (adds a 1M 16-way L2) and
+//!           `l1l2l3` (adds an 8M 16-way L3) cover the common scenarios.
+//!           Every level uses the replacement policy of the grid row.
 //! ```
 
 use bench_suite::*;
@@ -42,7 +52,7 @@ fn main() {
     let mut kernels: Vec<Kernel> = Kernel::ALL.to_vec();
     let mut policies: Vec<ReplacementPolicy> = vec![ReplacementPolicy::Plru];
     let mut backends: Vec<Backend> = vec![Backend::Classic, Backend::warping()];
-    let mut hierarchy = false;
+    let mut levels = LevelsSpec::default();
     let mut threads: Option<usize> = None;
     let mut json = false;
     let mut i = 1;
@@ -100,7 +110,15 @@ fn main() {
                         .unwrap_or_else(|| die("--threads expects a number")),
                 );
             }
-            "--hierarchy" => hierarchy = true,
+            "--levels" => {
+                i += 1;
+                levels = parse_levels(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--hierarchy" => die(
+                "--hierarchy was replaced by the depth-N `--levels` spec; use \
+                 `--levels l1l2` for the old two-level configuration",
+            ),
             "--json" => json = true,
             other => die(&format!("unknown argument `{other}`")),
         }
@@ -150,7 +168,7 @@ fn main() {
             fig12_text,
         ),
         "verify" => verify(&config),
-        "grid" => grid(&config, &policies, &backends, hierarchy, threads, json),
+        "grid" => grid(&config, &policies, &backends, &levels, threads, json),
         "all" => {
             emit(
                 json,
@@ -202,6 +220,99 @@ fn main() {
     }
 }
 
+/// The memory-system geometry of a grid run: one `(size, assoc, line)`
+/// triple per cache level, innermost first.  The replacement policy is
+/// filled in per grid row.
+struct LevelsSpec {
+    geometries: Vec<(u64, usize, u64)>,
+}
+
+impl Default for LevelsSpec {
+    fn default() -> Self {
+        // The test system's L1 alone, as before the `--levels` flag.
+        LevelsSpec {
+            geometries: vec![(32 * 1024, 8, 64)],
+        }
+    }
+}
+
+impl LevelsSpec {
+    /// Instantiates the geometry with one replacement policy at all levels.
+    fn memory(&self, policy: ReplacementPolicy) -> MemoryConfig {
+        let levels: Vec<CacheConfig> = self
+            .geometries
+            .iter()
+            .map(|&(size, assoc, line)| CacheConfig::new(size, assoc, line, policy))
+            .collect();
+        MemoryConfig::new(levels).unwrap_or_else(|e| die(&format!("invalid --levels spec: {e}")))
+    }
+}
+
+/// Parses a `--levels` value: either a preset name (`l1`, `l1l2`, `l1l2l3`)
+/// or a comma-separated list of `[name:]size:assoc:line_size` levels.
+fn parse_levels(spec: &str) -> Result<LevelsSpec, String> {
+    match spec {
+        "" => return Err("--levels expects a spec, e.g. l1:32K:8:64,l2:256K:8:64".to_string()),
+        "l1" => return Ok(LevelsSpec::default()),
+        "l1l2" => {
+            return Ok(LevelsSpec {
+                geometries: vec![(32 * 1024, 8, 64), (1024 * 1024, 16, 64)],
+            })
+        }
+        "l1l2l3" => {
+            return Ok(LevelsSpec {
+                geometries: vec![
+                    (32 * 1024, 8, 64),
+                    (1024 * 1024, 16, 64),
+                    (8 * 1024 * 1024, 16, 64),
+                ],
+            })
+        }
+        _ => {}
+    }
+    let mut geometries = Vec::new();
+    for level in spec.split(',') {
+        let fields: Vec<&str> = level.split(':').collect();
+        // An optional leading `l1`-style name is documentation only.
+        let fields = match fields.as_slice() {
+            [name, rest @ ..] if rest.len() == 3 && name.parse::<u64>().is_err() => rest,
+            rest => rest,
+        };
+        let [size, assoc, line] = fields else {
+            return Err(format!(
+                "level `{level}` must be [name:]size:assoc:line_size (e.g. l1:32K:8:64)"
+            ));
+        };
+        let size = parse_size(size)
+            .ok_or_else(|| format!("invalid cache size `{size}` in level `{level}`"))?;
+        let assoc: usize = assoc
+            .parse()
+            .map_err(|_| format!("invalid associativity `{assoc}` in level `{level}`"))?;
+        let line = parse_size(line)
+            .ok_or_else(|| format!("invalid line size `{line}` in level `{level}`"))?;
+        if size == 0 || assoc == 0 || line == 0 {
+            return Err(format!("level `{level}` has a zero parameter"));
+        }
+        geometries.push((size, assoc, line));
+    }
+    Ok(LevelsSpec { geometries })
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix.
+fn parse_size(text: &str) -> Option<u64> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.as_bytes().last()? {
+        b'k' | b'K' => (&text[..text.len() - 1], 1024),
+        b'm' | b'M' => (&text[..text.len() - 1], 1024 * 1024),
+        b'g' | b'G' => (&text[..text.len() - 1], 1024 * 1024 * 1024),
+        _ => (text, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+}
+
 /// Fans a kernel × policy × backend grid out through [`Engine::run_batch`]
 /// and prints one row (or JSON report) per request.  Backends that cannot
 /// serve a combination — e.g. `polycache` on a single-level memory — show
@@ -210,7 +321,7 @@ fn grid(
     config: &ExperimentConfig,
     policies: &[ReplacementPolicy],
     backends: &[Backend],
-    hierarchy: bool,
+    levels: &LevelsSpec,
     threads: Option<usize>,
     json: bool,
 ) {
@@ -221,19 +332,7 @@ fn grid(
         .collect();
     let memories: Vec<MemoryConfig> = policies
         .iter()
-        .map(|&policy| {
-            if hierarchy {
-                // The test system's private levels with a uniform policy
-                // (1 MiB 16-way L2) — the shape `polycache` and the
-                // two-level simulators expect.
-                MemoryConfig::two_level(
-                    test_system_l1(policy),
-                    CacheConfig::new(1024 * 1024, 16, 64, policy),
-                )
-            } else {
-                MemoryConfig::from(test_system_l1(policy))
-            }
-        })
+        .map(|&policy| levels.memory(policy))
         .collect();
     let requests = SimRequest::grid(&kernels, &memories, backends);
     let mut engine = Engine::new();
@@ -454,7 +553,8 @@ fn print_usage() {
         "usage: harness <fig6|fig7|fig8|fig9|fig10|fig11|fig12|verify|grid|all> \
          [--size mini|small|medium|large|extralarge] [--kernels a,b,c] \
          [--policies lru,fifo,plru,qlru] \
-         [--backends classic,warping,haystack,polycache,trace] [--hierarchy] \
+         [--backends classic,warping,haystack,polycache,trace] \
+         [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
          [--threads N] [--json]"
     );
 }

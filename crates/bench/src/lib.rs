@@ -96,7 +96,7 @@ fn warping_outcome(report: &SimReport) -> WarpingOutcome {
         .warping
         .expect("warping reports carry warping statistics");
     WarpingOutcome {
-        result: report.result,
+        result: report.result.clone(),
         non_warped_accesses: stats.non_warped_accesses,
         warped_accesses: stats.warped_accesses,
         warps: stats.warps,
@@ -255,7 +255,7 @@ pub fn fig8(config: &ExperimentConfig) -> Vec<Fig8Row> {
             warping_ms: warp.total_ms(),
             haystack_ms: hay.total_ms(),
             speedup: ratio_ms(hay.total_ms(), warp.total_ms()),
-            exact: warp.result.l1.misses == hay.result.l1.misses,
+            exact: warp.result.l1().misses == hay.result.l1().misses,
         });
     }
     rows
@@ -297,8 +297,8 @@ pub fn fig9(config: &ExperimentConfig) -> Vec<Fig9Row> {
             warping_ms: warp.total_ms(),
             polycache_ms: poly.total_ms(),
             speedup: ratio_ms(poly.total_ms(), warp.total_ms()),
-            exact: warp.result.l1.misses == poly.result.l1.misses
-                && warp.result.l2.map(|l| l.misses) == poly.result.l2.map(|l| l.misses),
+            exact: warp.result.l1().misses == poly.result.l1().misses
+                && warp.result.l2().map(|l| l.misses) == poly.result.l2().map(|l| l.misses),
         });
     }
     rows
@@ -332,7 +332,7 @@ pub fn fig10(config: &ExperimentConfig) -> Vec<Fig10Row> {
         let misses = |memory: CacheConfig| {
             run(&SimRequest::new(spec.clone(), memory, Backend::warping()))
                 .result
-                .l1
+                .l1()
                 .misses
         };
         let lru = misses(test_system_l1(ReplacementPolicy::Lru));
@@ -394,7 +394,7 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Fig11Row> {
             Backend::Trace,
         ))
         .result
-        .l1
+        .l1()
         .misses;
         // Warping: the test system's PLRU cache, arrays only.  Built once
         // and shared with the HayStack request below.
@@ -408,7 +408,7 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Fig11Row> {
             Backend::warping(),
         ))
         .result
-        .l1
+        .l1()
         .misses;
         // HayStack: fully-associative LRU, arrays only.
         let haystack_misses = run(&SimRequest::new(
@@ -417,7 +417,7 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Fig11Row> {
             Backend::Haystack,
         ))
         .result
-        .l1
+        .l1()
         .misses;
         let dinero = AccuracyError::of(dinero_misses, measured);
         let warping = AccuracyError::of(warping_misses, measured);
@@ -490,7 +490,7 @@ pub fn running_example_misses() -> Vec<(ReplacementPolicy, u64)> {
         .map(|&p| {
             let config = CacheConfig::fully_associative(2, 8, p);
             let report = run(&SimRequest::new(spec.clone(), config, Backend::Classic));
-            (p, report.result.l1.misses)
+            (p, report.result.l1().misses)
         })
         .collect()
 }

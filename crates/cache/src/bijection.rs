@@ -8,6 +8,7 @@
 use crate::block::MemBlock;
 use crate::cache::{CacheConfig, CacheState};
 use crate::hierarchy::{HierarchyConfig, HierarchyState};
+use crate::multilevel::MultiLevelState;
 
 /// A bijection on memory blocks given by a shift: `π(b) = b + delta`.
 ///
@@ -64,10 +65,37 @@ impl ShiftBijection {
         config: &HierarchyConfig,
         state: &HierarchyState<MemBlock>,
     ) -> HierarchyState<MemBlock> {
-        HierarchyState {
-            l1: self.apply_to_cache(&config.l1, &state.l1),
-            l2: self.apply_to_cache(&config.l2, &state.l2),
-        }
+        HierarchyState::from_levels(
+            self.apply_to_cache(&config.l1, state.l1()),
+            self.apply_to_cache(&config.l2, state.l2()),
+        )
+    }
+
+    /// Applies the bijection to an N-level state (Corollary 5 generalized):
+    /// every level is renamed with the same block bijection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration and the state disagree on the number of
+    /// levels.
+    pub fn apply_to_levels(
+        &self,
+        config: &crate::MemoryConfig,
+        state: &MultiLevelState<MemBlock>,
+    ) -> MultiLevelState<MemBlock> {
+        assert_eq!(
+            config.depth(),
+            state.depth(),
+            "the configuration and the state must have the same number of levels"
+        );
+        MultiLevelState::from_levels(
+            config
+                .levels()
+                .iter()
+                .zip(state.levels())
+                .map(|(level, cache)| self.apply_to_cache(level, cache))
+                .collect(),
+        )
     }
 }
 

@@ -1,7 +1,14 @@
 //! Two-level cache hierarchies.
+//!
+//! [`HierarchyConfig`] and [`HierarchyState`] predate the N-level
+//! [`MemoryConfig`](crate::MemoryConfig)/[`MultiLevelState`] pair and are
+//! kept as thin compatibility shims: the state delegates every access to
+//! the shared N-level walk, and new code should construct a `MemoryConfig`
+//! directly.
 
 use crate::block::{Access, AccessKind, MemBlock};
 use crate::cache::{CacheConfig, CacheState, LevelStats};
+use crate::multilevel::{walk_access, MultiAccessOutcome, MultiLevelState};
 
 /// Write policy of a cache level.
 ///
@@ -104,23 +111,51 @@ pub struct AccessOutcome {
     pub l2_hit: Option<bool>,
 }
 
+impl From<MultiAccessOutcome> for AccessOutcome {
+    fn from(outcome: MultiAccessOutcome) -> Self {
+        AccessOutcome {
+            l1_hit: outcome.hit_at(0).unwrap_or(false),
+            l2_hit: outcome.hit_at(1),
+        }
+    }
+}
+
 /// The state of a two-level non-inclusive non-exclusive hierarchy, generic
 /// over the line payload.
+///
+/// Compatibility shim over [`MultiLevelState`]: every access delegates to
+/// the shared N-level walk.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct HierarchyState<B> {
-    /// L1 state.
-    pub l1: CacheState<B>,
-    /// L2 state.
-    pub l2: CacheState<B>,
+    inner: MultiLevelState<B>,
 }
 
 impl<B: Clone> HierarchyState<B> {
     /// An empty hierarchy with the geometry of `config`.
     pub fn new(config: &HierarchyConfig) -> Self {
         HierarchyState {
-            l1: CacheState::new(&config.l1),
-            l2: CacheState::new(&config.l2),
+            inner: MultiLevelState::from_levels(vec![
+                CacheState::new(&config.l1),
+                CacheState::new(&config.l2),
+            ]),
         }
+    }
+
+    /// Assembles a hierarchy state from explicit per-level states.
+    pub fn from_levels(l1: CacheState<B>, l2: CacheState<B>) -> Self {
+        HierarchyState {
+            inner: MultiLevelState::from_levels(vec![l1, l2]),
+        }
+    }
+
+    /// The L1 state.
+    pub fn l1(&self) -> &CacheState<B> {
+        self.inner.level(0)
+    }
+
+    /// The L2 state.
+    pub fn l2(&self) -> &CacheState<B> {
+        self.inner.level(1)
     }
 }
 
@@ -128,39 +163,26 @@ impl HierarchyState<MemBlock> {
     /// Performs a read access to a block (Equation 24 of the paper):
     /// the L2 is only consulted — and updated — when the L1 misses.
     pub fn access_block(&mut self, config: &HierarchyConfig, block: MemBlock) -> AccessOutcome {
-        let l1_hit = self.l1.access_block(&config.l1, block);
-        let l2_hit = if l1_hit {
-            None
-        } else {
-            Some(self.l2.access_block(&config.l2, block))
-        };
-        AccessOutcome { l1_hit, l2_hit }
+        let configs = [&config.l1, &config.l2];
+        walk_access(
+            configs.into_iter().zip(self.inner.levels_mut().iter_mut()),
+            block,
+            true,
+        )
+        .into()
     }
 
     /// Performs an access honouring the hierarchy's write policy.
     pub fn access(&mut self, config: &HierarchyConfig, access: Access) -> AccessOutcome {
-        if access.kind == AccessKind::Write && !config.write_policy.allocates_on_write() {
-            // No-write-allocate: classify without filling; the write is
-            // forwarded to the next level which applies the same policy.
-            let block = config.l1.block_of_address(access.address);
-            let l1_hit = if self.l1.classify_block(&config.l1, block) {
-                self.l1.access_block(&config.l1, block)
-            } else {
-                false
-            };
-            let l2_hit = if l1_hit {
-                None
-            } else {
-                Some(if self.l2.classify_block(&config.l2, block) {
-                    self.l2.access_block(&config.l2, block)
-                } else {
-                    false
-                })
-            };
-            AccessOutcome { l1_hit, l2_hit }
-        } else {
-            self.access_block(config, config.l1.block_of_address(access.address))
-        }
+        let block = config.l1.block_of_address(access.address);
+        let fill = access.kind != AccessKind::Write || config.write_policy.allocates_on_write();
+        let configs = [&config.l1, &config.l2];
+        walk_access(
+            configs.into_iter().zip(self.inner.levels_mut().iter_mut()),
+            block,
+            fill,
+        )
+        .into()
     }
 }
 

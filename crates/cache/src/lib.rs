@@ -10,12 +10,13 @@
 //!   [`ReplacementPolicy::Plru`] and [`ReplacementPolicy::Qlru`],
 //! * individual cache sets ([`SetState`]), set-associative caches with modulo
 //!   placement ([`CacheConfig`], [`CacheState`]),
-//! * two-level non-inclusive non-exclusive hierarchies
-//!   ([`HierarchyConfig`], [`HierarchyState`]) with write-allocate and
-//!   no-write-allocate write policies,
-//! * the N-level [`MemoryConfig`] — the workspace-wide memory-system
-//!   description accepted by every simulator backend, with conversions from
-//!   [`CacheConfig`] and [`HierarchyConfig`] and JSON (de)serialization,
+//! * the depth-N memory system: [`MemoryConfig`] describes any number of
+//!   non-inclusive non-exclusive cache levels (with write-allocate and
+//!   no-write-allocate write policies, conversions from [`CacheConfig`] and
+//!   [`HierarchyConfig`], and JSON (de)serialization) and
+//!   [`MultiLevelState`] simulates them through one inclusive access path
+//!   shared by every simulator ([`HierarchyConfig`]/[`HierarchyState`]
+//!   remain as thin two-level compatibility shims),
 //! * block bijections and rotations ([`bijection`]) used to state and test
 //!   the data-independence theorems.
 //!
@@ -44,6 +45,7 @@ mod block;
 mod cache;
 mod hierarchy;
 mod memory;
+mod multilevel;
 mod policy;
 mod set;
 
@@ -51,5 +53,6 @@ pub use block::{Access, AccessKind, MemBlock};
 pub use cache::{CacheConfig, CacheState, LevelStats};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyState, HierarchyStats, WritePolicy};
 pub use memory::{MemoryConfig, MemoryConfigError};
+pub use multilevel::{MultiAccessOutcome, MultiLevelState};
 pub use policy::{PolicyState, ReplacementPolicy};
 pub use set::SetState;

@@ -152,6 +152,30 @@ impl MemoryConfig {
         MemoryConfig::from(HierarchyConfig::new(l1, l2))
     }
 
+    /// A three-level memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions [`MemoryConfig::new`] reports as errors:
+    /// mismatched line sizes, a set count that is not a multiple of the
+    /// previous level's, or mixed write-allocate flags.
+    pub fn three_level(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Self {
+        MemoryConfig::new(vec![l1, l2, l3]).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Appends a further (outer) cache level, returning `self` for chaining.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new level's line size or set count is
+    /// incompatible with the existing last level.
+    pub fn with_level(self, level: CacheConfig) -> Result<Self, MemoryConfigError> {
+        let policy = self.write_policy;
+        let mut levels = self.normalized().levels;
+        levels.push(level.with_write_allocate(policy.allocates_on_write()));
+        Ok(MemoryConfig::new(levels)?.with_write_policy(policy))
+    }
+
     /// Sets the write policy, returning `self` for chaining.
     pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
         self.write_policy = policy;
@@ -228,6 +252,19 @@ impl MemoryConfig {
     /// L2).
     pub fn test_system() -> Self {
         MemoryConfig::from(HierarchyConfig::test_system())
+    }
+
+    /// The test system extended by a Cascade-Lake-sized shared L3 slice
+    /// (8 MiB, 16-way, Quad-age LRU): the depth-3 scenario family.
+    pub fn test_system_l3() -> Self {
+        MemoryConfig::test_system()
+            .with_level(CacheConfig::new(
+                8 * 1024 * 1024,
+                16,
+                64,
+                ReplacementPolicy::Qlru,
+            ))
+            .expect("the L3 slice is compatible with the private levels")
     }
 }
 

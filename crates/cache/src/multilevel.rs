@@ -1,0 +1,229 @@
+//! The N-level cache state: one inclusive access/classify path shared by
+//! every simulator.
+//!
+//! [`MultiLevelState`] generalizes the old `CacheState` vs. `HierarchyState`
+//! dual: an ordered list of per-level states (L1 first) driven by a
+//! [`MemoryConfig`].  On a miss at level `i` the access is forwarded to
+//! level `i + 1`; the hierarchy-wide write policy decides whether write
+//! misses allocate.  `HierarchyState` remains as a thin compatibility shim
+//! delegating to this type.
+
+use crate::block::{Access, AccessKind, MemBlock};
+use crate::cache::{CacheState, LevelStats};
+use crate::memory::MemoryConfig;
+
+/// The outcome of an access walking an N-level hierarchy from the L1
+/// downwards: the access consulted levels `0..levels_consulted` and either
+/// hit at the deepest consulted level or missed everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MultiAccessOutcome {
+    /// Number of levels the access reached (at least 1).
+    pub levels_consulted: usize,
+    /// Whether the deepest consulted level hit.  `false` means the access
+    /// missed at every consulted level (which is then every level).
+    pub hit: bool,
+}
+
+impl MultiAccessOutcome {
+    /// Whether level `idx` was consulted and hit.  `None` if the access
+    /// never reached that level (an enclosing level hit first).
+    pub fn hit_at(&self, idx: usize) -> Option<bool> {
+        if idx + 1 < self.levels_consulted {
+            Some(false)
+        } else if idx + 1 == self.levels_consulted {
+            Some(self.hit)
+        } else {
+            None
+        }
+    }
+
+    /// Folds the outcome into per-level counters (`stats[i]` is level `i`).
+    pub fn record_into(&self, stats: &mut [LevelStats]) {
+        for (idx, level) in stats.iter_mut().enumerate().take(self.levels_consulted) {
+            level.record(self.hit && idx + 1 == self.levels_consulted);
+        }
+    }
+}
+
+/// Walks one access from the L1 outwards over `(config, state)` pairs: each
+/// level is consulted until one hits.  With `fill == false` (a write under
+/// no-write-allocate) a missing block is classified without being inserted,
+/// while a present block is still accessed so the replacement-policy state
+/// advances.
+///
+/// This is the single inclusive access path behind [`MultiLevelState`] and
+/// the legacy `HierarchyState` shim.
+pub(crate) fn walk_access<'a, I>(levels: I, block: MemBlock, fill: bool) -> MultiAccessOutcome
+where
+    I: Iterator<Item = (&'a crate::cache::CacheConfig, &'a mut CacheState<MemBlock>)>,
+{
+    let mut consulted = 0;
+    let mut hit = false;
+    for (config, state) in levels {
+        consulted += 1;
+        hit = if fill {
+            state.access_block(config, block)
+        } else {
+            state.classify_block(config, block) && state.access_block(config, block)
+        };
+        if hit {
+            break;
+        }
+    }
+    MultiAccessOutcome {
+        levels_consulted: consulted,
+        hit,
+    }
+}
+
+/// The state of an N-level non-inclusive non-exclusive hierarchy, generic
+/// over the line payload.  Level 0 is the L1.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MultiLevelState<B> {
+    levels: Vec<CacheState<B>>,
+}
+
+impl<B: Clone> MultiLevelState<B> {
+    /// An empty hierarchy with the geometry of `config`.
+    pub fn new(config: &MemoryConfig) -> Self {
+        MultiLevelState {
+            levels: config.levels().iter().map(CacheState::new).collect(),
+        }
+    }
+
+    /// Assembles a state from per-level cache states (L1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn from_levels(levels: Vec<CacheState<B>>) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        MultiLevelState { levels }
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level states, L1 first.
+    pub fn levels(&self) -> &[CacheState<B>] {
+        &self.levels
+    }
+
+    /// The state of level `idx` (0 is the L1).
+    pub fn level(&self, idx: usize) -> &CacheState<B> {
+        &self.levels[idx]
+    }
+
+    /// Mutable access to the state of level `idx`.
+    pub fn level_mut(&mut self, idx: usize) -> &mut CacheState<B> {
+        &mut self.levels[idx]
+    }
+
+    /// Mutable access to all per-level states, L1 first.
+    pub fn levels_mut(&mut self) -> &mut [CacheState<B>] {
+        &mut self.levels
+    }
+}
+
+impl MultiLevelState<MemBlock> {
+    /// Performs a read access to a block (Equation 24 of the paper,
+    /// generalized to N levels): level `i + 1` is only consulted — and
+    /// updated — when level `i` misses.
+    pub fn access_block(&mut self, config: &MemoryConfig, block: MemBlock) -> MultiAccessOutcome {
+        walk_access(
+            config.levels().iter().zip(self.levels.iter_mut()),
+            block,
+            true,
+        )
+    }
+
+    /// Performs an access honouring the hierarchy-wide write policy: under
+    /// no-write-allocate, a write is classified at each level without
+    /// filling, and forwarded outward on a miss.
+    pub fn access(&mut self, config: &MemoryConfig, access: Access) -> MultiAccessOutcome {
+        let block = config.l1().block_of_address(access.address);
+        let fill = access.kind != AccessKind::Write || config.write_policy().allocates_on_write();
+        walk_access(
+            config.levels().iter().zip(self.levels.iter_mut()),
+            block,
+            fill,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::hierarchy::WritePolicy;
+    use crate::ReplacementPolicy;
+
+    fn tiny_three_level() -> MemoryConfig {
+        MemoryConfig::new(vec![
+            CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(8, 4, 64, ReplacementPolicy::Lru),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn outer_levels_filter_inner_misses() {
+        let config = tiny_three_level();
+        let mut state = MultiLevelState::new(&config);
+        let first = state.access_block(&config, MemBlock(0));
+        assert_eq!(first.levels_consulted, 3);
+        assert!(!first.hit);
+        assert_eq!(first.hit_at(0), Some(false));
+        assert_eq!(first.hit_at(2), Some(false));
+        let second = state.access_block(&config, MemBlock(0));
+        assert_eq!(second.levels_consulted, 1);
+        assert!(second.hit);
+        assert_eq!(second.hit_at(1), None);
+    }
+
+    #[test]
+    fn eviction_from_l1_hits_the_l2() {
+        let config = tiny_three_level();
+        let mut state = MultiLevelState::new(&config);
+        // Fill L1 set 0 beyond its associativity: block 0 is evicted from
+        // the L1 but survives in the larger L2.
+        for b in [0u64, 2, 4] {
+            state.access_block(&config, MemBlock(b));
+        }
+        let again = state.access_block(&config, MemBlock(0));
+        assert_eq!(again.levels_consulted, 2);
+        assert!(again.hit);
+    }
+
+    #[test]
+    fn no_write_allocate_does_not_fill_any_level() {
+        let config = tiny_three_level().with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut state = MultiLevelState::new(&config);
+        let write = state.access(&config, Access::write(0));
+        assert_eq!(write.levels_consulted, 3);
+        assert!(!write.hit);
+        let read = state.access(&config, Access::read(0));
+        assert!(!read.hit, "nothing was allocated anywhere");
+    }
+
+    #[test]
+    fn record_into_charges_only_consulted_levels() {
+        let config = tiny_three_level();
+        let mut state = MultiLevelState::new(&config);
+        let mut stats = vec![LevelStats::default(); 3];
+        state
+            .access_block(&config, MemBlock(0))
+            .record_into(&mut stats);
+        state
+            .access_block(&config, MemBlock(0))
+            .record_into(&mut stats);
+        assert_eq!(stats[0].accesses, 2);
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[1].accesses, 1);
+        assert_eq!(stats[1].misses, 1);
+        assert_eq!(stats[2].accesses, 1);
+    }
+}

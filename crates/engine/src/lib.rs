@@ -38,7 +38,7 @@
 //!
 //! // Warping is exact: identical counts, almost no explicit simulation.
 //! assert_eq!(classic.result, warping.result);
-//! assert_eq!(classic.result.l1.misses, 3 + 2 * 997);
+//! assert_eq!(classic.result.l1().misses, 3 + 2 * 997);
 //! assert!(warping.warping.unwrap().warps > 0);
 //! ```
 
@@ -59,7 +59,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use trace_sim::{generate_trace, simulate_trace, simulate_trace_hierarchy};
+use trace_sim::{generate_trace, simulate_trace_memory};
 use warping::WarpingSimulator;
 
 /// Why a request could not be served.
@@ -163,11 +163,11 @@ impl Engine {
 
         let memory = &request.memory;
         let sim_start = Instant::now();
-        let (result, levels, warping, exact) = match &request.backend {
+        let (result, warping, exact) = match &request.backend {
             Backend::Classic => {
                 let mut system = MultiLevelSystem::new(memory.clone());
                 let result = simulate(&scop, &mut system);
-                (result, system.level_stats().to_vec(), None, true)
+                (result, None, true)
             }
             Backend::Warping(options) => {
                 options
@@ -180,15 +180,8 @@ impl Engine {
                     })?
                     .with_options(*options);
                 let outcome = simulator.run(&scop);
-                let levels = std::iter::once(outcome.result.l1)
-                    .chain(outcome.result.l2)
-                    .collect();
-                (
-                    outcome.result,
-                    levels,
-                    Some(WarpingStats::from(outcome)),
-                    true,
-                )
+                let stats = WarpingStats::from(&outcome);
+                (outcome.result, Some(stats), true)
             }
             Backend::Haystack => {
                 let single = memory
@@ -212,10 +205,9 @@ impl Engine {
                     && memory.write_policy() == WritePolicy::WriteBackWriteAllocate;
                 let result = SimulationResult {
                     accesses: profile.accesses,
-                    l1,
-                    l2: None,
+                    levels: vec![l1],
                 };
-                (result, vec![l1], None, exact)
+                (result, None, exact)
             }
             Backend::PolyCache => {
                 let hierarchy =
@@ -250,47 +242,19 @@ impl Engine {
                 };
                 let result = SimulationResult {
                     accesses: analysis.accesses,
-                    l1,
-                    l2: Some(l2),
+                    levels: vec![l1, l2],
                 };
-                (result, vec![l1, l2], None, exact)
+                (result, None, exact)
             }
-            // The trace replayer consumes per-level configs directly, so
-            // normalize them against the hierarchy-wide write policy (the
-            // classic and warping backends normalize internally).
-            Backend::Trace => match memory.normalized().levels() {
-                [single] => {
-                    let trace = generate_trace(&scop);
-                    let l1 = simulate_trace(&trace, single);
-                    let result = SimulationResult {
-                        accesses: trace.len() as u64,
-                        l1,
-                        l2: None,
-                    };
-                    (result, vec![l1], None, true)
-                }
-                [_, _] => {
-                    let hierarchy = memory.to_hierarchy().expect("two levels form a hierarchy");
-                    let trace = generate_trace(&scop);
-                    let stats = simulate_trace_hierarchy(&trace, &hierarchy);
-                    let result = SimulationResult {
-                        accesses: trace.len() as u64,
-                        l1: stats.l1,
-                        l2: Some(stats.l2),
-                    };
-                    (result, vec![stats.l1, stats.l2], None, true)
-                }
-                levels => {
-                    return Err(EngineError::UnsupportedMemory {
-                        backend: "trace",
-                        message: format!(
-                            "the trace simulator supports 1- or 2-level memory systems, got {} \
-                             levels",
-                            levels.len()
-                        ),
-                    })
-                }
-            },
+            Backend::Trace => {
+                let trace = generate_trace(&scop);
+                let levels = simulate_trace_memory(&trace, memory);
+                let result = SimulationResult {
+                    accesses: trace.len() as u64,
+                    levels,
+                };
+                (result, None, true)
+            }
         };
         let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
 
@@ -298,8 +262,8 @@ impl Engine {
             kernel,
             backend: request.backend.label().to_string(),
             memory: memory.clone(),
+            levels: result.levels.clone(),
             result,
-            levels,
             warping,
             exact,
             build_ms,
@@ -387,14 +351,14 @@ mod tests {
             let report = engine
                 .run(&SimRequest::new(stencil(), fa_lru(), backend))
                 .unwrap();
-            assert_eq!(report.result.l1.misses, 3 + 2 * 997, "{backend}");
+            assert_eq!(report.result.l1().misses, 3 + 2 * 997, "{backend}");
             assert!(report.exact);
         }
         // HayStack models exactly this cache (fully-associative LRU).
         let haystack = engine
             .run(&SimRequest::new(stencil(), fa_lru(), Backend::Haystack))
             .unwrap();
-        assert_eq!(haystack.result.l1.misses, 3 + 2 * 997);
+        assert_eq!(haystack.result.l1().misses, 3 + 2 * 997);
         assert!(haystack.exact);
     }
 
@@ -422,7 +386,8 @@ mod tests {
             CacheConfig::with_sets(8, 8, 64, ReplacementPolicy::Lru),
         ])
         .unwrap();
-        for backend in [Backend::warping(), Backend::Haystack, Backend::Trace] {
+        // Only the analytical models are depth-limited (by construction).
+        for backend in [Backend::Haystack, Backend::PolyCache] {
             let err = engine
                 .run(&SimRequest::new(stencil(), three_levels.clone(), backend))
                 .unwrap_err();
@@ -431,11 +396,32 @@ mod tests {
                 "{backend}"
             );
         }
-        // ... but the classic backend simulates any depth.
-        let classic = engine
-            .run(&SimRequest::new(stencil(), three_levels, Backend::Classic))
-            .unwrap();
-        assert_eq!(classic.levels.len(), 3);
+        // Every simulator handles any depth through the same code path.
+        for backend in [Backend::Classic, Backend::warping(), Backend::Trace] {
+            let report = engine
+                .run(&SimRequest::new(stencil(), three_levels.clone(), backend))
+                .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert_eq!(report.levels.len(), 3, "{backend}");
+            assert_eq!(report.result.depth(), 3, "{backend}");
+        }
+    }
+
+    #[test]
+    fn simulators_agree_on_the_depth_3_test_system() {
+        let engine = Engine::new();
+        let memory = MemoryConfig::test_system_l3();
+        assert_eq!(memory.depth(), 3);
+        let reports: Vec<SimReport> = [Backend::Classic, Backend::warping(), Backend::Trace]
+            .into_iter()
+            .map(|backend| {
+                engine
+                    .run(&SimRequest::new(stencil(), memory.clone(), backend))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0].result, reports[1].result);
+        assert_eq!(reports[0].result, reports[2].result);
+        assert_eq!(reports[0].levels.len(), 3);
     }
 
     #[test]
@@ -487,7 +473,7 @@ mod tests {
                 .run(&SimRequest::new(kernel.clone(), memory, Backend::Classic))
                 .unwrap()
                 .result
-                .l1
+                .l1()
                 .misses
         };
         assert!(

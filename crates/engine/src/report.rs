@@ -20,14 +20,20 @@ pub struct WarpingStats {
     pub non_warped_share: f64,
 }
 
-impl From<WarpingOutcome> for WarpingStats {
-    fn from(outcome: WarpingOutcome) -> Self {
+impl From<&WarpingOutcome> for WarpingStats {
+    fn from(outcome: &WarpingOutcome) -> Self {
         WarpingStats {
             warps: outcome.warps,
             warped_accesses: outcome.warped_accesses,
             non_warped_accesses: outcome.non_warped_accesses,
             non_warped_share: outcome.non_warped_share(),
         }
+    }
+}
+
+impl From<WarpingOutcome> for WarpingStats {
+    fn from(outcome: WarpingOutcome) -> Self {
+        WarpingStats::from(&outcome)
     }
 }
 
@@ -43,13 +49,12 @@ pub struct SimReport {
     pub backend: String,
     /// The memory system the request asked for.
     pub memory: MemoryConfig,
-    /// Access/hit/miss counts in the legacy [`SimulationResult`] shape
-    /// (`l2` is the second level, when the memory system has one).  For the
-    /// exact backends these counts are bit-for-bit what the legacy entry
-    /// points produce.
+    /// Access and per-level hit/miss counts.  For the exact backends these
+    /// counts are bit-for-bit what the legacy entry points produce.
     pub result: SimulationResult,
-    /// Per-level statistics, L1 first — unlike [`SimReport::result`] this
-    /// covers memory systems deeper than two levels.
+    /// Per-level statistics, L1 first — identical to
+    /// [`SimulationResult::levels`], duplicated at the top level of the
+    /// report for wire compatibility.
     pub levels: Vec<LevelStats>,
     /// Warping statistics, for the warping backend.
     pub warping: Option<WarpingStats>,
@@ -68,9 +73,10 @@ pub struct SimReport {
 
 impl SimReport {
     /// Misses at the last level of the memory system (the quantity the
-    /// paper's figures report as "cache misses").
+    /// paper's figures report as "cache misses").  Delegates to the single
+    /// definition on [`SimulationResult::last_level_misses`].
     pub fn last_level_misses(&self) -> u64 {
-        self.levels.last().map_or(0, |stats| stats.misses)
+        self.result.last_level_misses()
     }
 
     /// Build + simulation time in milliseconds (the paper's Fig. 8/9

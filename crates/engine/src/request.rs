@@ -91,8 +91,8 @@ pub enum Backend {
     /// Per-access simulation (Algorithm 1 of the paper); exact for any
     /// memory depth.
     Classic,
-    /// Warping symbolic simulation (Algorithm 2); exact, 1- and 2-level
-    /// memory systems.
+    /// Warping symbolic simulation (Algorithm 2); exact for any memory
+    /// depth.
     Warping(WarpingOptions),
     /// HayStack-style stack-distance model of a fully-associative LRU
     /// cache; single-level memory systems.
@@ -101,7 +101,7 @@ pub enum Backend {
     /// hierarchy.
     PolyCache,
     /// Dinero-IV-style trace simulation: materialise the full access trace,
-    /// then replay it; exact, 1- and 2-level memory systems.
+    /// then replay it; exact for any memory depth.
     Trace,
 }
 
@@ -176,8 +176,9 @@ impl SimRequest {
     }
 
     /// The full kernel × memory × backend grid, in row-major order
-    /// (kernels outermost) — the shape [`Engine::run_batch`]
-    /// (crate::Engine::run_batch) fans out across threads.
+    /// (kernels outermost) — the shape
+    /// [`Engine::run_batch`](crate::Engine::run_batch) fans out across
+    /// threads.
     pub fn grid(
         kernels: &[KernelSpec],
         memories: &[MemoryConfig],

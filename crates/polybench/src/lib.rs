@@ -412,7 +412,7 @@ mod tests {
             let scop = kernel.build(Dataset::Mini).unwrap();
             let result = simulate_single(&scop, &config);
             assert!(result.accesses > 0, "{kernel}");
-            assert!(result.l1.misses > 0, "{kernel}");
+            assert!(result.l1().misses > 0, "{kernel}");
         }
     }
 

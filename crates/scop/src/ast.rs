@@ -125,8 +125,8 @@ pub struct ArrayAccess {
 /// A statement of the loop nest.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Statement {
-    /// `for (iter = lower; iter < upper; iter++) body` — `upper` is
-    /// exclusive.
+    /// `for (iter = lower; iter < upper; iter += stride) body` — `upper` is
+    /// exclusive and `stride` is a positive constant (1 for `iter++`).
     For {
         /// Iterator name (must be unique within the enclosing nest).
         iter: String,
@@ -134,6 +134,8 @@ pub enum Statement {
         lower: Expr,
         /// Exclusive upper bound.
         upper: Expr,
+        /// Iterator increment per iteration (≥ 1).
+        stride: i64,
         /// Loop body.
         body: Vec<Statement>,
     },
@@ -201,10 +203,28 @@ impl Program {
 
 /// Convenience constructor for a `for` statement with unit stride.
 pub fn for_loop(iter: &str, lower: Expr, upper: Expr, body: Vec<Statement>) -> Statement {
+    for_loop_strided(iter, lower, upper, 1, body)
+}
+
+/// Convenience constructor for a `for` statement with an explicit positive
+/// stride.
+///
+/// # Panics
+///
+/// Panics if `stride < 1`.
+pub fn for_loop_strided(
+    iter: &str,
+    lower: Expr,
+    upper: Expr,
+    stride: i64,
+    body: Vec<Statement>,
+) -> Statement {
+    assert!(stride >= 1, "loop strides must be positive");
     Statement::For {
         iter: iter.to_owned(),
         lower,
         upper,
+        stride,
         body,
     }
 }

@@ -163,6 +163,7 @@ impl Elaborator {
                 iter,
                 lower,
                 upper,
+                stride,
                 body,
             } => {
                 if iters.iter().any(|i| i == iter) {
@@ -185,7 +186,7 @@ impl Elaborator {
                 out.push(Node::Loop(LoopNode {
                     depth,
                     domain: loop_domain,
-                    stride: 1,
+                    stride: *stride,
                     children,
                 }));
                 Ok(())

@@ -10,7 +10,7 @@
 //! * a small abstract syntax tree for affine loop nests ([`ast`]) together
 //!   with an elaborator that turns it into the tree representation,
 //!   assigning array base addresses and linearising subscripts
-//!   ([`elaborate`]),
+//!   ([`elaborate()`]),
 //! * a mini-C frontend ([`parser`]) that parses affine loop nests written in
 //!   a C-like syntax (the shape of the PolyBench kernels) into the AST.
 //!

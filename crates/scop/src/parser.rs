@@ -4,7 +4,8 @@
 //! written in:
 //!
 //! * array declarations `double A[1000][1200];`
-//! * `for` loops with affine bounds and unit increment,
+//! * `for` loops with affine bounds and any positive constant stride
+//!   (`i++`, `i += k`, `i = i + k`),
 //! * `if` guards that are conjunctions of affine comparisons,
 //! * assignment statements (including the compound assignments `+=`, `-=`,
 //!   `*=`, `/=`) whose array subscripts are affine expressions of the loop
@@ -351,17 +352,82 @@ impl Parser {
         if inc_iter != iter {
             return Err(self.error("loop increment must update the loop iterator"));
         }
-        if !self.eat_punct("++") {
-            return Err(self.error("only unit-stride `i++` loops are supported"));
-        }
+        let stride = self.loop_stride(&iter)?;
         self.expect_punct(")")?;
         let body = self.body()?;
         Ok(Statement::For {
             iter,
             lower,
             upper,
+            stride,
             body,
         })
+    }
+
+    /// Parses the increment of a `for` loop after its iterator name:
+    /// `++` (stride 1), `+= k`, or `= i + k` / `= k + i` for a positive
+    /// integer constant `k`.
+    fn loop_stride(&mut self, iter: &str) -> Result<i64, ParseError> {
+        if self.eat_punct("++") {
+            return Ok(1);
+        }
+        let stride = if self.eat_punct("+=") {
+            self.stride_constant()?
+        } else if self.eat_punct("-=") {
+            -self.stride_constant()?
+        } else if self.eat_punct("=") {
+            // `i = i + k`, `i = i - k` or `i = k + i`.
+            match self.advance() {
+                Some(Tok::Ident(name)) if name == iter => {
+                    if self.eat_punct("+") {
+                        self.stride_constant()?
+                    } else if self.eat_punct("-") {
+                        -self.stride_constant()?
+                    } else {
+                        return Err(self.error(format!(
+                            "loop increment must have the form `{iter} = {iter} + k`"
+                        )));
+                    }
+                }
+                Some(Tok::Int(k)) => {
+                    self.expect_punct("+")?;
+                    let rhs = self.expect_ident()?;
+                    if rhs != iter {
+                        return Err(self.error(format!(
+                            "loop increment must add a constant to the iterator `{iter}`"
+                        )));
+                    }
+                    k
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "loop increment must have the form `{iter} = {iter} + k`, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            return Err(
+                self.error("only `i++`, `i += k` and `i = i + k` loop increments are supported")
+            );
+        };
+        if stride < 1 {
+            return Err(self.error(format!(
+                "loop stride must be a positive integer constant, got {stride} \
+                 (decreasing and zero strides are not supported)"
+            )));
+        }
+        Ok(stride)
+    }
+
+    /// Parses the (possibly negated) integer constant of a loop stride.
+    fn stride_constant(&mut self) -> Result<i64, ParseError> {
+        let negative = self.eat_punct("-");
+        match self.advance() {
+            Some(Tok::Int(k)) => Ok(if negative { -k } else { k }),
+            other => Err(self.error(format!(
+                "loop stride must be a positive integer constant, found {other:?}"
+            ))),
+        }
     }
 
     fn if_statement(&mut self) -> Result<Statement, ParseError> {
@@ -662,6 +728,42 @@ mod tests {
             "non-affine subscripts are rejected"
         );
         assert!(parse_program("double A[-3];").is_err());
+    }
+
+    #[test]
+    fn parses_positive_strides() {
+        for (increment, expected) in [
+            ("i++", 1),
+            ("i += 1", 1),
+            ("i += 2", 2),
+            ("i += 7", 7),
+            ("i = i + 3", 3),
+            ("i = 4 + i", 4),
+        ] {
+            let src = format!("double A[100]; for (i = 0; i < 100; {increment}) A[i] = 0;");
+            let p = parse_program(&src).unwrap_or_else(|e| panic!("`{increment}`: {e}"));
+            let Statement::For { stride, .. } = &p.stmts[0] else {
+                panic!()
+            };
+            assert_eq!(*stride, expected, "`{increment}`");
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_and_malformed_strides() {
+        for increment in ["i += 0", "i += -1", "i = i + 0", "i = i - 2", "i -= 1"] {
+            let src = format!("double A[100]; for (i = 0; i < 100; {increment}) A[i] = 0;");
+            let err = parse_program(&src).expect_err(increment);
+            assert!(
+                err.message.contains("stride") || err.message.contains("increment"),
+                "`{increment}` should mention the stride: {}",
+                err.message
+            );
+        }
+        // A non-constant stride is rejected too.
+        assert!(parse_program("double A[100]; for (i = 0; i < 100; i += n) A[i] = 0;").is_err());
+        // ... and so is an increment of a different variable.
+        assert!(parse_program("double A[100]; for (i = 0; i < 100; i = j + 1) A[i] = 0;").is_err());
     }
 
     #[test]

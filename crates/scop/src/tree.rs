@@ -60,7 +60,8 @@ pub struct LoopNode {
     pub depth: usize,
     /// The iteration domain, including the constraints of enclosing loops.
     pub domain: Set,
-    /// Increment of the loop iterator per iteration (currently always 1).
+    /// Increment of the loop iterator per iteration (a positive constant;
+    /// 1 for the common `i++` loops).
     pub stride: i64,
     /// Children, in execution order.
     pub children: Vec<Node>,

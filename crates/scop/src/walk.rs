@@ -133,4 +133,31 @@ mod tests {
         let scop = scop_of("double A[10]; for (i = 5; i < 5; i++) A[i] = 0;");
         assert_eq!(count_accesses(&scop), 0);
     }
+
+    #[test]
+    fn strided_loops_visit_only_the_stride_grid() {
+        // i = 0, 2, ..., 98: 50 iterations of a strided stencil.
+        let scop = scop_of(
+            "double A[200]; double B[200];\n\
+             for (i = 0; i < 100; i += 2) B[i] = A[i] + A[i+1];",
+        );
+        let mut addresses = Vec::new();
+        let total = for_each_access(&scop, |acc| addresses.push(acc.address));
+        assert_eq!(total, 3 * 50);
+        let a_base = scop.arrays()[0].base_address;
+        // The first iteration touches A[0], A[1], B[0]; the second A[2].
+        assert_eq!(addresses[0], a_base);
+        assert_eq!(addresses[1], a_base + 8);
+        assert_eq!(addresses[3], a_base + 16);
+    }
+
+    #[test]
+    fn stride_grid_skips_off_grid_upper_bounds() {
+        // i = 0, 3, 6, 9: the bound 11 is not on the stride grid.
+        let scop = scop_of("double A[20]; for (i = 0; i < 11; i += 3) A[i] = 0;");
+        assert_eq!(count_accesses(&scop), 4);
+        // Guards compose with strides: only i = 6, 9 pass the guard.
+        let guarded = scop_of("double A[20]; for (i = 0; i < 11; i = i + 3) if (i >= 6) A[i] = 0;");
+        assert_eq!(count_accesses(&guarded), 2);
+    }
 }

@@ -6,9 +6,10 @@
 //! and applied to a cache model.  Its runtime is proportional to the number
 //! of memory accesses — it is the baseline that warping accelerates.
 //!
-//! The cache model is abstracted behind the [`MemorySystem`] trait so the
-//! same driver simulates single-level caches ([`SingleCacheSystem`]) and
-//! two-level hierarchies ([`TwoLevelSystem`]).
+//! The cache model is abstracted behind the [`MemorySystem`] trait.  The
+//! canonical implementation is the depth-N [`MultiLevelSystem`], driven by a
+//! [`MemoryConfig`]; [`SingleCacheSystem`] and [`TwoLevelSystem`] remain as
+//! compatibility shims for the legacy one- and two-level entry points.
 //!
 //! # Example
 //!
@@ -27,7 +28,7 @@
 //! let mut memory = SingleCacheSystem::new(config);
 //! let result = simulate(&scop, &mut memory);
 //! assert_eq!(result.accesses, 3 * 998);
-//! assert_eq!(result.l1.misses, 3 + 2 * 997);
+//! assert_eq!(result.l1().misses, 3 + 2 * 997);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,27 +36,45 @@
 
 use cache_model::{
     AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, HierarchyStats,
-    LevelStats, MemBlock, MemoryConfig,
+    LevelStats, MemBlock, MemoryConfig, MultiLevelState,
 };
 use scop::{for_each_access, Scop};
 use serde::{Serialize, Value};
 
-/// The result of simulating a SCoP against a memory system.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// The result of simulating a SCoP against a memory system: per-level
+/// hit/miss counters for every level of the hierarchy, L1 first.  No level's
+/// statistics are ever dropped, whatever the depth.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct SimulationResult {
     /// Total number of dynamic memory accesses simulated.
     pub accesses: u64,
-    /// First-level statistics.
-    pub l1: LevelStats,
-    /// Second-level statistics, if the memory system has an L2.
-    pub l2: Option<LevelStats>,
+    /// Per-level statistics, L1 first.
+    pub levels: Vec<LevelStats>,
 }
 
 impl SimulationResult {
+    /// First-level statistics (compatibility accessor for the old `l1`
+    /// field; zeroed counters if the result is empty).
+    pub fn l1(&self) -> LevelStats {
+        self.levels.first().copied().unwrap_or_default()
+    }
+
+    /// Second-level statistics, if the memory system has an L2
+    /// (compatibility accessor for the old `l2` field).
+    pub fn l2(&self) -> Option<LevelStats> {
+        self.levels.get(1).copied()
+    }
+
+    /// Number of simulated cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
     /// The number of misses at the last simulated level (the quantity the
-    /// paper's figures report as "cache misses").
+    /// paper's figures report as "cache misses").  This is the single
+    /// definition the whole workspace delegates to.
     pub fn last_level_misses(&self) -> u64 {
-        self.l2.map_or(self.l1.misses, |l2| l2.misses)
+        self.levels.last().map_or(0, |level| level.misses)
     }
 }
 
@@ -63,8 +82,11 @@ impl Serialize for SimulationResult {
     fn serialize_value(&self) -> Value {
         Value::Object(vec![
             ("accesses".to_string(), Value::UInt(self.accesses)),
-            ("l1".to_string(), self.l1.serialize_value()),
-            ("l2".to_string(), self.l2.serialize_value()),
+            // The legacy `l1`/`l2` keys stay for wire compatibility; the
+            // `levels` array is the canonical, depth-N representation.
+            ("l1".to_string(), self.l1().serialize_value()),
+            ("l2".to_string(), self.l2().serialize_value()),
+            ("levels".to_string(), self.levels.serialize_value()),
         ])
     }
 }
@@ -80,6 +102,8 @@ pub trait MemorySystem {
 }
 
 /// A single set-associative (or fully-associative) cache level.
+///
+/// Compatibility shim: equivalent to a depth-1 [`MultiLevelSystem`].
 #[derive(Clone, Debug)]
 pub struct SingleCacheSystem {
     config: CacheConfig,
@@ -123,8 +147,7 @@ impl MemorySystem for SingleCacheSystem {
     fn result(&self) -> SimulationResult {
         SimulationResult {
             accesses: self.accesses,
-            l1: self.stats,
-            l2: None,
+            levels: vec![self.stats],
         }
     }
 
@@ -136,6 +159,8 @@ impl MemorySystem for SingleCacheSystem {
 }
 
 /// A two-level non-inclusive non-exclusive hierarchy.
+///
+/// Compatibility shim: equivalent to a depth-2 [`MultiLevelSystem`].
 #[derive(Clone, Debug)]
 pub struct TwoLevelSystem {
     config: HierarchyConfig,
@@ -174,8 +199,7 @@ impl MemorySystem for TwoLevelSystem {
     fn result(&self) -> SimulationResult {
         SimulationResult {
             accesses: self.accesses,
-            l1: self.stats.l1,
-            l2: Some(self.stats.l2),
+            levels: vec![self.stats.l1, self.stats.l2],
         }
     }
 
@@ -187,9 +211,8 @@ impl MemorySystem for TwoLevelSystem {
 }
 
 /// An N-level non-inclusive non-exclusive memory system driven by a
-/// [`MemoryConfig`]: the generalization behind both [`SingleCacheSystem`]
-/// and [`TwoLevelSystem`], and the memory model of the `engine` facade's
-/// `Backend::Classic`.
+/// [`MemoryConfig`]: the single simulation code path behind every depth,
+/// and the memory model of the `engine` facade's `Backend::Classic`.
 ///
 /// On a miss at level `i` the access is forwarded to level `i + 1`; write
 /// misses allocate according to the configuration's write policy.  For one-
@@ -197,9 +220,10 @@ impl MemorySystem for TwoLevelSystem {
 /// the legacy systems.
 #[derive(Clone, Debug)]
 pub struct MultiLevelSystem {
-    /// Per-level configuration with the write-allocate flag normalized to
-    /// the hierarchy-wide write policy.
-    levels: Vec<(CacheConfig, CacheState<MemBlock>)>,
+    /// Configuration with the write-allocate flag of every level normalized
+    /// to the hierarchy-wide write policy.
+    config: MemoryConfig,
+    state: MultiLevelState<MemBlock>,
     stats: Vec<LevelStats>,
     accesses: u64,
 }
@@ -207,25 +231,23 @@ pub struct MultiLevelSystem {
 impl MultiLevelSystem {
     /// An empty memory system with the given configuration.
     pub fn new(config: MemoryConfig) -> Self {
-        let levels: Vec<(CacheConfig, CacheState<MemBlock>)> = config
-            .normalized()
-            .levels()
-            .iter()
-            .map(|level| {
-                let state = CacheState::new(level);
-                (level.clone(), state)
-            })
-            .collect();
-        let stats = vec![LevelStats::default(); levels.len()];
+        let config = config.normalized();
+        let state = MultiLevelState::new(&config);
+        let stats = vec![LevelStats::default(); config.depth()];
         MultiLevelSystem {
-            levels,
+            config,
+            state,
             stats,
             accesses: 0,
         }
     }
 
-    /// Per-level statistics, L1 first (covers levels beyond the L2 that
-    /// [`SimulationResult`] cannot express).
+    /// The (normalized) memory configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Per-level statistics, L1 first.
     pub fn level_stats(&self) -> &[LevelStats] {
         &self.stats
     }
@@ -234,27 +256,20 @@ impl MultiLevelSystem {
 impl MemorySystem for MultiLevelSystem {
     fn access(&mut self, address: u64, kind: AccessKind) {
         self.accesses += 1;
-        for ((config, state), stats) in self.levels.iter_mut().zip(&mut self.stats) {
-            let hit = state.access(config, cache_model::Access { address, kind });
-            stats.record(hit);
-            if hit {
-                break;
-            }
-        }
+        self.state
+            .access(&self.config, cache_model::Access { address, kind })
+            .record_into(&mut self.stats);
     }
 
     fn result(&self) -> SimulationResult {
         SimulationResult {
             accesses: self.accesses,
-            l1: self.stats[0],
-            l2: self.stats.get(1).copied(),
+            levels: self.stats.clone(),
         }
     }
 
     fn reset(&mut self) {
-        for (config, state) in &mut self.levels {
-            *state = CacheState::new(config);
-        }
+        self.state = MultiLevelState::new(&self.config);
         self.stats.fill(LevelStats::default());
         self.accesses = 0;
     }
@@ -307,8 +322,10 @@ mod tests {
         let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
         let result = simulate_single(&stencil(), &config);
         assert_eq!(result.accesses, 3 * 998);
-        assert_eq!(result.l1.misses, 3 + 2 * 997);
-        assert_eq!(result.l1.hits, 997);
+        assert_eq!(result.l1().misses, 3 + 2 * 997);
+        assert_eq!(result.l1().hits, 997);
+        assert_eq!(result.depth(), 1);
+        assert_eq!(result.last_level_misses(), 3 + 2 * 997);
     }
 
     #[test]
@@ -317,7 +334,7 @@ mod tests {
         // The steady state is also 1 hit + 2 misses per iteration.
         let config = CacheConfig::with_sets(4, 2, 8, ReplacementPolicy::Lru);
         let result = simulate_single(&stencil(), &config);
-        assert_eq!(result.l1.misses, 3 + 2 * 997);
+        assert_eq!(result.l1().misses, 3 + 2 * 997);
     }
 
     #[test]
@@ -329,15 +346,16 @@ mod tests {
         let result = simulate_hierarchy(&stencil(), &config);
         // L2 sees exactly the L1 misses; it is big enough that every block
         // misses only once (cold misses: 999 of A, 998 of B).
-        assert_eq!(result.l2.unwrap().accesses, result.l1.misses);
-        assert_eq!(result.l2.unwrap().misses, 999 + 998);
+        assert_eq!(result.l2().unwrap().accesses, result.l1().misses);
+        assert_eq!(result.l2().unwrap().misses, 999 + 998);
+        assert_eq!(result.last_level_misses(), 999 + 998);
     }
 
     #[test]
     fn larger_cache_only_cold_misses() {
         let config = CacheConfig::fully_associative(4096, 8, ReplacementPolicy::Lru);
         let result = simulate_single(&stencil(), &config);
-        assert_eq!(result.l1.misses, 999 + 998);
+        assert_eq!(result.l1().misses, 999 + 998);
     }
 
     #[test]
@@ -348,7 +366,7 @@ mod tests {
         for policy in ReplacementPolicy::ALL {
             let config = CacheConfig::with_sets(8, 2, 8, policy);
             let result = simulate_single(&scop, &config);
-            assert_eq!(result.l1.misses, 4096, "{policy}");
+            assert_eq!(result.l1().misses, 4096, "{policy}");
         }
     }
 
@@ -394,7 +412,7 @@ mod tests {
     }
 
     #[test]
-    fn three_level_memory_simulates() {
+    fn three_level_memory_surfaces_every_level() {
         let config = MemoryConfig::new(vec![
             CacheConfig::with_sets(2, 2, 8, ReplacementPolicy::Lru),
             CacheConfig::with_sets(8, 4, 8, ReplacementPolicy::Lru),
@@ -403,13 +421,34 @@ mod tests {
         .unwrap();
         let mut memory = MultiLevelSystem::new(config);
         let result = simulate(&stencil(), &mut memory);
-        let stats = memory.level_stats();
-        assert_eq!(stats.len(), 3);
+        assert_eq!(result.depth(), 3);
+        assert_eq!(result.levels, memory.level_stats());
         // Each level only sees the misses of the previous one.
-        assert_eq!(stats[1].accesses, stats[0].misses);
-        assert_eq!(stats[2].accesses, stats[1].misses);
-        assert_eq!(result.l1, stats[0]);
-        assert_eq!(result.l2, Some(stats[1]));
+        assert_eq!(result.levels[1].accesses, result.levels[0].misses);
+        assert_eq!(result.levels[2].accesses, result.levels[1].misses);
+        assert_eq!(result.last_level_misses(), result.levels[2].misses);
+    }
+
+    #[test]
+    fn strided_stencil_counts() {
+        // i = 1, 3, ..., 997: 499 iterations; every iteration touches two
+        // fresh cells of A (A[i-1], A[i]) and one of B, so with one cell per
+        // line everything misses except nothing — no reuse across strides.
+        let scop = parse_scop(
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i += 2) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap();
+        let config = CacheConfig::fully_associative(2, 8, ReplacementPolicy::Lru);
+        let result = simulate_single(&scop, &config);
+        assert_eq!(result.accesses, 3 * 499);
+        assert_eq!(result.l1().misses, 3 * 499);
+        // With 8-byte elements and a 16-byte line, A[i-1] and A[i] share a
+        // line: one miss plus one hit per iteration, B misses every other
+        // iteration's line.
+        let wide = CacheConfig::fully_associative(4, 16, ReplacementPolicy::Lru);
+        let result = simulate_single(&scop, &wide);
+        assert_eq!(result.l1().hits, 499);
     }
 
     #[test]
@@ -418,10 +457,10 @@ mod tests {
         let scop = parse_scop("double A[32]; for (i = 0; i < 32; i++) A[i] = A[i];").unwrap();
         let mut memory = SingleCacheSystem::new(config);
         let first = simulate(&scop, &mut memory);
-        assert_eq!(first.l1.misses, 32);
+        assert_eq!(first.l1().misses, 32);
         // Second run hits everywhere because the cache is still warm.
         let second = simulate(&scop, &mut memory);
-        assert_eq!(second.l1.misses, 32);
-        assert_eq!(second.l1.hits, 2 * 32 + 32);
+        assert_eq!(second.l1().misses, 32);
+        assert_eq!(second.l1().hits, 2 * 32 + 32);
     }
 }

@@ -20,8 +20,8 @@
 #![warn(missing_docs)]
 
 use cache_model::{
-    Access, CacheConfig, CacheState, HierarchyConfig, HierarchyState, HierarchyStats, LevelStats,
-    ReplacementPolicy,
+    Access, CacheConfig, CacheState, HierarchyConfig, HierarchyStats, LevelStats, MemoryConfig,
+    MultiLevelState, ReplacementPolicy,
 };
 use scop::{elaborate, for_each_access, parse_program, ElaborateOptions, Scop};
 
@@ -53,14 +53,28 @@ pub fn simulate_trace(trace: &[Access], config: &CacheConfig) -> LevelStats {
     stats
 }
 
-/// Simulates a trace against a two-level hierarchy.
-pub fn simulate_trace_hierarchy(trace: &[Access], config: &HierarchyConfig) -> HierarchyStats {
-    let mut state = HierarchyState::new(config);
-    let mut stats = HierarchyStats::default();
+/// Simulates a trace against an N-level memory system, returning the
+/// statistics of every level (L1 first).  This is the single trace-replay
+/// path behind both [`simulate_trace_hierarchy`] and the engine's trace
+/// backend, whatever the depth.
+pub fn simulate_trace_memory(trace: &[Access], config: &MemoryConfig) -> Vec<LevelStats> {
+    let config = config.normalized();
+    let mut state = MultiLevelState::new(&config);
+    let mut stats = vec![LevelStats::default(); config.depth()];
     for access in trace {
-        stats.record(state.access(config, *access));
+        state.access(&config, *access).record_into(&mut stats);
     }
     stats
+}
+
+/// Simulates a trace against a two-level hierarchy.  Compatibility wrapper
+/// over [`simulate_trace_memory`].
+pub fn simulate_trace_hierarchy(trace: &[Access], config: &HierarchyConfig) -> HierarchyStats {
+    let levels = simulate_trace_memory(trace, &MemoryConfig::from(config.clone()));
+    HierarchyStats {
+        l1: levels[0],
+        l2: levels[1],
+    }
 }
 
 /// End-to-end Dinero-IV-style simulation of a SCoP: generate the trace, then

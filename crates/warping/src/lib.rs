@@ -48,7 +48,7 @@
 //! let outcome = WarpingSimulator::single(config).run(&scop);
 //!
 //! // Warping is exact ...
-//! assert_eq!(outcome.result.l1.misses, reference.l1.misses);
+//! assert_eq!(outcome.result.l1().misses, reference.l1().misses);
 //! assert_eq!(outcome.result.accesses, reference.accesses);
 //! // ... and skips the bulk of the accesses of this stencil.
 //! assert!(outcome.warped_accesses > outcome.non_warped_accesses);

@@ -16,11 +16,11 @@ use std::fmt;
 /// `WarpingMemory` enum (`Single`/`Hierarchy`) is gone; construct a
 /// `MemoryConfig` (e.g. via `From<CacheConfig>` or `From<HierarchyConfig>`)
 /// and pass it to [`WarpingSimulator::new`].  The warping simulator supports
-/// configurations of depth 1 and 2.
+/// memory systems of any depth ≥ 1.
 pub type WarpingMemory = MemoryConfig;
 
 /// The outcome of a warping simulation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct WarpingOutcome {
     /// Access and miss counts, identical to what non-warping simulation
     /// produces.
@@ -143,19 +143,22 @@ struct MatchEntry {
 
 /// Snapshot of all monotonically increasing counters, used to extrapolate
 /// across warped chunks.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 struct Counters {
     accesses: u64,
-    level: [LevelStats; 2],
+    level: Vec<LevelStats>,
 }
 
 /// The warping symbolic cache simulator.
+///
+/// One generic code path simulates memory systems of any depth ≥ 1: the
+/// symbolic levels live in a `Vec<SymLevel>`, and canonical-key
+/// construction, warp planning and warp application all iterate over it.
 ///
 /// See the crate-level documentation for an example.
 #[derive(Clone, Debug)]
 pub struct WarpingSimulator {
     levels: Vec<SymLevel>,
-    hierarchy: bool,
     options: WarpingOptions,
     accesses: u64,
     warped_accesses: u64,
@@ -166,61 +169,45 @@ pub struct WarpingSimulator {
 }
 
 impl WarpingSimulator {
-    /// A simulator for a single cache level.
+    /// A simulator for a single cache level.  Compatibility wrapper over
+    /// [`WarpingSimulator::new`].
     pub fn single(config: CacheConfig) -> Self {
-        WarpingSimulator {
-            levels: vec![SymLevel::new(config)],
-            hierarchy: false,
-            options: WarpingOptions::default(),
-            accesses: 0,
-            warped_accesses: 0,
-            warps: 0,
-            fruitless: HashMap::new(),
-        }
+        WarpingSimulator::new(MemoryConfig::from(config))
     }
 
-    /// A simulator for a two-level hierarchy.
+    /// A simulator for a two-level hierarchy.  Compatibility wrapper over
+    /// [`WarpingSimulator::new`].
     pub fn hierarchy(config: HierarchyConfig) -> Self {
-        WarpingSimulator {
-            levels: vec![SymLevel::new(config.l1), SymLevel::new(config.l2)],
-            hierarchy: true,
-            options: WarpingOptions::default(),
-            accesses: 0,
-            warped_accesses: 0,
-            warps: 0,
-            fruitless: HashMap::new(),
-        }
+        WarpingSimulator::new(MemoryConfig::from(config))
     }
 
-    /// A simulator for any supported memory system.  The configuration is
+    /// A simulator for any memory system of depth ≥ 1.  The configuration is
     /// [normalized](MemoryConfig::normalized) first, so the hierarchy-wide
     /// write policy governs write allocation at every level, exactly as in
     /// non-warping simulation.
     ///
     /// # Errors
     ///
-    /// Returns an error for configurations deeper than two levels, which
-    /// the warping simulator does not model.
+    /// Infallible today — every valid [`MemoryConfig`] is supported — but
+    /// kept fallible so callers stay source-compatible if a future memory
+    /// model (e.g. exclusive hierarchies) is only partially covered.
     pub fn try_new(memory: WarpingMemory) -> Result<Self, String> {
         let memory = memory.normalized();
-        match memory.levels() {
-            [l1] => Ok(WarpingSimulator::single(l1.clone())),
-            [_, _] => Ok(WarpingSimulator::hierarchy(
-                memory.to_hierarchy().expect("two levels form a hierarchy"),
-            )),
-            levels => Err(format!(
-                "the warping simulator supports 1- or 2-level memory systems, got {} levels",
-                levels.len()
-            )),
-        }
+        Ok(WarpingSimulator {
+            levels: memory
+                .levels()
+                .iter()
+                .map(|level| SymLevel::new(level.clone()))
+                .collect(),
+            options: WarpingOptions::default(),
+            accesses: 0,
+            warped_accesses: 0,
+            warps: 0,
+            fruitless: HashMap::new(),
+        })
     }
 
-    /// A simulator for any supported memory system.
-    ///
-    /// # Panics
-    ///
-    /// Panics for configurations deeper than two levels; use
-    /// [`WarpingSimulator::try_new`] to handle that case gracefully.
+    /// A simulator for any memory system of depth ≥ 1.
     pub fn new(memory: WarpingMemory) -> Self {
         WarpingSimulator::try_new(memory).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -259,13 +246,10 @@ impl WarpingSimulator {
 
     /// The accumulated outcome.
     pub fn outcome(&self) -> WarpingOutcome {
-        let l1 = self.levels[0].stats;
-        let l2 = self.levels.get(1).map(|l| l.stats);
         WarpingOutcome {
             result: SimulationResult {
                 accesses: self.accesses,
-                l1,
-                l2,
+                levels: self.levels.iter().map(|l| l.stats).collect(),
             },
             non_warped_accesses: self.accesses - self.warped_accesses,
             warped_accesses: self.warped_accesses,
@@ -276,10 +260,7 @@ impl WarpingSimulator {
     fn counters(&self) -> Counters {
         Counters {
             accesses: self.accesses,
-            level: [
-                self.levels[0].stats,
-                self.levels.get(1).map(|l| l.stats).unwrap_or_default(),
-            ],
+            level: self.levels.iter().map(|l| l.stats).collect(),
         }
     }
 
@@ -296,11 +277,13 @@ impl WarpingSimulator {
         }
         let address = access.address_at(outer);
         self.accesses += 1;
-        let block_l1 = MemBlock(address / self.levels[0].config.line_size());
-        let l1_hit = self.levels[0].access(block_l1, access.kind, access.id, outer);
-        if self.hierarchy && !l1_hit {
-            let block_l2 = MemBlock(address / self.levels[1].config.line_size());
-            self.levels[1].access(block_l2, access.kind, access.id, outer);
+        // The inclusive walk of the N-level hierarchy: each level is only
+        // consulted — and updated — when the previous one misses.
+        for level in &mut self.levels {
+            let block = MemBlock(address / level.config.line_size());
+            if level.access(block, access.kind, access.id, outer) {
+                break;
+            }
         }
     }
 
@@ -313,13 +296,14 @@ impl WarpingSimulator {
         };
         let depth = loop_node.depth;
         let v_last = last[depth - 1];
+        let stride = loop_node.stride.max(1);
         // Cheap gating: warping at this loop can only ever succeed if every
         // access below it shifts by the same amount per iteration (see
         // `plan_warp`), and it can only pay off if the loop has enough
         // iterations to amortise the cost of key construction.  Checking
         // these once per loop execution keeps the overhead on non-warpable
         // loops negligible.
-        let trip_count = v_last - i[depth - 1] + 1;
+        let trip_count = (v_last - i[depth - 1]) / stride + 1;
         let node_key = loop_node as *const LoopNode as usize;
         let mut fruitless = self.fruitless.get(&node_key).copied().unwrap_or(0);
         let descendant_nodes = descendants(loop_node);
@@ -383,7 +367,9 @@ impl WarpingSimulator {
                         i[depth - 1] += plan.chunks * period;
                         self.warps += 1;
                         fruitless = 0;
-                        iteration_index += plan.chunks as u64 * period as u64;
+                        // `period` is in iterator units, which advance by
+                        // `stride` per iteration.
+                        iteration_index += (plan.chunks * period / stride) as u64;
                         // Do not consume this iteration: re-enter the loop
                         // header so the landed-on iteration is simulated (or
                         // warped again).
@@ -607,14 +593,55 @@ mod tests {
     }
 
     #[test]
-    fn three_level_memory_is_rejected() {
+    fn three_level_memory_is_exact() {
+        let scop = stencil(3000);
         let memory = WarpingMemory::new(vec![
             CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru),
             CacheConfig::with_sets(4, 4, 64, ReplacementPolicy::Lru),
             CacheConfig::with_sets(8, 8, 64, ReplacementPolicy::Lru),
         ])
         .unwrap();
-        assert!(WarpingSimulator::try_new(memory).is_err());
+        let reference = simulate::simulate_memory(&scop, &memory);
+        let outcome = WarpingSimulator::new(memory).run(&scop);
+        assert_eq!(outcome.result, reference);
+        assert_eq!(outcome.result.depth(), 3);
+        assert!(outcome.warps >= 1, "the stencil must warp at depth 3");
+    }
+
+    #[test]
+    fn strided_stencil_is_exact_and_warps() {
+        // A stride-2 stencil: the per-iteration byte shift is 16, so warping
+        // must find line-aligned periods on the stride grid.
+        let scop = parse_scop(
+            "double A[8000]; double B[8000];\n\
+             for (i = 1; i < 7999; i += 2) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap();
+        for policy in ReplacementPolicy::ALL {
+            let config = CacheConfig::new(2 * 1024, 4, 64, policy);
+            let reference = simulate_single(&scop, &config);
+            let outcome = WarpingSimulator::single(config).run(&scop);
+            assert_eq!(outcome.result, reference, "{policy}");
+        }
+        let config = CacheConfig::new(2 * 1024, 4, 64, ReplacementPolicy::Lru);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert!(outcome.warps >= 1, "the strided stencil must warp");
+    }
+
+    #[test]
+    fn strided_loop_on_a_hierarchy_is_exact() {
+        let scop = parse_scop(
+            "double A[6000];\n\
+             for (i = 0; i < 6000; i += 3) A[i] = A[i];",
+        )
+        .unwrap();
+        let memory = WarpingMemory::two_level(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Plru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Plru),
+        );
+        let reference = simulate::simulate_memory(&scop, &memory);
+        let outcome = WarpingSimulator::new(memory).run(&scop);
+        assert_eq!(outcome.result, reference);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use cache_model::{CacheConfig, HierarchyConfig, ReplacementPolicy};
 use proptest::prelude::*;
-use scop::ast::{access, assign, for_loop, Expr, Program, Statement};
+use scop::ast::{access, assign, for_loop_strided, Expr, Program, Statement};
 use scop::{elaborate, ElaborateOptions, Scop};
 use simulate::{simulate_hierarchy, simulate_single};
 use warping::{WarpingOptions, WarpingSimulator};
@@ -42,7 +42,8 @@ fn arb_statement(depth: usize, num_arrays: usize) -> impl Strategy<Value = State
         })
 }
 
-/// A random one- or two-deep loop nest over small 1D arrays.
+/// A random one- or two-deep loop nest over small 1D arrays, with random
+/// positive strides on both loops.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
         1usize..=3,      // number of arrays
@@ -51,15 +52,17 @@ fn arb_program() -> impl Strategy<Value = Program> {
         prop::bool::ANY, // triangular inner loop?
         4i64..24,        // inner trip count
         1usize..=3,      // statements in the innermost body
+        1i64..=3,        // outer stride
+        1i64..=2,        // inner stride
     )
-        .prop_flat_map(|(arrays, n, nested, triangular, m, stmts)| {
+        .prop_flat_map(|(arrays, n, nested, triangular, m, stmts, s_out, s_in)| {
             let depth = if nested { 2 } else { 1 };
             (
-                Just((arrays, n, nested, triangular, m)),
+                Just((arrays, n, nested, triangular, m, s_out, s_in)),
                 proptest::collection::vec(arb_statement(depth, arrays), stmts),
             )
         })
-        .prop_map(|((arrays, n, nested, triangular, m), body)| {
+        .prop_map(|((arrays, n, nested, triangular, m, s_out, s_in), body)| {
             let mut program = Program::new();
             for k in 0..arrays {
                 // Large enough that all generated subscripts stay in bounds.
@@ -71,14 +74,21 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 Expr::Const(0)
             };
             let stmt = if nested {
-                for_loop(
+                for_loop_strided(
                     "i",
                     Expr::Const(0),
                     Expr::Const(n),
-                    vec![for_loop("j", inner_lower, Expr::Const(m + n), body)],
+                    s_out,
+                    vec![for_loop_strided(
+                        "j",
+                        inner_lower,
+                        Expr::Const(m + n),
+                        s_in,
+                        body,
+                    )],
                 )
             } else {
-                for_loop("i", Expr::Const(0), Expr::Const(n), body)
+                for_loop_strided("i", Expr::Const(0), Expr::Const(n), s_out, body)
             };
             program.with_stmt(stmt)
         })
@@ -147,6 +157,42 @@ proptest! {
             .with_options(eager())
             .run(&scop);
         prop_assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn appending_a_level_never_changes_upstream_counts(
+        program in arb_program(),
+        config in arb_cache(),
+        extra_sets_factor in prop::sample::select(vec![1usize, 2, 4]),
+        extra_assoc in prop::sample::select(vec![2usize, 4, 8]),
+        extra_policy in arb_policy(),
+    ) {
+        // Inclusive forwarding means an appended (outer) level only ever
+        // *observes* the misses of the levels before it: their hit/miss
+        // counts must be identical with and without it.
+        let scop = build(&program);
+        let base = cache_model::MemoryConfig::from(config.clone());
+        let extra = CacheConfig::with_sets(
+            config.num_sets() * extra_sets_factor,
+            extra_assoc,
+            config.line_size(),
+            extra_policy,
+        );
+        let extended = base.clone().with_level(extra).expect("compatible level");
+        let without = simulate::simulate_memory(&scop, &base);
+        let with = simulate::simulate_memory(&scop, &extended);
+        prop_assert_eq!(without.accesses, with.accesses);
+        prop_assert_eq!(without.depth() + 1, with.depth());
+        prop_assert_eq!(
+            &without.levels[..],
+            &with.levels[..without.depth()],
+            "upstream levels must be untouched by an appended level"
+        );
+        // The same holds through the warping simulator.
+        let warped = WarpingSimulator::new(extended)
+            .with_options(eager())
+            .run(&scop);
+        prop_assert_eq!(warped.result, with);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! * [`scop`] — the polyhedral program representation: loop/access trees, a
 //!   builder AST and a mini-C frontend (the pet substitute).
 //! * [`cache_model`] — set-associative caches, the LRU/FIFO/Pseudo-LRU/
-//!   Quad-age-LRU replacement policies, write policies, two-level
-//!   hierarchies and the N-level [`MemoryConfig`](cache_model::MemoryConfig).
+//!   Quad-age-LRU replacement policies, write policies, and the depth-N
+//!   memory system: [`MemoryConfig`](cache_model::MemoryConfig) describes
+//!   any number of cache levels and
+//!   [`MultiLevelState`](cache_model::MultiLevelState) simulates them
+//!   through one inclusive access path.
 //! * [`simulate`] — classic, non-warping cache simulation (Algorithm 1).
 //! * [`warping`] — the paper's contribution: warping symbolic cache
 //!   simulation (Algorithm 2).
@@ -50,7 +53,7 @@
 //!     engine.run(&SimRequest::new(kernel.clone(), memory.clone(), Backend::Classic))?;
 //! let outcome = engine.run(&SimRequest::new(kernel, memory, Backend::warping()))?;
 //! assert_eq!(outcome.result, reference.result);
-//! assert_eq!(reference.result.l1.misses, 3 + 2 * 997);
+//! assert_eq!(reference.result.l1().misses, 3 + 2 * 997);
 //!
 //! // ... but warping skips almost all of the accesses.
 //! let stats = outcome.warping.unwrap();
@@ -82,7 +85,8 @@ pub mod prelude {
     pub use analytical::{HaystackModel, PolyCacheModel};
     pub use cache_model::{
         Access, AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, MemBlock,
-        MemoryConfig, MemoryConfigError, ReplacementPolicy, WritePolicy,
+        MemoryConfig, MemoryConfigError, MultiAccessOutcome, MultiLevelState, ReplacementPolicy,
+        WritePolicy,
     };
     pub use engine::{
         Backend, Engine, EngineError, KernelSpec, SimReport, SimRequest, WarpingStats,

@@ -115,13 +115,13 @@ fn analytical_models_agree_with_simulation_on_polybench() {
         let fa = CacheConfig::fully_associative(64, 64, ReplacementPolicy::Lru);
         let reference = simulate_single(&scop, &fa);
         let profile = HaystackModel::new(64).analyze(&scop);
-        assert_eq!(profile.misses(64), reference.l1.misses, "{kernel}");
+        assert_eq!(profile.misses(64), reference.l1().misses, "{kernel}");
         // PolyCache stand-in vs hierarchy simulation.
         let hierarchy = HierarchyConfig::polycache_comparison();
         let sim = simulate_hierarchy(&scop, &hierarchy);
         let poly = PolyCacheModel::new(hierarchy).analyze(&scop);
-        assert_eq!(poly.l1_misses, sim.l1.misses, "{kernel}");
-        assert_eq!(poly.l2_misses, sim.l2.unwrap().misses, "{kernel}");
+        assert_eq!(poly.l1_misses, sim.l1().misses, "{kernel}");
+        assert_eq!(poly.l2_misses, sim.l2().unwrap().misses, "{kernel}");
     }
 }
 
