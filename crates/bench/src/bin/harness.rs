@@ -34,6 +34,16 @@
 //!           single-level 32K:8:64), `l1l2` (adds a 1M 16-way L2) and
 //!           `l1l2l3` (adds an 8M 16-way L3) cover the common scenarios.
 //!           Every level uses the replacement policy of the grid row.
+//!
+//!           --threads N sets the engine's thread budget
+//!           (`Engine::with_threads`).  It is shared between the two
+//!           parallelism layers: grids with several requests fan out
+//!           across the batch (each request then applies warps
+//!           sequentially), while a single-request grid grants the whole
+//!           budget to the warping backend's parallel warp application.
+//!           Counts are bit-identical for every N.  Warping rows report
+//!           the two-phase match telemetry (warps, fingerprint hits,
+//!           exact-key builds, warp-apply time).
 //! ```
 
 use bench_suite::*;
@@ -355,21 +365,50 @@ fn grid(
         return;
     }
     println!(
-        "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10} {:>7}",
-        "kernel", "backend", "policy", "LL misses", "accesses", "sim[ms]", "exact"
+        "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10} {:>7} {:>7} {:>8} {:>7} {:>9}",
+        "kernel",
+        "backend",
+        "policy",
+        "LL misses",
+        "accesses",
+        "sim[ms]",
+        "exact",
+        "warps",
+        "fp hits",
+        "keys",
+        "warp[µs]"
     );
     for (request, report) in requests.iter().zip(&reports) {
         match report {
-            Ok(report) => println!(
-                "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10.2} {:>7}",
-                report.kernel,
-                report.backend,
-                request.memory.l1().policy().label(),
-                report.last_level_misses(),
-                report.result.accesses,
-                report.sim_ms,
-                report.exact
-            ),
+            Ok(report) => {
+                // Warping telemetry of the two-phase match pipeline; blank
+                // for the other backends.
+                let (warps, fp_hits, keys, warp_us) = report.warping.map_or_else(
+                    || (String::new(), String::new(), String::new(), String::new()),
+                    |w| {
+                        (
+                            w.warps.to_string(),
+                            w.fingerprint_hits.to_string(),
+                            w.exact_key_builds.to_string(),
+                            format!("{:.1}", w.warp_apply_ns as f64 / 1e3),
+                        )
+                    },
+                );
+                println!(
+                    "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10.2} {:>7} {:>7} {:>8} {:>7} {:>9}",
+                    report.kernel,
+                    report.backend,
+                    request.memory.l1().policy().label(),
+                    report.last_level_misses(),
+                    report.result.accesses,
+                    report.sim_ms,
+                    report.exact,
+                    warps,
+                    fp_hits,
+                    keys,
+                    warp_us
+                )
+            }
             Err(e) => println!(
                 "{:<22} {:<10} {:<14} error: {e}",
                 request.kernel.name(),

@@ -100,6 +100,10 @@ fn warping_outcome(report: &SimReport) -> WarpingOutcome {
         non_warped_accesses: stats.non_warped_accesses,
         warped_accesses: stats.warped_accesses,
         warps: stats.warps,
+        match_attempts: stats.match_attempts,
+        fingerprint_hits: stats.fingerprint_hits,
+        exact_key_builds: stats.exact_key_builds,
+        warp_apply_ns: stats.warp_apply_ns,
     }
 }
 

@@ -215,6 +215,21 @@ impl<B: Clone> CacheState<B> {
         &self.sets
     }
 
+    /// Indices of the sets holding at least one line.  For kernels whose
+    /// working set touches few sets of a large cache this is the only part
+    /// of the state worth encoding or digesting; empty sets are guaranteed
+    /// to still carry their initial replacement-policy state (lines are
+    /// replaced, never removed, so a set that was ever touched stays
+    /// occupied).
+    pub fn occupied_set_indices(&self) -> Vec<usize> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Applies a function to every payload, preserving geometry and policy
     /// state.
     pub fn map_payloads<C>(&self, mut f: impl FnMut(&B) -> C) -> CacheState<C> {

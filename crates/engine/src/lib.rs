@@ -143,6 +143,12 @@ impl Engine {
     /// Serves one request: builds the kernel, dispatches to the backend and
     /// reports the unified outcome.
     ///
+    /// The engine's thread budget ([`Engine::with_threads`]) is granted to
+    /// the backend: a warping request with
+    /// [`WarpingOptions::parallel_warp`](warping::WarpingOptions) enabled
+    /// applies warps across levels (and across sets within large levels) in
+    /// parallel.  Results are bit-identical for every budget.
+    ///
     /// # Errors
     ///
     /// [`EngineError::Kernel`] if the kernel does not build,
@@ -150,6 +156,16 @@ impl Engine {
     /// the requested memory system, and [`EngineError::InvalidOptions`] for
     /// degenerate warping options.
     pub fn run(&self, request: &SimRequest) -> Result<SimReport, EngineError> {
+        self.run_inner(request, self.threads)
+    }
+
+    /// [`Engine::run`] with an explicit thread budget for the backend
+    /// (used by [`Engine::run_batch`] to avoid oversubscription).
+    fn run_inner(
+        &self,
+        request: &SimRequest,
+        backend_threads: usize,
+    ) -> Result<SimReport, EngineError> {
         let kernel = request.kernel.name();
         let build_start = Instant::now();
         let scop = request
@@ -178,7 +194,8 @@ impl Engine {
                         backend: "warping",
                         message,
                     })?
-                    .with_options(*options);
+                    .with_options(*options)
+                    .with_threads(backend_threads);
                 let outcome = simulator.run(&scop);
                 let stats = WarpingStats::from(&outcome);
                 (outcome.result, Some(stats), true)
@@ -275,6 +292,15 @@ impl Engine {
     /// [`Engine::threads`] worker threads.  Reports come back in request
     /// order and are identical (up to wall-clock timings) to sequential
     /// [`Engine::run`] calls.
+    ///
+    /// The thread budget is shared with the backends' own parallelism:
+    /// batch-level fan-out takes precedence, so when several requests run
+    /// concurrently each of them applies warps sequentially
+    /// (`parallel_warp` stays dormant rather than oversubscribing the
+    /// machine).  A batch that collapses to the sequential path — fewer
+    /// than two requests, or an engine with one thread — grants each
+    /// request the full budget, exactly like [`Engine::run`].  Either way
+    /// the reported counts are bit-identical.
     pub fn run_batch(&self, requests: &[SimRequest]) -> Vec<Result<SimReport, EngineError>> {
         let workers = self.threads.min(requests.len());
         if workers <= 1 {
@@ -290,7 +316,7 @@ impl Engine {
                     let Some(request) = requests.get(index) else {
                         break;
                     };
-                    let outcome = self.run(request);
+                    let outcome = self.run_inner(request, 1);
                     *slots[index]
                         .lock()
                         .expect("no panics while holding the slot") = Some(outcome);

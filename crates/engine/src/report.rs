@@ -7,7 +7,12 @@ use warping::WarpingOutcome;
 
 /// Warping-specific statistics (present when the request ran on
 /// [`Backend::Warping`](crate::Backend::Warping)).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+///
+/// Equality ignores [`warp_apply_ns`](WarpingStats::warp_apply_ns), which is
+/// wall-clock telemetry and varies run to run (so batched and sequential
+/// runs of the same request still report the
+/// [same outcome](crate::SimReport::same_outcome)).
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct WarpingStats {
     /// Number of successful warp events.
     pub warps: u64,
@@ -18,6 +23,29 @@ pub struct WarpingStats {
     /// Share of accesses that could not be warped, in `[0, 1]` (the top
     /// plot of Fig. 6 of the paper).
     pub non_warped_share: f64,
+    /// Number of warp-match attempts.
+    pub match_attempts: u64,
+    /// Match attempts whose rolling fingerprint found a candidate in the
+    /// match map (only those proceed to exact key comparison).
+    pub fingerprint_hits: u64,
+    /// Number of exact canonical-key constructions — the quantity the
+    /// fingerprint filter exists to minimise.
+    pub exact_key_builds: u64,
+    /// Wall-clock nanoseconds spent applying warps.  Ignored by
+    /// `PartialEq`.
+    pub warp_apply_ns: u64,
+}
+
+impl PartialEq for WarpingStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.warps == other.warps
+            && self.warped_accesses == other.warped_accesses
+            && self.non_warped_accesses == other.non_warped_accesses
+            && self.non_warped_share == other.non_warped_share
+            && self.match_attempts == other.match_attempts
+            && self.fingerprint_hits == other.fingerprint_hits
+            && self.exact_key_builds == other.exact_key_builds
+    }
 }
 
 impl From<&WarpingOutcome> for WarpingStats {
@@ -27,6 +55,10 @@ impl From<&WarpingOutcome> for WarpingStats {
             warped_accesses: outcome.warped_accesses,
             non_warped_accesses: outcome.non_warped_accesses,
             non_warped_share: outcome.non_warped_share(),
+            match_attempts: outcome.match_attempts,
+            fingerprint_hits: outcome.fingerprint_hits,
+            exact_key_builds: outcome.exact_key_builds,
+            warp_apply_ns: outcome.warp_apply_ns,
         }
     }
 }

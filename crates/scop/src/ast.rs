@@ -126,7 +126,10 @@ pub struct ArrayAccess {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Statement {
     /// `for (iter = lower; iter < upper; iter += stride) body` — `upper` is
-    /// exclusive and `stride` is a positive constant (1 for `iter++`).
+    /// exclusive and `stride` is a non-zero constant (1 for `iter++`).
+    /// Decreasing loops (`iter--`, `iter -= k`) are normalised to the same
+    /// `[lower, upper)` bounds with a negative stride; they start at
+    /// `upper - 1` and walk downwards.
     For {
         /// Iterator name (must be unique within the enclosing nest).
         iter: String,
@@ -134,7 +137,8 @@ pub enum Statement {
         lower: Expr,
         /// Exclusive upper bound.
         upper: Expr,
-        /// Iterator increment per iteration (≥ 1).
+        /// Iterator increment per iteration (non-zero; negative for
+        /// decreasing loops).
         stride: i64,
         /// Loop body.
         body: Vec<Statement>,
@@ -206,12 +210,13 @@ pub fn for_loop(iter: &str, lower: Expr, upper: Expr, body: Vec<Statement>) -> S
     for_loop_strided(iter, lower, upper, 1, body)
 }
 
-/// Convenience constructor for a `for` statement with an explicit positive
-/// stride.
+/// Convenience constructor for a `for` statement with an explicit non-zero
+/// stride (negative strides build decreasing loops that start at
+/// `upper - 1`).
 ///
 /// # Panics
 ///
-/// Panics if `stride < 1`.
+/// Panics if `stride == 0`.
 pub fn for_loop_strided(
     iter: &str,
     lower: Expr,
@@ -219,7 +224,7 @@ pub fn for_loop_strided(
     stride: i64,
     body: Vec<Statement>,
 ) -> Statement {
-    assert!(stride >= 1, "loop strides must be positive");
+    assert!(stride != 0, "loop strides must be non-zero");
     Statement::For {
         iter: iter.to_owned(),
         lower,

@@ -4,8 +4,9 @@
 //! written in:
 //!
 //! * array declarations `double A[1000][1200];`
-//! * `for` loops with affine bounds and any positive constant stride
-//!   (`i++`, `i += k`, `i = i + k`),
+//! * `for` loops with affine bounds and any non-zero constant stride —
+//!   increasing (`i++`, `i += k`, `i = i + k` with a `<`/`<=` bound) or
+//!   decreasing (`i--`, `i -= k`, `i = i - k` with a `>`/`>=` bound),
 //! * `if` guards that are conjunctions of affine comparisons,
 //! * assignment statements (including the compound assignments `+=`, `-=`,
 //!   `*=`, `/=`) whose array subscripts are affine expressions of the loop
@@ -328,7 +329,7 @@ impl Parser {
         }
         let iter = self.expect_ident()?;
         self.expect_punct("=")?;
-        let lower = self.affine_expr()?;
+        let init = self.affine_expr()?;
         self.expect_punct(";")?;
         let cond_iter = self.expect_ident()?;
         if cond_iter != iter {
@@ -336,25 +337,37 @@ impl Parser {
                 "loop condition must test the loop iterator `{iter}`, found `{cond_iter}`"
             )));
         }
-        let inclusive = if self.eat_punct("<=") {
-            true
+        // `<`/`<=` bound increasing loops from above; `>`/`>=` bound
+        // decreasing loops (`i--`, `i -= k`) from below.
+        let (decreasing, inclusive) = if self.eat_punct("<=") {
+            (false, true)
         } else if self.eat_punct("<") {
-            false
+            (false, false)
+        } else if self.eat_punct(">=") {
+            (true, true)
+        } else if self.eat_punct(">") {
+            (true, false)
         } else {
-            return Err(self.error("only `<` and `<=` loop conditions are supported"));
+            return Err(self.error("only `<`, `<=`, `>` and `>=` loop conditions are supported"));
         };
-        let mut upper = self.affine_expr()?;
-        if inclusive {
-            upper = upper.offset(1);
-        }
+        let bound = self.affine_expr()?;
         self.expect_punct(";")?;
         let inc_iter = self.expect_ident()?;
         if inc_iter != iter {
             return Err(self.error("loop increment must update the loop iterator"));
         }
-        let stride = self.loop_stride(&iter)?;
+        let stride = self.loop_stride(&iter, decreasing)?;
         self.expect_punct(")")?;
         let body = self.body()?;
+        // Normalise to [lower, upper) bounds; a decreasing loop starts at
+        // its initial value `upper - 1` and walks downwards.
+        let (lower, upper) = if decreasing {
+            let lower = if inclusive { bound } else { bound.offset(1) };
+            (lower, init.offset(1))
+        } else {
+            let upper = if inclusive { bound.offset(1) } else { bound };
+            (init, upper)
+        };
         Ok(Statement::For {
             iter,
             lower,
@@ -365,13 +378,15 @@ impl Parser {
     }
 
     /// Parses the increment of a `for` loop after its iterator name:
-    /// `++` (stride 1), `+= k`, or `= i + k` / `= k + i` for a positive
-    /// integer constant `k`.
-    fn loop_stride(&mut self, iter: &str) -> Result<i64, ParseError> {
-        if self.eat_punct("++") {
-            return Ok(1);
-        }
-        let stride = if self.eat_punct("+=") {
+    /// `++`/`--` (stride ±1), `+= k`/`-= k`, or `= i ± k` / `= k + i` for a
+    /// positive integer constant `k`.  The stride's direction must agree
+    /// with the loop condition (`decreasing` is true for `>`/`>=` bounds).
+    fn loop_stride(&mut self, iter: &str, decreasing: bool) -> Result<i64, ParseError> {
+        let stride = if self.eat_punct("++") {
+            1
+        } else if self.eat_punct("--") {
+            -1
+        } else if self.eat_punct("+=") {
             self.stride_constant()?
         } else if self.eat_punct("-=") {
             -self.stride_constant()?
@@ -406,14 +421,23 @@ impl Parser {
                 }
             }
         } else {
-            return Err(
-                self.error("only `i++`, `i += k` and `i = i + k` loop increments are supported")
-            );
+            return Err(self.error(
+                "only `i++`, `i--`, `i += k`, `i -= k` and `i = i + k` loop increments are \
+                 supported",
+            ));
         };
-        if stride < 1 {
+        if stride == 0 {
+            return Err(self.error("loop stride must be a non-zero integer constant"));
+        }
+        if decreasing && stride > 0 {
             return Err(self.error(format!(
-                "loop stride must be a positive integer constant, got {stride} \
-                 (decreasing and zero strides are not supported)"
+                "a loop bounded by `>`/`>=` must decrease its iterator, got stride {stride}"
+            )));
+        }
+        if !decreasing && stride < 0 {
+            return Err(self.error(format!(
+                "a loop bounded by `<`/`<=` must increase its iterator, got stride {stride} \
+                 (use `>`/`>=` for decreasing loops)"
             )));
         }
         Ok(stride)
@@ -764,6 +788,56 @@ mod tests {
         assert!(parse_program("double A[100]; for (i = 0; i < 100; i += n) A[i] = 0;").is_err());
         // ... and so is an increment of a different variable.
         assert!(parse_program("double A[100]; for (i = 0; i < 100; i = j + 1) A[i] = 0;").is_err());
+    }
+
+    #[test]
+    fn parses_decreasing_loops() {
+        for (increment, expected) in [
+            ("i--", -1),
+            ("i -= 1", -1),
+            ("i -= 3", -3),
+            ("i = i - 2", -2),
+        ] {
+            let src = format!("double A[100]; for (i = 99; i >= 0; {increment}) A[i] = 0;");
+            let p = parse_program(&src).unwrap_or_else(|e| panic!("`{increment}`: {e}"));
+            let Statement::For {
+                lower,
+                upper,
+                stride,
+                ..
+            } = &p.stmts[0]
+            else {
+                panic!()
+            };
+            assert_eq!(*stride, expected, "`{increment}`");
+            assert_eq!(lower, &Expr::Const(0), "`{increment}`");
+            assert_eq!(upper, &Expr::Const(99).offset(1), "`{increment}`");
+        }
+        // A strict `>` bound excludes the bound itself.
+        let p = parse_program("double A[100]; for (i = 99; i > 5; i--) A[i] = 0;").unwrap();
+        let Statement::For { lower, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(lower, &Expr::Const(5).offset(1));
+    }
+
+    #[test]
+    fn rejects_direction_mismatches() {
+        // An increasing condition with a decreasing increment (and vice
+        // versa) would never terminate or never run as written.
+        for src in [
+            "double A[100]; for (i = 0; i < 100; i--) A[i] = 0;",
+            "double A[100]; for (i = 0; i < 100; i -= 2) A[i] = 0;",
+            "double A[100]; for (i = 99; i >= 0; i++) A[i] = 0;",
+            "double A[100]; for (i = 99; i > 0; i += 2) A[i] = 0;",
+        ] {
+            let err = parse_program(src).expect_err(src);
+            assert!(
+                err.message.contains("iterator") || err.message.contains("stride"),
+                "{src}: {}",
+                err.message
+            );
+        }
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub struct LoopNode {
     pub depth: usize,
     /// The iteration domain, including the constraints of enclosing loops.
     pub domain: Set,
-    /// Increment of the loop iterator per iteration (a positive constant;
-    /// 1 for the common `i++` loops).
+    /// Increment of the loop iterator per iteration (a non-zero constant;
+    /// 1 for the common `i++` loops).  Negative for decreasing loops, which
+    /// start at the domain's lexicographic maximum and walk downwards.
     pub stride: i64,
     /// Children, in execution order.
     pub children: Vec<Node>,

@@ -51,6 +51,27 @@ fn walk_node<'a>(
             }
         }
         Node::Loop(l) => {
+            if l.stride < 0 {
+                // Decreasing loops walk lexmax-first: the initial value of
+                // the source loop is the domain's largest point, and the
+                // stride grid is anchored there.
+                let Some(mut i) = l.last(outer) else {
+                    return;
+                };
+                let Some(lowest) = l.initial(outer) else {
+                    return;
+                };
+                while i.as_slice() >= lowest.as_slice() {
+                    if l.domain.contains(&i) {
+                        for child in &l.children {
+                            walk_node(child, &i, visit, count);
+                        }
+                    }
+                    *i.last_mut()
+                        .expect("loop domains have at least one dimension") += l.stride;
+                }
+                return;
+            }
             let Some(mut i) = l.initial(outer) else {
                 return;
             };
@@ -149,6 +170,59 @@ mod tests {
         assert_eq!(addresses[0], a_base);
         assert_eq!(addresses[1], a_base + 8);
         assert_eq!(addresses[3], a_base + 16);
+    }
+
+    #[test]
+    fn decreasing_loops_walk_lexmax_first() {
+        let scop = scop_of("double A[10]; for (i = 9; i >= 0; i--) A[i] = 0;");
+        let mut addresses = Vec::new();
+        let total = for_each_access(&scop, |acc| addresses.push(acc.address));
+        assert_eq!(total, 10);
+        let base = scop.arrays()[0].base_address;
+        assert_eq!(addresses[0], base + 9 * 8, "starts at the initial value");
+        assert_eq!(addresses[9], base, "ends at the lower bound");
+        assert!(addresses.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn decreasing_stride_grid_anchors_at_the_top() {
+        // i = 9, 6, 3, 0: the grid is anchored at the initial value, and a
+        // `> 0` bound excludes 0... here `>= 0` includes it.
+        let scop = scop_of("double A[10]; for (i = 9; i >= 0; i -= 3) A[i] = 0;");
+        let mut addresses = Vec::new();
+        assert_eq!(for_each_access(&scop, |acc| addresses.push(acc.address)), 4);
+        let base = scop.arrays()[0].base_address;
+        assert_eq!(
+            addresses,
+            vec![base + 72, base + 48, base + 24, base],
+            "visits 9, 6, 3, 0"
+        );
+        // With a bound off the stride grid, only on-grid points are visited.
+        let off = scop_of("double A[10]; for (i = 9; i > 1; i -= 3) A[i] = 0;");
+        assert_eq!(count_accesses(&off), 3, "visits 9, 6, 3");
+        // Guards compose with decreasing strides.
+        let guarded = scop_of("double A[10]; for (i = 9; i >= 0; i -= 3) if (i < 7) A[i] = 0;");
+        assert_eq!(count_accesses(&guarded), 3, "visits 6, 3, 0");
+    }
+
+    #[test]
+    fn nested_decreasing_loops_compose() {
+        let scop = scop_of(
+            "double A[8][8];\n\
+             for (i = 0; i < 4; i++) for (j = 3; j >= 0; j--) A[i][j] = 0;",
+        );
+        let mut addresses = Vec::new();
+        assert_eq!(
+            for_each_access(&scop, |acc| addresses.push(acc.address)),
+            16
+        );
+        let base = scop.arrays()[0].base_address;
+        // First outer iteration: A[0][3], A[0][2], A[0][1], A[0][0].
+        assert_eq!(
+            &addresses[..4],
+            &[base + 24, base + 16, base + 8, base],
+            "inner loop walks backwards"
+        );
     }
 
     #[test]

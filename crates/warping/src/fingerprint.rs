@@ -1,0 +1,311 @@
+//! Rolling fingerprints of symbolic cache levels: the cheap first phase of
+//! the two-phase warp-match pipeline.
+//!
+//! A warp match requires two symbolic cache states to be equal up to a
+//! rotation of their cache sets and a uniform shift of the warped iterator
+//! (Theorem 3 of the paper).  Deciding that exactly means building a
+//! [`CanonicalKey`](crate::key::CanonicalKey), which costs time proportional
+//! to the occupied part of the state.  This module provides a sound
+//! *filter* in front of the exact comparison: a 64-bit fingerprint that is
+//! **invariant under every transformation the canonical key factors out**,
+//! so
+//!
+//! > equal canonical keys ⟹ equal fingerprints.
+//!
+//! The contrapositive is what the simulator uses: when the fingerprints of
+//! two states differ, no exact key needs to be built — the states cannot
+//! match.  Fingerprint collisions (equal fingerprints, different states) are
+//! harmless: the exact key is still consulted before any warp, so soundness
+//! is entirely unaffected by hash quality.
+//!
+//! # The digest algebra
+//!
+//! Each cache set is digested into [`MAX_TRACKED_DIMS`] words, one per
+//! candidate warped dimension `d` (a loop at depth `w` warps dimension
+//! `w - 1`).  The digest of a set for excluded dimension `d` hashes, in line
+//! order:
+//!
+//! * the occupancy pattern of the set and, per occupied line, the access
+//!   node id and the iteration vector **without** the value at dimension
+//!   `d` — a uniform shift of the warped iterator therefore cannot change
+//!   the digest;
+//! * the *differences* between the concrete block numbers of consecutive
+//!   occupied lines — a uniform block shift (the `π` of the warping theorem)
+//!   leaves differences unchanged while still discriminating states whose
+//!   line phase differs;
+//! * the replacement-policy metadata verbatim, since matching states must
+//!   agree on it exactly.
+//!
+//! The level fingerprint is the wrapping **sum** of the per-set digests.
+//! Summation is commutative, so rotating the sets — which permutes them —
+//! cannot change the fingerprint.  (The sum is invariant under arbitrary
+//! permutations, a superset of rotations: more collisions, still sound.)
+//!
+//! # Incrementality
+//!
+//! [`FingerprintTracker`] maintains the per-set digests and their sums
+//! across state mutations with dirty-set tracking: an access dirties one
+//! set (detected via the [content
+//! version](cache_model::SetState::content_version) hook of the cache
+//! crate), a warp dirties the occupied sets and *rotates* the stored digest
+//! array alongside the state (the sums are unchanged by rotation).  Dirty
+//! digests are recomputed lazily when a fingerprint is next requested, so
+//! the cost of keeping fingerprints fresh is proportional to the number of
+//! sets touched since the last match attempt — not to the total number of
+//! sets of an 8 MiB L3.
+
+use crate::symstate::SymLine;
+use cache_model::{CacheState, PolicyState, SetState};
+
+/// Number of candidate warped dimensions a digest covers.  Loops nested
+/// deeper than this cannot use the fingerprint filter and fall back to
+/// exhaustive exact-key matching (sound, just slower); PolyBench-style
+/// kernels are at most three deep.
+pub const MAX_TRACKED_DIMS: usize = 4;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const TAG_EMPTY_LINE: u64 = 0x9e37;
+const TAG_LINE: u64 = 0x85eb;
+const TAG_POLICY: [u64; 3] = [0x27d4, 0xeb2f, 0x1656];
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Final avalanche (SplitMix64), so that wrapping-add combination of set
+/// digests does not cancel structured low-entropy inputs.
+#[inline]
+fn finalize(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The digest of one cache set: one word per excluded (candidate warped)
+/// dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SetDigest([u64; MAX_TRACKED_DIMS]);
+
+impl SetDigest {
+    /// The digest word for excluded dimension `d`.
+    pub fn word(&self, d: usize) -> u64 {
+        self.0[d]
+    }
+}
+
+/// Digests one set of a symbolic cache state.  See the module documentation
+/// for the invariances this encoding guarantees.
+pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
+    let mut words = [FNV_OFFSET; MAX_TRACKED_DIMS];
+    let mut prev_block: Option<u64> = None;
+    for line in set.lines() {
+        match line {
+            None => {
+                for w in &mut words {
+                    *w = mix(*w, TAG_EMPTY_LINE);
+                }
+            }
+            Some(l) => {
+                for w in &mut words {
+                    *w = mix(*w, TAG_LINE);
+                    *w = mix(*w, l.node as u64);
+                    *w = mix(*w, l.iter.len() as u64);
+                }
+                for (k, v) in l.iter.iter().enumerate() {
+                    for (d, w) in words.iter_mut().enumerate() {
+                        if k != d {
+                            *w = mix(*w, *v as u64);
+                        }
+                    }
+                }
+                // Consecutive block differences are invariant under the
+                // uniform block shift of a warp; absolute blocks are not.
+                if let Some(prev) = prev_block {
+                    let diff = l.block.0.wrapping_sub(prev);
+                    for w in &mut words {
+                        *w = mix(*w, diff);
+                    }
+                }
+                prev_block = Some(l.block.0);
+            }
+        }
+    }
+    match set.policy_state() {
+        PolicyState::None => {
+            for w in &mut words {
+                *w = mix(*w, TAG_POLICY[0]);
+            }
+        }
+        PolicyState::PlruBits(bits) => {
+            for w in &mut words {
+                *w = mix(*w, TAG_POLICY[1]);
+                for b in bits {
+                    *w = mix(*w, u64::from(*b));
+                }
+            }
+        }
+        PolicyState::Ages(ages) => {
+            for w in &mut words {
+                *w = mix(*w, TAG_POLICY[2]);
+                for a in ages {
+                    *w = mix(*w, u64::from(*a));
+                }
+            }
+        }
+    }
+    for w in &mut words {
+        *w = finalize(*w);
+    }
+    SetDigest(words)
+}
+
+/// Rebuilds the level fingerprint words from scratch — the reference the
+/// incremental [`FingerprintTracker`] is tested against.
+pub fn rebuild_level_fingerprint(state: &CacheState<SymLine>) -> [u64; MAX_TRACKED_DIMS] {
+    let mut sums = [0u64; MAX_TRACKED_DIMS];
+    for set in state.sets() {
+        let digest = digest_set(set);
+        for (s, w) in sums.iter_mut().zip(digest.0) {
+            *s = s.wrapping_add(w);
+        }
+    }
+    sums
+}
+
+/// Incrementally maintained per-set digests and rolling level fingerprints
+/// of one symbolic cache level.
+#[derive(Clone, Debug)]
+pub struct FingerprintTracker {
+    digests: Vec<SetDigest>,
+    dirty_flag: Vec<bool>,
+    dirty: Vec<usize>,
+    sums: [u64; MAX_TRACKED_DIMS],
+}
+
+impl FingerprintTracker {
+    /// A tracker over a fresh (all-empty) state.  Every set of a fresh
+    /// state is identical, so one template digest covers them all and
+    /// construction does no per-set digesting.
+    pub fn new(state: &CacheState<SymLine>) -> Self {
+        let empty = digest_set(state.set(0));
+        debug_assert!(state.sets().iter().all(SetState::is_empty));
+        let num_sets = state.num_sets();
+        let mut sums = [0u64; MAX_TRACKED_DIMS];
+        for (s, w) in sums.iter_mut().zip(empty.0) {
+            *s = w.wrapping_mul(num_sets as u64);
+        }
+        FingerprintTracker {
+            dirty_flag: vec![false; num_sets],
+            dirty: Vec::new(),
+            digests: vec![empty; num_sets],
+            sums,
+        }
+    }
+
+    /// Marks one set's digest as possibly stale.
+    pub fn mark_dirty(&mut self, set: usize) {
+        if !self.dirty_flag[set] {
+            self.dirty_flag[set] = true;
+            self.dirty.push(set);
+        }
+    }
+
+    /// Recomputes the digests of all dirty sets and updates the rolling
+    /// sums.  O(dirty sets), independent of the total number of sets.
+    ///
+    /// Every dirty set is recomputed unconditionally: content versions are
+    /// only comparable within one `SetState` instance, and warp application
+    /// replaces sets wholesale (resetting their version), so a version
+    /// match across a flush proves nothing about staleness.
+    pub fn flush(&mut self, state: &CacheState<SymLine>) {
+        for &s in &self.dirty {
+            self.dirty_flag[s] = false;
+            let digest = digest_set(state.set(s));
+            for ((sum, old), new) in self.sums.iter_mut().zip(self.digests[s].0).zip(digest.0) {
+                *sum = sum.wrapping_sub(old).wrapping_add(new);
+            }
+            self.digests[s] = digest;
+        }
+        self.dirty.clear();
+    }
+
+    /// Whether all digests are up to date (no pending dirty sets).
+    pub fn is_flushed(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// The rolling level fingerprint for excluded dimension `d`, or `None`
+    /// when `d` is beyond [`MAX_TRACKED_DIMS`] (the caller then falls back
+    /// to exhaustive exact-key matching).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the tracker has been [flushed](Self::flush).
+    pub fn fingerprint(&self, d: usize) -> Option<u64> {
+        debug_assert!(self.is_flushed(), "fingerprint read from a dirty tracker");
+        self.sums.get(d).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::{MemBlock, ReplacementPolicy};
+
+    fn line(node: usize, iter: &[i64], block: u64) -> SymLine {
+        SymLine {
+            block: MemBlock(block),
+            node,
+            iter: iter.to_vec(),
+        }
+    }
+
+    fn set_of(lines: &[Option<SymLine>]) -> SetState<SymLine> {
+        let mut set = SetState::new(ReplacementPolicy::Lru, lines.len());
+        // Insert back to front so the final line order matches `lines`.
+        for l in lines.iter().rev().flatten() {
+            set.on_miss_insert(ReplacementPolicy::Lru, l.clone());
+        }
+        set
+    }
+
+    #[test]
+    fn digest_excludes_only_the_excluded_dim() {
+        let a = set_of(&[Some(line(0, &[5, 7], 10)), None]);
+        let b = set_of(&[Some(line(0, &[6, 7], 10)), None]);
+        let c = set_of(&[Some(line(0, &[5, 8], 10)), None]);
+        // Shifting dim 0 changes every word except word 0.
+        assert_eq!(digest_set(&a).word(0), digest_set(&b).word(0));
+        assert_ne!(digest_set(&a).word(1), digest_set(&b).word(1));
+        // Shifting dim 1 changes every word except word 1.
+        assert_eq!(digest_set(&a).word(1), digest_set(&c).word(1));
+        assert_ne!(digest_set(&a).word(0), digest_set(&c).word(0));
+    }
+
+    #[test]
+    fn digest_is_invariant_under_uniform_block_shift() {
+        let a = set_of(&[Some(line(0, &[5], 10)), Some(line(1, &[5], 26))]);
+        let b = set_of(&[Some(line(0, &[6], 14)), Some(line(1, &[6], 30))]);
+        assert_eq!(digest_set(&a).word(0), digest_set(&b).word(0));
+        // A non-uniform shift changes the block differences.
+        let c = set_of(&[Some(line(0, &[6], 14)), Some(line(1, &[6], 34))]);
+        assert_ne!(digest_set(&a).word(0), digest_set(&c).word(0));
+    }
+
+    #[test]
+    fn digest_discriminates_nodes_occupancy_and_policy() {
+        let a = set_of(&[Some(line(0, &[5], 10)), None]);
+        let other_node = set_of(&[Some(line(1, &[5], 10)), None]);
+        let empty = set_of(&[None, None]);
+        assert_ne!(digest_set(&a).word(0), digest_set(&other_node).word(0));
+        assert_ne!(digest_set(&a).word(0), digest_set(&empty).word(0));
+
+        let mut qlru = SetState::new(ReplacementPolicy::Qlru, 2);
+        qlru.on_miss_insert(ReplacementPolicy::Qlru, line(0, &[5], 10));
+        let once = digest_set(&qlru);
+        qlru.on_hit(ReplacementPolicy::Qlru, 0); // age 2 -> 0
+        assert_ne!(once.word(0), digest_set(&qlru).word(0));
+    }
+}

@@ -16,6 +16,17 @@
 //!
 //! The key is an exact encoding (not just a hash), so key equality implies
 //! symbolic equality — hash collisions cannot cause unsound warps.
+//!
+//! # Sparse encoding
+//!
+//! Only the *occupied* sets are encoded, each prefixed by its rotational
+//! offset from the most-recently-used set.  Cache sets are filled and
+//! replaced but never emptied, so an empty set is guaranteed to be in its
+//! initial state (no lines, initial policy metadata): two states whose
+//! occupied sets sit at the same offsets with equal content are therefore
+//! equal everywhere.  This makes key construction O(occupied sets) — on a
+//! kernel touching a handful of sets, the cost no longer scales with the
+//! total number of sets of a large outer level.
 
 use crate::symstate::SymLevel;
 use cache_model::PolicyState;
@@ -56,10 +67,20 @@ fn encode_level(
 ) {
     let num_sets = level.state.num_sets();
     data.push(i64::MIN + 1); // level separator
-    for t in 0..num_sets {
-        let s = (level.mru_set + t) % num_sets;
+                             // Occupied sets in rotation order: ascending offset from the MRU set.
+                             // Their offsets are part of the encoding, so two states only compare
+                             // equal when their occupied sets line up under the same rotation; the
+                             // remaining sets are empty-and-initial on both sides by construction.
+    let mut offsets: Vec<(usize, usize)> = level
+        .occupied_sets()
+        .iter()
+        .map(|&s| ((s + num_sets - level.mru_set % num_sets) % num_sets, s))
+        .collect();
+    offsets.sort_unstable();
+    for (offset, s) in offsets {
         let set = level.state.set(s);
         data.push(i64::MIN + 2); // set separator
+        data.push(offset as i64);
         for line in set.lines() {
             match line {
                 None => data.push(i64::MIN + 3),
@@ -177,6 +198,26 @@ mod tests {
         assert_ne!(
             key_of(&s1, &descendants, 5),
             key_of(&empty, &descendants, 5)
+        );
+    }
+
+    #[test]
+    fn occupied_offsets_anchor_the_rotation() {
+        // Two states with equal content in their occupied sets but a
+        // different offset from the MRU set must not compare equal.
+        let descendants: HashSet<usize> = [0].into_iter().collect();
+        let mut s1 = level();
+        s1.access(MemBlock(10), AccessKind::Read, 0, &[5]); // set 2, MRU 2
+        let mut s2 = level();
+        s2.access(MemBlock(10), AccessKind::Read, 0, &[5]); // set 2
+        s2.access(MemBlock(11), AccessKind::Read, 0, &[5]); // MRU now 3
+                                                            // Give s1 the same line in set 3 so occupancy matches.
+        s1.access(MemBlock(11), AccessKind::Read, 0, &[5]);
+        s1.access(MemBlock(10), AccessKind::Read, 0, &[5]); // MRU back to 2
+        assert_ne!(
+            key_of(&s1, &descendants, 5),
+            key_of(&s2, &descendants, 5),
+            "same occupied content at different MRU offsets must differ"
         );
     }
 }

@@ -14,10 +14,15 @@
 //!   carries, next to the concrete memory block, a symbolic label recording
 //!   which access node loaded it and at which iteration
 //!   ([`symstate`]).
-//! * At the top of every loop iteration the simulator computes a
-//!   rotation-invariant canonical key of the symbolic state ([`key`]) and
-//!   looks it up in a per-loop hash map.  Equal keys identify cache states
-//!   that are equal up to a bijection on memory blocks (Theorem 3).
+//! * At the top of selected loop iterations the simulator attempts a match
+//!   in two phases: it first compares an incrementally maintained,
+//!   rotation- and shift-invariant **rolling fingerprint** of the symbolic
+//!   state ([`fingerprint`]), and only on a fingerprint hit constructs the
+//!   exact rotation-invariant canonical key ([`key`]) — sparse over the
+//!   occupied cache sets — and looks it up in a per-loop hash map.  Equal
+//!   keys identify cache states that are equal up to a bijection on memory
+//!   blocks (Theorem 3); fingerprint collisions are filtered out by the
+//!   exact key, so soundness never depends on hash quality.
 //! * On a match, the simulator checks the sufficient conditions of the
 //!   symbolic warping theorem (Theorem 4) using polyhedral reasoning
 //!   ([`plan`]): all accesses of the loop body must shift by one common,
@@ -57,11 +62,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod key;
 pub mod plan;
 pub mod simulator;
 pub mod symstate;
 
+pub use fingerprint::FingerprintTracker;
 pub use key::CanonicalKey;
 pub use plan::WarpPlan;
 pub use simulator::{

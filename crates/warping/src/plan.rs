@@ -94,9 +94,11 @@ pub fn plan_warp(
     }
 
     // 2. Cache agreement: every cached line must be consistent with the
-    //    uniform shift.
+    //    uniform shift.  Only the occupied sets can hold lines, so the scan
+    //    is O(occupied), independent of the total number of sets.
     for level in levels {
-        for set in level.state.sets() {
+        for &s in level.occupied_sets() {
+            let set = level.state.set(s);
             for line in set.lines().iter().flatten() {
                 let shifts_with_loop =
                     descendant_ids.contains(&line.node) && line.iter.len() >= warp_depth;

@@ -1,5 +1,27 @@
 //! The warping symbolic cache simulator (Algorithm 2 of the paper).
+//!
+//! # The two-phase match pipeline
+//!
+//! A match attempt no longer builds an exact [`CanonicalKey`] up front.
+//! Instead it runs in two phases:
+//!
+//! 1. **Fingerprint phase** — the rolling level fingerprints (see
+//!    [`fingerprint`](crate::fingerprint)) of all levels are combined and
+//!    looked up in the per-loop match map.  Fingerprints are maintained
+//!    incrementally with dirty-set tracking, so this phase costs time
+//!    proportional to the sets touched since the last attempt — not to the
+//!    size of the outermost cache level.
+//! 2. **Exact phase** — only on a fingerprint hit is the exact canonical
+//!    key constructed (itself sparse: O(occupied sets)) and compared.
+//!    Soundness is unchanged: a warp still requires exact key equality,
+//!    which implies symbolic state equality (Theorem 3).
+//!
+//! A state's exact key is built lazily: the first sighting of a fingerprint
+//! stores only the fingerprint; the second sighting attaches the key; the
+//! third sighting can match exactly and warp.  Loops whose states never
+//! recur therefore never pay for key construction at all.
 
+use crate::fingerprint::MAX_TRACKED_DIMS;
 use crate::key::CanonicalKey;
 use crate::plan::plan_warp;
 use crate::symstate::SymLevel;
@@ -9,6 +31,9 @@ use scop::{AccessNode, LoopNode, Node, Scop};
 use simulate::SimulationResult;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::time::Instant;
 
 /// The memory system simulated by the warping simulator.
 ///
@@ -20,7 +45,10 @@ use std::fmt;
 pub type WarpingMemory = MemoryConfig;
 
 /// The outcome of a warping simulation.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Equality ignores [`warp_apply_ns`](WarpingOutcome::warp_apply_ns), which
+/// is wall-clock telemetry and varies run to run.
+#[derive(Clone, Debug, Default)]
 pub struct WarpingOutcome {
     /// Access and miss counts, identical to what non-warping simulation
     /// produces.
@@ -31,7 +59,34 @@ pub struct WarpingOutcome {
     pub warped_accesses: u64,
     /// Number of successful warp events.
     pub warps: u64,
+    /// Number of warp-match attempts (both phases combined).
+    pub match_attempts: u64,
+    /// Match attempts whose fingerprint found a candidate in the match map
+    /// (the only attempts that proceed to the exact phase).
+    pub fingerprint_hits: u64,
+    /// Number of exact [`CanonicalKey`] constructions.  With the
+    /// fingerprint filter enabled this is typically a small fraction of
+    /// [`match_attempts`](WarpingOutcome::match_attempts).
+    pub exact_key_builds: u64,
+    /// Wall-clock nanoseconds spent applying warps (counter extrapolation
+    /// plus symbolic state advancement).  Ignored by `PartialEq`.
+    pub warp_apply_ns: u64,
 }
+
+impl PartialEq for WarpingOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // warp_apply_ns is timing telemetry, not an outcome.
+        self.result == other.result
+            && self.non_warped_accesses == other.non_warped_accesses
+            && self.warped_accesses == other.warped_accesses
+            && self.warps == other.warps
+            && self.match_attempts == other.match_attempts
+            && self.fingerprint_hits == other.fingerprint_hits
+            && self.exact_key_builds == other.exact_key_builds
+    }
+}
+
+impl Eq for WarpingOutcome {}
 
 impl WarpingOutcome {
     /// The share of accesses that could not be warped (the quantity plotted
@@ -66,11 +121,28 @@ pub struct WarpingOptions {
     /// this threshold are simulated without attempting to warp: the possible
     /// gain cannot amortise the cost of key construction.
     pub min_trip_count: i64,
-    /// Warping is abandoned for a loop node after this many match attempts
-    /// (across all executions of the node) that did not lead to a warp.
-    /// This caps the overhead on loops whose states never recur while still
-    /// allowing matches that only appear after the cache has warmed up.
+    /// Warping is abandoned for a loop node after this many *costly* match
+    /// attempts (across all executions of the node) that did not lead to a
+    /// warp.  An attempt counts as costly when it paid for an exact
+    /// canonical-key construction, or when it could not even remember the
+    /// state because the match map was full; attempts that the fingerprint
+    /// filter dismisses cheaply do not count, since the knob exists to cap
+    /// overhead, not opportunity.  This bounds the cost on loops whose
+    /// states never recur while still allowing matches that only appear
+    /// after the cache has warmed up.
     pub max_fruitless_attempts: u64,
+    /// Whether match attempts run the cheap fingerprint phase before
+    /// constructing exact canonical keys.  Disabling it restores the
+    /// exhaustive key-per-attempt pipeline (useful for differential testing
+    /// and ablation); results are bit-identical either way.
+    pub fingerprint_filter: bool,
+    /// Whether warp application may fan out across levels (and across sets
+    /// within large levels) over the simulator's [thread
+    /// budget](WarpingSimulator::with_threads).  The rewrite of each set is
+    /// independent, so the resulting state — and every simulation count —
+    /// is bit-identical to the sequential rewrite.  Depth-1 or small
+    /// configurations fall back to the sequential path automatically.
+    pub parallel_warp: bool,
 }
 
 impl Default for WarpingOptions {
@@ -88,6 +160,8 @@ impl WarpingOptions {
         max_map_entries: 4096,
         min_trip_count: 24,
         max_fruitless_attempts: 512,
+        fingerprint_filter: true,
+        parallel_warp: true,
     };
 
     /// Checks the options for values that would make the simulator loop or
@@ -132,13 +206,18 @@ impl fmt::Display for InvalidWarpingOptions {
 
 impl std::error::Error for InvalidWarpingOptions {}
 
-/// Per-entry bookkeeping of the per-loop hash map of Algorithm 2.
+/// Per-entry bookkeeping of the per-loop match map of Algorithm 2, keyed by
+/// the rolling fingerprint.
 #[derive(Clone, Debug)]
 struct MatchEntry {
     /// Warped-iterator value at which the state was recorded.
     v: i64,
     /// Counter snapshot at that point.
     counters: Counters,
+    /// The exact canonical key of the recorded state.  Built lazily: `None`
+    /// until the entry's fingerprint is sighted a second time, so loops
+    /// whose states never recur never pay for key construction.
+    key: Option<CanonicalKey>,
 }
 
 /// Snapshot of all monotonically increasing counters, used to extrapolate
@@ -149,20 +228,46 @@ struct Counters {
     level: Vec<LevelStats>,
 }
 
+/// Per-loop-node data that is invariant across executions of the node:
+/// the access nodes below it, their id set, and the common per-iteration
+/// address coefficient on the loop's dimension (if any).  Computed once and
+/// cached for the whole [`WarpingSimulator::run`], instead of being
+/// recollected on every execution of an inner loop.
+struct LoopInfo<'a> {
+    nodes: Vec<&'a AccessNode>,
+    ids: HashSet<usize>,
+    uniform_coeff: Option<i64>,
+}
+
+/// Per-run context threaded through the tree walk: the address table and
+/// the per-node [`LoopInfo`] cache.
+struct RunCtx<'a> {
+    addresses: Vec<Aff>,
+    loops: HashMap<usize, Rc<LoopInfo<'a>>>,
+}
+
 /// The warping symbolic cache simulator.
 ///
 /// One generic code path simulates memory systems of any depth ≥ 1: the
-/// symbolic levels live in a `Vec<SymLevel>`, and canonical-key
-/// construction, warp planning and warp application all iterate over it.
+/// symbolic levels live in a `Vec<SymLevel>`, and fingerprint maintenance,
+/// canonical-key construction, warp planning and warp application all
+/// iterate over it.
 ///
 /// See the crate-level documentation for an example.
 #[derive(Clone, Debug)]
 pub struct WarpingSimulator {
     levels: Vec<SymLevel>,
     options: WarpingOptions,
+    /// Thread budget for parallel warp application (see
+    /// [`WarpingSimulator::with_threads`]); 1 means sequential.
+    warp_threads: usize,
     accesses: u64,
     warped_accesses: u64,
     warps: u64,
+    match_attempts: u64,
+    fingerprint_hits: u64,
+    exact_key_builds: u64,
+    warp_apply_ns: u64,
     /// Match attempts that did not result in a warp, per loop node (keyed by
     /// the node's address within the SCoP currently being simulated).
     fruitless: HashMap<usize, u64>,
@@ -200,9 +305,14 @@ impl WarpingSimulator {
                 .map(|level| SymLevel::new(level.clone()))
                 .collect(),
             options: WarpingOptions::default(),
+            warp_threads: 1,
             accesses: 0,
             warped_accesses: 0,
             warps: 0,
+            match_attempts: 0,
+            fingerprint_hits: 0,
+            exact_key_builds: 0,
+            warp_apply_ns: 0,
             fruitless: HashMap::new(),
         })
     }
@@ -226,6 +336,15 @@ impl WarpingSimulator {
         self
     }
 
+    /// Grants the simulator a thread budget for parallel warp application
+    /// (clamped to at least 1; the default is 1, i.e. sequential).  Only
+    /// effective when [`WarpingOptions::parallel_warp`] is enabled; results
+    /// are bit-identical for every budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.warp_threads = threads.max(1);
+        self
+    }
+
     /// Simulates a SCoP and returns the outcome.  The cache state persists
     /// across calls, so SCoPs can be simulated in sequence; use a fresh
     /// simulator for independent runs.
@@ -238,8 +357,12 @@ impl WarpingSimulator {
             v.sort_by_key(|(id, _)| *id);
             v.into_iter().map(|(_, a)| a).collect()
         };
+        let mut ctx = RunCtx {
+            addresses,
+            loops: HashMap::new(),
+        };
         for root in scop.roots() {
-            self.simulate_node(root, &[], &addresses);
+            self.simulate_node(root, &[], &mut ctx);
         }
         self.outcome()
     }
@@ -254,6 +377,10 @@ impl WarpingSimulator {
             non_warped_accesses: self.accesses - self.warped_accesses,
             warped_accesses: self.warped_accesses,
             warps: self.warps,
+            match_attempts: self.match_attempts,
+            fingerprint_hits: self.fingerprint_hits,
+            exact_key_builds: self.exact_key_builds,
+            warp_apply_ns: self.warp_apply_ns,
         }
     }
 
@@ -264,10 +391,10 @@ impl WarpingSimulator {
         }
     }
 
-    fn simulate_node(&mut self, node: &Node, outer: &[i64], addresses: &[Aff]) {
+    fn simulate_node<'a>(&mut self, node: &'a Node, outer: &[i64], ctx: &mut RunCtx<'a>) {
         match node {
             Node::Access(a) => self.simulate_access(a, outer),
-            Node::Loop(l) => self.simulate_loop(l, outer, addresses),
+            Node::Loop(l) => self.simulate_loop(l, outer, ctx),
         }
     }
 
@@ -287,35 +414,95 @@ impl WarpingSimulator {
         }
     }
 
-    fn simulate_loop(&mut self, loop_node: &LoopNode, outer: &[i64], addresses: &[Aff]) {
+    /// The per-node [`LoopInfo`], computed on first sight and cached for
+    /// the rest of the run.
+    fn loop_info<'a>(loop_node: &'a LoopNode, ctx: &mut RunCtx<'a>) -> Rc<LoopInfo<'a>> {
+        let node_key = loop_node as *const LoopNode as usize;
+        if let Some(info) = ctx.loops.get(&node_key) {
+            return Rc::clone(info);
+        }
+        let nodes = descendants(loop_node);
+        let ids: HashSet<usize> = nodes.iter().map(|a| a.id).collect();
+        let uniform_coeff = uniform_coefficient(&nodes, loop_node.depth - 1);
+        let info = Rc::new(LoopInfo {
+            nodes,
+            ids,
+            uniform_coeff,
+        });
+        ctx.loops.insert(node_key, Rc::clone(&info));
+        info
+    }
+
+    /// Combines the per-level rolling fingerprints for a warp attempt at
+    /// the given depth.  `None` when the warped dimension is beyond the
+    /// tracked range, in which case the caller falls back to exhaustive
+    /// exact-key matching.
+    fn combined_fingerprint(&mut self, warp_depth: usize) -> Option<u64> {
+        let dim = warp_depth - 1;
+        if dim >= MAX_TRACKED_DIMS {
+            return None;
+        }
+        let mut combined: u64 = 0x517c_c1b7_2722_0a95;
+        for level in &mut self.levels {
+            level.prepare_match();
+            let fp = level.fingerprint(dim).expect("dim is tracked");
+            combined = (combined ^ fp)
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                .rotate_left(17);
+        }
+        Some(combined)
+    }
+
+    fn build_key(&mut self, descendant_ids: &HashSet<usize>, depth: usize, v: i64) -> CanonicalKey {
+        self.exact_key_builds += 1;
+        CanonicalKey::of_levels(&self.levels, descendant_ids, depth, v)
+    }
+
+    fn simulate_loop<'a>(&mut self, loop_node: &'a LoopNode, outer: &[i64], ctx: &mut RunCtx<'a>) {
+        let depth = loop_node.depth;
+        if loop_node.stride < 0 {
+            // Decreasing loops walk lexmax-first.  They are simulated
+            // explicitly: warp matching assumes increasing iterators (the
+            // match map stores the *earlier* state), and extending it to
+            // negative periods is an open ROADMAP item.
+            let Some(mut i) = loop_node.last(outer) else {
+                return;
+            };
+            let Some(lowest) = loop_node.initial(outer) else {
+                return;
+            };
+            while i.as_slice() >= lowest.as_slice() {
+                if loop_node.domain.contains(&i) {
+                    for child in &loop_node.children {
+                        self.simulate_node(child, &i, ctx);
+                    }
+                }
+                i[depth - 1] += loop_node.stride;
+            }
+            return;
+        }
         let Some(mut i) = loop_node.initial(outer) else {
             return;
         };
         let Some(last) = loop_node.last(outer) else {
             return;
         };
-        let depth = loop_node.depth;
         let v_last = last[depth - 1];
         let stride = loop_node.stride.max(1);
         // Cheap gating: warping at this loop can only ever succeed if every
         // access below it shifts by the same amount per iteration (see
         // `plan_warp`), and it can only pay off if the loop has enough
-        // iterations to amortise the cost of key construction.  Checking
-        // these once per loop execution keeps the overhead on non-warpable
-        // loops negligible.
+        // iterations to amortise the cost of match attempts.  The loop
+        // structure facts come from the per-run cache, so inner loops do not
+        // recollect their descendants on every outer iteration.
         let trip_count = (v_last - i[depth - 1]) / stride + 1;
         let node_key = loop_node as *const LoopNode as usize;
         let mut fruitless = self.fruitless.get(&node_key).copied().unwrap_or(0);
-        let descendant_nodes = descendants(loop_node);
+        let info = Self::loop_info(loop_node, ctx);
         let warpable = trip_count >= self.options.min_trip_count
-            && !descendant_nodes.is_empty()
-            && uniform_coefficient(&descendant_nodes, depth - 1).is_some();
-        let descendant_ids: HashSet<usize> = if warpable {
-            descendant_nodes.iter().map(|a| a.id).collect()
-        } else {
-            HashSet::new()
-        };
-        let mut map: HashMap<CanonicalKey, MatchEntry> = HashMap::new();
+            && !info.nodes.is_empty()
+            && info.uniform_coeff.is_some();
+        let mut map: HashMap<u64, MatchEntry> = HashMap::new();
         let mut iteration_index: u64 = 0;
 
         while i.as_slice() <= last.as_slice() {
@@ -324,70 +511,30 @@ impl WarpingSimulator {
                 && fruitless < self.options.max_fruitless_attempts
                 && self.should_attempt(iteration_index)
             {
-                fruitless += 1;
-                let key = CanonicalKey::of_levels(&self.levels, &descendant_ids, depth, v1);
-                if let Some(entry) = map.get(&key) {
-                    if let Some(plan) = plan_warp(
-                        &descendant_nodes,
-                        &descendant_ids,
-                        &self.levels,
-                        depth,
-                        outer,
-                        entry.v,
-                        v1,
-                        v_last,
-                    ) {
-                        let period = v1 - entry.v;
-                        let chunk = self.counters();
-                        let chunk_accesses = chunk.accesses - entry.counters.accesses;
-                        // Extrapolate the counters across the warped chunks
-                        // (Equation 19 / line 12 of Algorithm 2).
-                        let n = plan.chunks as u64;
-                        self.accesses += n * chunk_accesses;
-                        self.warped_accesses += n * chunk_accesses;
-                        for (idx, level) in self.levels.iter_mut().enumerate() {
-                            let diff_hits = chunk.level[idx].hits - entry.counters.level[idx].hits;
-                            let diff_misses =
-                                chunk.level[idx].misses - entry.counters.level[idx].misses;
-                            level.stats.hits += n * diff_hits;
-                            level.stats.misses += n * diff_misses;
-                            level.stats.accesses += n * (diff_hits + diff_misses);
-                        }
-                        // Advance the symbolic cache state (Equation 18).
-                        for level in &mut self.levels {
-                            level.apply_warp(
-                                addresses,
-                                &descendant_ids,
-                                depth,
-                                period,
-                                plan.chunks,
-                                plan.byte_shift_per_chunk * plan.chunks,
-                            );
-                        }
-                        i[depth - 1] += plan.chunks * period;
-                        self.warps += 1;
-                        fruitless = 0;
-                        // `period` is in iterator units, which advance by
-                        // `stride` per iteration.
-                        iteration_index += (plan.chunks * period / stride) as u64;
-                        // Do not consume this iteration: re-enter the loop
-                        // header so the landed-on iteration is simulated (or
-                        // warped again).
-                        continue;
-                    }
-                } else if map.len() < self.options.max_map_entries {
-                    map.insert(
-                        key,
-                        MatchEntry {
-                            v: v1,
-                            counters: self.counters(),
-                        },
-                    );
+                if let Some(warped) = self.attempt_match(
+                    &info,
+                    &ctx.addresses,
+                    depth,
+                    outer,
+                    v1,
+                    v_last,
+                    &mut map,
+                    &mut fruitless,
+                ) {
+                    let period_total = warped; // iterator units warped across
+                    i[depth - 1] += period_total;
+                    fruitless = 0;
+                    // Iterator units advance by `stride` per iteration.
+                    iteration_index += (period_total / stride) as u64;
+                    // Do not consume this iteration: re-enter the loop
+                    // header so the landed-on iteration is simulated (or
+                    // warped again).
+                    continue;
                 }
             }
             if loop_node.domain.contains(&i) {
                 for child in &loop_node.children {
-                    self.simulate_node(child, &i, addresses);
+                    self.simulate_node(child, &i, ctx);
                 }
             }
             i[depth - 1] += loop_node.stride;
@@ -396,6 +543,153 @@ impl WarpingSimulator {
         if warpable {
             self.fruitless.insert(node_key, fruitless);
         }
+    }
+
+    /// One two-phase match attempt at iterator value `v1`.  Returns the
+    /// number of iterator units warped across on success (the caller
+    /// advances the loop), `None` otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_match(
+        &mut self,
+        info: &LoopInfo<'_>,
+        addresses: &[Aff],
+        depth: usize,
+        outer: &[i64],
+        v1: i64,
+        v_last: i64,
+        map: &mut HashMap<u64, MatchEntry>,
+        fruitless: &mut u64,
+    ) -> Option<i64> {
+        self.match_attempts += 1;
+        // Phase 1: the cheap rolling fingerprint (when enabled and the
+        // warped dimension is tracked); otherwise fall back to hashing the
+        // exact key, i.e. the exhaustive pipeline.  Only attempts that pay
+        // for an exact key — or that cannot even be remembered — count
+        // toward the fruitless-attempt budget: the budget caps overhead,
+        // and fingerprint-dismissed attempts are nearly free.
+        let filtered = self.options.fingerprint_filter;
+        let (slot, mut current_key) =
+            match filtered.then(|| self.combined_fingerprint(depth)).flatten() {
+                Some(fp) => (fp, None),
+                None => {
+                    *fruitless += 1;
+                    let key = self.build_key(&info.ids, depth, v1);
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    key.hash(&mut hasher);
+                    (hasher.finish(), Some(key))
+                }
+            };
+        let Some(entry) = map.get(&slot) else {
+            if map.len() < self.options.max_map_entries {
+                map.insert(
+                    slot,
+                    MatchEntry {
+                        v: v1,
+                        counters: self.counters(),
+                        key: current_key,
+                    },
+                );
+            } else {
+                // Pure overhead with no future benefit: the state cannot be
+                // remembered, so this attempt can never enable a warp.
+                *fruitless += 1;
+            }
+            return None;
+        };
+        if current_key.is_none() {
+            self.fingerprint_hits += 1;
+            *fruitless += 1;
+        }
+        // Phase 2: the exact canonical key decides.
+        let key = current_key
+            .take()
+            .unwrap_or_else(|| self.build_key(&info.ids, depth, v1));
+        if entry.key.as_ref() != Some(&key) {
+            // Either the stored state's key was never built (first
+            // re-sighting of its fingerprint) or the fingerprints collided:
+            // re-anchor the slot on the current state, now with its key.
+            map.insert(
+                slot,
+                MatchEntry {
+                    v: v1,
+                    counters: self.counters(),
+                    key: Some(key),
+                },
+            );
+            return None;
+        }
+        let plan = plan_warp(
+            &info.nodes,
+            &info.ids,
+            &self.levels,
+            depth,
+            outer,
+            entry.v,
+            v1,
+            v_last,
+        )?;
+        let period = v1 - entry.v;
+        let warp_start = Instant::now();
+        let chunk = self.counters();
+        let chunk_accesses = chunk.accesses - entry.counters.accesses;
+        // Extrapolate the counters across the warped chunks
+        // (Equation 19 / line 12 of Algorithm 2).
+        let n = plan.chunks as u64;
+        self.accesses += n * chunk_accesses;
+        self.warped_accesses += n * chunk_accesses;
+        for (idx, level) in self.levels.iter_mut().enumerate() {
+            let diff_hits = chunk.level[idx].hits - entry.counters.level[idx].hits;
+            let diff_misses = chunk.level[idx].misses - entry.counters.level[idx].misses;
+            level.stats.hits += n * diff_hits;
+            level.stats.misses += n * diff_misses;
+            level.stats.accesses += n * (diff_hits + diff_misses);
+        }
+        // Advance the symbolic cache state (Equation 18), fanning the
+        // per-level (and per-set) rewrites out over the thread budget.
+        let total_shift = plan.byte_shift_per_chunk * plan.chunks;
+        let budget = if self.options.parallel_warp {
+            self.warp_threads
+        } else {
+            1
+        };
+        // Fan out across levels only when the budget covers one thread per
+        // level; a smaller budget stays sequential across levels (each level
+        // may still split its sets over the full budget), so the number of
+        // running threads never exceeds the budget.
+        if self.levels.len() > 1 && budget >= self.levels.len() {
+            let per_level = (budget / self.levels.len()).max(1);
+            std::thread::scope(|scope| {
+                for level in self.levels.iter_mut() {
+                    let ids = &info.ids;
+                    scope.spawn(move || {
+                        level.apply_warp(
+                            addresses,
+                            ids,
+                            depth,
+                            period,
+                            plan.chunks,
+                            total_shift,
+                            per_level,
+                        );
+                    });
+                }
+            });
+        } else {
+            for level in &mut self.levels {
+                level.apply_warp(
+                    addresses,
+                    &info.ids,
+                    depth,
+                    period,
+                    plan.chunks,
+                    total_shift,
+                    budget,
+                );
+            }
+        }
+        self.warps += 1;
+        self.warp_apply_ns += warp_start.elapsed().as_nanos() as u64;
+        Some(plan.chunks * period)
     }
 
     fn should_attempt(&self, iteration_index: u64) -> bool {
@@ -653,5 +947,77 @@ mod tests {
         let reference = simulate_single(&scop, &config);
         let outcome = WarpingSimulator::single(config).run(&scop);
         assert_eq!(outcome.result, reference);
+    }
+
+    #[test]
+    fn fingerprint_filter_matches_exhaustive_matching() {
+        // The two pipelines must produce identical simulation results; the
+        // filtered one must build far fewer exact keys.
+        let scop = stencil(4000);
+        let memory = WarpingMemory::two_level(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Lru),
+        );
+        let filtered = WarpingSimulator::new(memory.clone())
+            .with_options(WarpingOptions {
+                fingerprint_filter: true,
+                ..WarpingOptions::default()
+            })
+            .run(&scop);
+        let exhaustive = WarpingSimulator::new(memory)
+            .with_options(WarpingOptions {
+                fingerprint_filter: false,
+                ..WarpingOptions::default()
+            })
+            .run(&scop);
+        assert_eq!(
+            filtered.result, exhaustive.result,
+            "the filter must not change any simulation count"
+        );
+        assert!(filtered.warps >= 1);
+        assert!(exhaustive.warps >= 1);
+        assert_eq!(
+            exhaustive.exact_key_builds, exhaustive.match_attempts,
+            "the exhaustive pipeline builds a key per attempt"
+        );
+        assert!(
+            filtered.exact_key_builds < filtered.match_attempts,
+            "the filter must skip key construction on fingerprint misses \
+             ({} builds, {} attempts)",
+            filtered.exact_key_builds,
+            filtered.match_attempts
+        );
+    }
+
+    #[test]
+    fn parallel_warp_application_is_bit_identical() {
+        // The arrays exceed every level, so all three levels reach a
+        // periodic steady state and warp; the 4096-set L3 crosses the
+        // per-set parallelisation threshold.
+        let scop = stencil(75_000);
+        let memory = WarpingMemory::new(vec![
+            CacheConfig::with_sets(64, 2, 8, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(512, 2, 8, ReplacementPolicy::Lru),
+            CacheConfig::with_sets(4096, 2, 8, ReplacementPolicy::Lru),
+        ])
+        .unwrap();
+        let sequential = WarpingSimulator::new(memory.clone()).run(&scop);
+        let parallel = WarpingSimulator::new(memory).with_threads(4).run(&scop);
+        assert_eq!(
+            sequential, parallel,
+            "thread budget must not change anything"
+        );
+        assert!(parallel.warps >= 1);
+    }
+
+    #[test]
+    fn telemetry_counters_are_consistent() {
+        let scop = stencil(3000);
+        let config = CacheConfig::new(2 * 1024, 4, 64, ReplacementPolicy::Lru);
+        let outcome = WarpingSimulator::single(config).run(&scop);
+        assert!(outcome.match_attempts >= outcome.fingerprint_hits);
+        assert!(outcome.match_attempts >= outcome.exact_key_builds);
+        assert!(outcome.fingerprint_hits >= outcome.warps);
+        assert!(outcome.warps >= 1);
     }
 }

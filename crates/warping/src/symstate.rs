@@ -9,9 +9,25 @@
 //! classification.  This mirrors §5.2 of the paper; keeping absolute
 //! iteration vectors (instead of rewriting expressions on every iterator
 //! increment) is the "on demand" renormalisation the paper alludes to.
+//!
+//! Next to the cache state proper, a [`SymLevel`] maintains two derived
+//! structures that make warp-match attempts cheap on large caches:
+//!
+//! * the sorted list of **occupied sets**, so canonical keys and warp plans
+//!   never iterate over the (possibly millions of) empty sets of a big L3;
+//! * a [`FingerprintTracker`] of
+//!   per-set digests and rolling level fingerprints, kept fresh with
+//!   dirty-set tracking driven by the cache crate's set-content versions.
 
-use cache_model::{AccessKind, CacheConfig, CacheState, LevelStats, MemBlock};
+use crate::fingerprint::FingerprintTracker;
+use cache_model::{AccessKind, CacheConfig, CacheState, LevelStats, MemBlock, SetState};
 use polyhedra::Aff;
+use std::collections::HashSet;
+
+/// Minimum number of occupied cache sets before warp application within a
+/// level is split across threads; below this the per-thread setup cost
+/// dominates.
+const PARALLEL_SETS_THRESHOLD: usize = 2048;
 
 /// A symbolic cache line: concrete block plus symbolic label.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -36,17 +52,27 @@ pub struct SymLevel {
     pub mru_set: usize,
     /// Hit/miss counters of the level.
     pub stats: LevelStats,
+    /// Sorted indices of the sets holding at least one line.
+    occupied: Vec<usize>,
+    occupied_flag: Vec<bool>,
+    /// Incrementally maintained per-set digests and level fingerprints.
+    tracker: FingerprintTracker,
 }
 
 impl SymLevel {
     /// An empty symbolic level.
     pub fn new(config: CacheConfig) -> Self {
         let state = CacheState::new(&config);
+        let tracker = FingerprintTracker::new(&state);
+        let num_sets = state.num_sets();
         SymLevel {
             config,
             state,
             mru_set: 0,
             stats: LevelStats::default(),
+            occupied: Vec::new(),
+            occupied_flag: vec![false; num_sets],
+            tracker,
         }
     }
 
@@ -59,6 +85,7 @@ impl SymLevel {
         self.mru_set = set_idx;
         let policy = self.config.policy();
         let set = self.state.set_mut(set_idx);
+        let version_before = set.content_version();
         let hit = match set.find(|l| l.block == block) {
             Some(way) => {
                 set.on_hit(policy, way);
@@ -87,6 +114,16 @@ impl SymLevel {
                 false
             }
         };
+        // The content-version hook tells us whether the set was actually
+        // mutated (a no-write-allocate write miss, for example, is not).
+        if self.state.set(set_idx).content_version() != version_before {
+            self.tracker.mark_dirty(set_idx);
+            if !self.occupied_flag[set_idx] {
+                self.occupied_flag[set_idx] = true;
+                let pos = self.occupied.partition_point(|&s| s < set_idx);
+                self.occupied.insert(pos, set_idx);
+            }
+        }
         self.stats.record(hit);
         hit
     }
@@ -96,6 +133,34 @@ impl SymLevel {
         self.state = CacheState::new(&self.config);
         self.mru_set = 0;
         self.stats = LevelStats::default();
+        self.occupied.clear();
+        self.occupied_flag.fill(false);
+        self.tracker = FingerprintTracker::new(&self.state);
+    }
+
+    /// Sorted indices of the cache sets holding at least one line.  Sets are
+    /// filled and replaced but never emptied, so this list only grows (until
+    /// a [`reset`](SymLevel::reset)), and every set outside it is guaranteed
+    /// to be in its initial state — empty lines *and* initial
+    /// replacement-policy metadata.
+    pub fn occupied_sets(&self) -> &[usize] {
+        &self.occupied
+    }
+
+    /// Brings the fingerprint tracker up to date with the cache state
+    /// (recomputing the digests of sets dirtied since the last call).
+    /// Must be called before [`SymLevel::fingerprint`].
+    pub fn prepare_match(&mut self) {
+        self.tracker.flush(&self.state);
+    }
+
+    /// The rolling level fingerprint with iterator dimension
+    /// `excluded_dim` factored out, or `None` when the dimension is beyond
+    /// [`MAX_TRACKED_DIMS`](crate::fingerprint::MAX_TRACKED_DIMS).
+    ///
+    /// Requires a preceding [`SymLevel::prepare_match`].
+    pub fn fingerprint(&self, excluded_dim: usize) -> Option<u64> {
+        self.tracker.fingerprint(excluded_dim)
     }
 
     /// Applies a warp of `chunks` periods to the level: every line whose
@@ -104,26 +169,27 @@ impl SymLevel {
     /// dimension `warp_depth - 1`, its concrete block shifts by
     /// `total_block_shift`, and the cache sets rotate accordingly
     /// (Equation 18 of the paper: the new state is `γ(sym-c ∘ π_Set^n)`).
+    ///
+    /// With `threads > 1` and a large level the per-set rewrites are fanned
+    /// out over that many scoped threads; the result is bit-identical to the
+    /// sequential rewrite (every set is transformed independently).
+    #[allow(clippy::too_many_arguments)]
     pub fn apply_warp(
         &mut self,
         addresses: &[Aff],
-        descendants: &std::collections::HashSet<usize>,
+        descendants: &HashSet<usize>,
         warp_depth: usize,
         period: i64,
         chunks: i64,
         total_byte_shift: i64,
+        threads: usize,
     ) {
         let line_size = self.config.line_size() as i64;
         debug_assert_eq!(total_byte_shift % line_size, 0);
         let total_block_shift = total_byte_shift / line_size;
-        let num_sets = self.config.num_sets() as i64;
-        let rotation = total_block_shift.rem_euclid(num_sets);
-        // Rotate the sets: the set holding a block b now holds b + shift, and
-        // (b + shift) mod S = (old index + rotation) mod S.
-        let rotated = self
-            .state
-            .permute_sets(|i| ((i as i64 - rotation).rem_euclid(num_sets)) as usize);
-        self.state = rotated.map_payloads(|line| {
+        let num_sets = self.config.num_sets();
+        let rotation = total_block_shift.rem_euclid(num_sets as i64) as usize;
+        let transform = |line: &SymLine| -> SymLine {
             if descendants.contains(&line.node) && line.iter.len() >= warp_depth {
                 let mut iter = line.iter.clone();
                 iter[warp_depth - 1] += chunks * period;
@@ -144,8 +210,65 @@ impl SymLevel {
                 debug_assert_eq!(total_block_shift, 0, "stale lines require a zero shift");
                 line.clone()
             }
-        });
-        self.mru_set = ((self.mru_set as i64 + rotation).rem_euclid(num_sets)) as usize;
+        };
+        // Rotate the sets: the set holding a block b now holds b + shift,
+        // and (b + shift) mod S = (old index + rotation) mod S.  Empty sets
+        // are interchangeable — they are always in their initial state — so
+        // only the occupied sets need to be transformed and moved: the warp
+        // costs O(occupied sets), not O(total sets).  Each occupied set is
+        // rewritten independently, so the transforms parallelise across
+        // disjoint chunks of the occupied list.
+        let occupied = &self.occupied;
+        let old = &self.state;
+        let transformed: Vec<SetState<SymLine>> =
+            if threads > 1 && occupied.len() >= PARALLEL_SETS_THRESHOLD {
+                let mut out: Vec<Option<SetState<SymLine>>> = vec![None; occupied.len()];
+                let chunk = occupied.len().div_ceil(threads);
+                let transform = &transform;
+                std::thread::scope(|scope| {
+                    for (t, slice) in out.chunks_mut(chunk).enumerate() {
+                        scope.spawn(move || {
+                            for (off, slot) in slice.iter_mut().enumerate() {
+                                let src = occupied[t * chunk + off];
+                                *slot = Some(old.set(src).map_payloads(|l| transform(l)));
+                            }
+                        });
+                    }
+                });
+                out.into_iter().map(|s| s.expect("chunk filled")).collect()
+            } else {
+                occupied
+                    .iter()
+                    .map(|&s| old.set(s).map_payloads(&transform))
+                    .collect()
+            };
+        // Clear the old occupied slots back to the (shared) initial set
+        // state, then land the transformed sets on their rotated positions.
+        // The rotation is a bijection, so no landing slot is cleared twice.
+        let empty = SetState::new(self.config.policy(), self.config.assoc());
+        for &s in &self.occupied {
+            *self.state.set_mut(s) = empty.clone();
+        }
+        let mut new_occupied = Vec::with_capacity(self.occupied.len());
+        for (&s_old, set) in self.occupied.iter().zip(transformed) {
+            let s_new = (s_old + rotation) % num_sets;
+            *self.state.set_mut(s_new) = set;
+            new_occupied.push(s_new);
+        }
+        new_occupied.sort_unstable();
+        // Derived structures follow: vacated and landed-on slots both get
+        // their digests refreshed on the next match attempt.
+        for &s in &self.occupied {
+            self.occupied_flag[s] = false;
+        }
+        for &s in &new_occupied {
+            self.occupied_flag[s] = true;
+        }
+        for &s in self.occupied.iter().chain(&new_occupied) {
+            self.tracker.mark_dirty(s);
+        }
+        self.occupied = new_occupied;
+        self.mru_set = (self.mru_set + rotation) % num_sets;
     }
 
     /// The concrete cache state (dropping symbolic labels).
@@ -157,6 +280,7 @@ impl SymLevel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fingerprint::rebuild_level_fingerprint;
     use cache_model::ReplacementPolicy;
 
     fn level() -> SymLevel {
@@ -174,6 +298,7 @@ mod tests {
         assert_eq!(line.node, 9, "a hit refreshes the symbolic label");
         assert_eq!(line.iter, vec![1, 3]);
         assert_eq!(l.mru_set, 0);
+        assert_eq!(l.occupied_sets(), &[0]);
     }
 
     #[test]
@@ -182,8 +307,10 @@ mod tests {
         let mut l = SymLevel::new(config);
         assert!(!l.access(MemBlock(0), AccessKind::Write, 0, &[0]));
         assert!(l.state.set(0).lines().iter().all(Option::is_none));
+        assert!(l.occupied_sets().is_empty(), "no fill, no occupied set");
         assert!(!l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
         assert!(l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
+        assert_eq!(l.occupied_sets(), &[0]);
     }
 
     #[test]
@@ -192,5 +319,73 @@ mod tests {
         l.access(MemBlock(5), AccessKind::Read, 0, &[0]);
         let c = l.concrete_state();
         assert_eq!(c.set(1).lines()[0], Some(MemBlock(5)));
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_rebuild_after_accesses() {
+        let mut l = level();
+        for (i, b) in [0u64, 5, 9, 2, 5, 13].into_iter().enumerate() {
+            l.access(MemBlock(b), AccessKind::Read, i % 2, &[i as i64]);
+            l.prepare_match();
+            let rebuilt = rebuild_level_fingerprint(&l.state);
+            for (d, word) in rebuilt.iter().enumerate() {
+                assert_eq!(l.fingerprint(d), Some(*word), "dim {d} after {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn post_warp_accesses_cannot_resurrect_stale_digests() {
+        // Regression test: a warp replaces sets wholesale (resetting their
+        // content versions), and a later access can bring a replaced set's
+        // version back to the value its slot had before the warp.  The
+        // tracker must still recompute the digest — content versions are
+        // not comparable across different set instances.
+        let mut l = level();
+        let addr = Aff::var(1, 0).scale(64);
+        let descendants: HashSet<usize> = [0].into_iter().collect();
+        l.access(MemBlock(1), AccessKind::Read, 0, &[1]);
+        l.access(MemBlock(3), AccessKind::Read, 0, &[3]);
+        l.prepare_match();
+        // Shift by 2 lines: set 1 -> set 3, set 3 -> set 1.
+        l.apply_warp(
+            std::slice::from_ref(&addr),
+            &descendants,
+            1,
+            2,
+            1,
+            2 * 64,
+            1,
+        );
+        // One access to the landed-on set brings its (reset) version back
+        // to the pre-warp slot value without an intervening flush.
+        l.access(MemBlock(9), AccessKind::Read, 0, &[9]);
+        l.prepare_match();
+        let rebuilt = rebuild_level_fingerprint(&l.state);
+        for (d, word) in rebuilt.iter().enumerate() {
+            assert_eq!(l.fingerprint(d), Some(*word), "dim {d}");
+        }
+    }
+
+    #[test]
+    fn occupied_sets_survive_warp_rotation() {
+        let mut l = level();
+        // One descendant line in set 1; warp shifts blocks by 1 line.
+        let addr = Aff::var(1, 0).scale(64);
+        l.access(MemBlock(1), AccessKind::Read, 0, &[1]);
+        l.apply_warp(
+            std::slice::from_ref(&addr),
+            &[0].into_iter().collect(),
+            1,
+            1,
+            2,
+            2 * 64,
+            1,
+        );
+        assert_eq!(l.occupied_sets(), &[3], "set 1 rotated to set 3");
+        assert_eq!(l.mru_set, 3);
+        l.prepare_match();
+        let rebuilt = rebuild_level_fingerprint(&l.state);
+        assert_eq!(l.fingerprint(0), Some(rebuilt[0]));
     }
 }

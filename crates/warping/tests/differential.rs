@@ -121,6 +121,7 @@ fn eager() -> WarpingOptions {
         max_map_entries: 1 << 16,
         min_trip_count: 0,
         max_fruitless_attempts: u64::MAX,
+        ..WarpingOptions::default()
     }
 }
 
@@ -240,6 +241,7 @@ fn stencil_exact_across_policies_and_geometries() {
                     max_map_entries: 1 << 16,
                     min_trip_count: 0,
                     max_fruitless_attempts: u64::MAX,
+                    ..WarpingOptions::default()
                 })
                 .run(&scop);
             assert_eq!(

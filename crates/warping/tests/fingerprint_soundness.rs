@@ -1,0 +1,200 @@
+//! Property tests of the incremental fingerprint machinery.
+//!
+//! Two properties protect the two-phase match pipeline:
+//!
+//! 1. **Incrementality** — after *any* interleaving of accesses and warp
+//!    applications, the dirty-set-tracked rolling fingerprint of a
+//!    [`SymLevel`] equals a from-scratch rebuild over the raw cache state,
+//!    and the occupied-set list matches the state's actual occupancy.
+//! 2. **Filter neutrality** — fingerprint-filtered matching produces
+//!    bit-identical per-level statistics to the exhaustive
+//!    key-per-attempt pipeline on random kernels, geometries and policies
+//!    (warp opportunities may be found at slightly different iterations;
+//!    the counts never change).
+
+use cache_model::{AccessKind, CacheConfig, MemBlock, ReplacementPolicy};
+use polyhedra::Aff;
+use proptest::prelude::*;
+use scop::parse_scop;
+use simulate::simulate_single;
+use std::collections::HashSet;
+use warping::fingerprint::rebuild_level_fingerprint;
+use warping::{SymLevel, WarpingOptions, WarpingSimulator};
+
+const NUM_NODES: usize = 3;
+const LINE_SIZE: u64 = 8;
+
+/// Per-node affine address functions over one iterator, all with the same
+/// coefficient (`LINE_SIZE` per iteration), so that every warp shifts every
+/// cached line uniformly — the precondition `apply_warp` debug-asserts.
+fn addresses() -> Vec<Aff> {
+    (0..NUM_NODES)
+        .map(|n| {
+            Aff::var(1, 0)
+                .scale(LINE_SIZE as i64)
+                .offset((n * 4096) as i64 * 8)
+        })
+        .collect()
+}
+
+/// One step of a random symbolic-level history: an access (node, iteration,
+/// kind) or a warp (period, chunks).
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Access { node: usize, iter: i64, write: bool },
+    Warp { period: i64, chunks: i64 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        0u64..10,
+        0usize..NUM_NODES,
+        0i64..64,
+        prop::bool::ANY,
+        1i64..4,
+        1i64..5,
+    )
+        .prop_map(|(kind, node, iter, write, period, chunks)| {
+            if kind < 7 {
+                Step::Access { node, iter, write }
+            } else {
+                Step::Warp { period, chunks }
+            }
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop::sample::select(ReplacementPolicy::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_fingerprint_equals_rebuild(
+        steps in proptest::collection::vec(arb_step(), 1..60),
+        policy in arb_policy(),
+        sets in prop::sample::select(vec![1usize, 2, 4, 8]),
+        assoc in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let addresses = addresses();
+        let descendants: HashSet<usize> = (0..NUM_NODES).collect();
+        let mut level = SymLevel::new(CacheConfig::with_sets(sets, assoc, LINE_SIZE, policy));
+        let total = steps.len();
+        for (i, step) in steps.into_iter().enumerate() {
+            match step {
+                Step::Access { node, iter, write } => {
+                    let address = addresses[node].eval(&[iter]);
+                    prop_assert!(address >= 0);
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    level.access(MemBlock(address as u64 / LINE_SIZE), kind, node, &[iter]);
+                }
+                Step::Warp { period, chunks } => {
+                    // Every cached line is labelled by a descendant with the
+                    // common coefficient, so the uniform-shift precondition
+                    // holds by construction.
+                    let byte_shift = LINE_SIZE as i64 * period * chunks;
+                    level.apply_warp(
+                        &addresses,
+                        &descendants,
+                        1,
+                        period,
+                        chunks,
+                        byte_shift,
+                        1,
+                    );
+                }
+            }
+            // Flush only intermittently (and always at the end): real match
+            // attempts are backoff-spaced, so several mutations — including
+            // warps, which reset set versions — accumulate between flushes.
+            if i % 3 != 0 && i + 1 != total {
+                continue;
+            }
+            level.prepare_match();
+            let rebuilt = rebuild_level_fingerprint(&level.state);
+            for (d, word) in rebuilt.iter().enumerate() {
+                prop_assert_eq!(
+                    level.fingerprint(d),
+                    Some(*word),
+                    "incremental fingerprint diverged at dim {}",
+                    d
+                );
+            }
+            prop_assert_eq!(
+                level.occupied_sets().to_vec(),
+                level.state.occupied_set_indices(),
+                "occupied-set list diverged from the state"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_warp_equals_sequential_warp(
+        steps in proptest::collection::vec(arb_step(), 1..40),
+        policy in arb_policy(),
+    ) {
+        // The same history applied with a parallel thread budget must yield
+        // the exact same state (the per-set rewrites are independent).  The
+        // set count sits at the parallelisation threshold so the threaded
+        // path really runs.
+        let addresses = addresses();
+        let descendants: HashSet<usize> = (0..NUM_NODES).collect();
+        let config = CacheConfig::with_sets(2048, 2, LINE_SIZE, policy);
+        let mut sequential = SymLevel::new(config.clone());
+        let mut parallel = SymLevel::new(config);
+        for step in steps {
+            match step {
+                Step::Access { node, iter, write } => {
+                    let address = addresses[node].eval(&[iter]);
+                    let block = MemBlock(address as u64 / LINE_SIZE);
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    sequential.access(block, kind, node, &[iter]);
+                    parallel.access(block, kind, node, &[iter]);
+                }
+                Step::Warp { period, chunks } => {
+                    let byte_shift = LINE_SIZE as i64 * period * chunks;
+                    sequential.apply_warp(&addresses, &descendants, 1, period, chunks, byte_shift, 1);
+                    parallel.apply_warp(&addresses, &descendants, 1, period, chunks, byte_shift, 4);
+                }
+            }
+            prop_assert_eq!(&sequential.state, &parallel.state);
+            prop_assert_eq!(sequential.mru_set, parallel.mru_set);
+            prop_assert_eq!(sequential.occupied_sets(), parallel.occupied_sets());
+        }
+    }
+
+    #[test]
+    fn filtered_matching_is_stat_neutral(
+        n in 200i64..2000,
+        stride in 1i64..3,
+        policy in arb_policy(),
+        sets in prop::sample::select(vec![1usize, 4, 16]),
+        assoc in prop::sample::select(vec![2usize, 4]),
+        line in prop::sample::select(vec![8u64, 64]),
+    ) {
+        let scop = parse_scop(&format!(
+            "double A[{size}]; double B[{size}];\n\
+             for (i = 1; i < {n}; i += {stride}) B[i-1] = A[i-1] + A[i];",
+            size = n + 1,
+        ))
+        .unwrap();
+        let config = CacheConfig::with_sets(sets, assoc, line, policy);
+        let reference = simulate_single(&scop, &config);
+        for filter in [true, false] {
+            let outcome = WarpingSimulator::single(config.clone())
+                .with_options(WarpingOptions {
+                    fingerprint_filter: filter,
+                    ..WarpingOptions::default()
+                })
+                .run(&scop);
+            prop_assert_eq!(
+                &outcome.result,
+                &reference,
+                "filter={} config={:?}",
+                filter,
+                config
+            );
+        }
+    }
+}

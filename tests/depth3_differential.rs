@@ -48,6 +48,56 @@ fn warping_equals_classic_on_three_levels() {
 }
 
 #[test]
+fn fingerprint_filter_and_parallel_warp_are_stat_neutral_at_depth_3() {
+    // The two-phase match pipeline (fingerprint filter on, parallel warp
+    // application on — the defaults) must produce per-level statistics
+    // bit-identical to the exhaustive key-per-attempt pipeline of the
+    // depth-N core, which itself is proven equal to classic simulation.
+    let engine = Engine::new();
+    let exhaustive_options = WarpingOptions {
+        fingerprint_filter: false,
+        parallel_warp: false,
+        ..WarpingOptions::default()
+    };
+    for kernel in KERNELS {
+        let scop = kernel.build(Dataset::Mini).expect("kernel builds");
+        let spec = KernelSpec::prebuilt(kernel.name(), scop);
+        for policy in ReplacementPolicy::ALL {
+            let memory = three_level(policy);
+            let filtered = engine
+                .run(&SimRequest::new(
+                    spec.clone(),
+                    memory.clone(),
+                    Backend::warping(),
+                ))
+                .expect("filtered depth-3 request");
+            let exhaustive = engine
+                .run(&SimRequest::new(
+                    spec.clone(),
+                    memory,
+                    Backend::Warping(exhaustive_options),
+                ))
+                .expect("exhaustive depth-3 request");
+            assert_eq!(
+                filtered.result, exhaustive.result,
+                "{kernel:?} {policy}: the fingerprint filter must not change stats"
+            );
+            assert_eq!(filtered.levels, exhaustive.levels, "{kernel:?} {policy}");
+            let filtered_stats = filtered.warping.expect("warping stats");
+            let exhaustive_stats = exhaustive.warping.expect("warping stats");
+            assert_eq!(
+                exhaustive_stats.exact_key_builds, exhaustive_stats.match_attempts,
+                "{kernel:?} {policy}: exhaustive matching builds a key per attempt"
+            );
+            assert!(
+                filtered_stats.exact_key_builds <= filtered_stats.match_attempts,
+                "{kernel:?} {policy}"
+            );
+        }
+    }
+}
+
+#[test]
 fn depth_3_levels_chain_consistently() {
     // Structural invariants of an inclusive-forwarding hierarchy: level
     // i + 1 sees exactly the misses of level i.
