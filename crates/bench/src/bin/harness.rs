@@ -21,7 +21,8 @@
 //!           harness grid [--size S] [--kernels k1,k2,...]
 //!                        [--policies lru,fifo,plru,qlru]
 //!                        [--backends classic,warping,haystack,polycache,trace]
-//!                        [--levels SPEC] [--threads N] [--json]
+//!                        [--levels SPEC] [--threads N]
+//!                        [--fingerprint-filter on|off] [--json]
 //!
 //!           --levels describes the memory system as a comma-separated list
 //!           of cache levels, innermost first.  Each level is
@@ -44,6 +45,13 @@
 //!           Counts are bit-identical for every N.  Warping rows report
 //!           the two-phase match telemetry (warps, fingerprint hits,
 //!           exact-key builds, warp-apply time).
+//!
+//!           --fingerprint-filter on|off toggles the warping backend's
+//!           cheap fingerprint phase (`WarpingOptions::fingerprint_filter`).
+//!           `off` restores the exhaustive key-per-attempt pipeline; miss
+//!           counts are bit-identical either way (CI asserts exactly that
+//!           on a 64 MiB L3, guarding the sparse store's occupancy
+//!           tracking).
 //! ```
 
 use bench_suite::*;
@@ -64,6 +72,7 @@ fn main() {
     let mut backends: Vec<Backend> = vec![Backend::Classic, Backend::warping()];
     let mut levels = LevelsSpec::default();
     let mut threads: Option<usize> = None;
+    let mut fingerprint_filter: Option<bool> = None;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -120,6 +129,14 @@ fn main() {
                         .unwrap_or_else(|| die("--threads expects a number")),
                 );
             }
+            "--fingerprint-filter" => {
+                i += 1;
+                fingerprint_filter = Some(match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("--fingerprint-filter expects `on` or `off`"),
+                });
+            }
             "--levels" => {
                 i += 1;
                 levels = parse_levels(args.get(i).map(String::as_str).unwrap_or(""))
@@ -133,6 +150,20 @@ fn main() {
             other => die(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+    if let Some(filter) = fingerprint_filter {
+        // Applies to the warping backend only; the other backends have no
+        // match pipeline to toggle.
+        backends = backends
+            .into_iter()
+            .map(|backend| match backend {
+                Backend::Warping(mut options) => {
+                    options.fingerprint_filter = filter;
+                    Backend::Warping(options)
+                }
+                other => other,
+            })
+            .collect();
     }
     let config = ExperimentConfig::at(dataset).with_kernels(kernels.clone());
 
@@ -594,7 +625,7 @@ fn print_usage() {
          [--policies lru,fifo,plru,qlru] \
          [--backends classic,warping,haystack,polycache,trace] \
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
-         [--threads N] [--json]"
+         [--threads N] [--fingerprint-filter on|off] [--json]"
     );
 }
 

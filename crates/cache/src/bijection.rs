@@ -46,17 +46,15 @@ impl ShiftBijection {
     }
 
     /// Applies the bijection to a whole cache state (Equation 5):
-    /// `π(c) = λ s. π(c(π_Set⁻¹(s)))`.
+    /// `π(c) = λ s. π(c(π_Set⁻¹(s)))`.  O(occupied sets): the induced set
+    /// bijection is a rotation, which the sparse state applies natively.
     pub fn apply_to_cache(
         &self,
         config: &CacheConfig,
         state: &CacheState<MemBlock>,
     ) -> CacheState<MemBlock> {
-        let s = config.num_sets() as i64;
         let rot = self.set_rotation(config.num_sets());
-        state
-            .permute_sets(|i| ((i as i64 - rot).rem_euclid(s)) as usize)
-            .map_payloads(|b| self.apply(*b))
+        state.rotate_sets(rot).map_payloads(|b| self.apply(*b))
     }
 
     /// Applies the bijection to a two-level hierarchy state.

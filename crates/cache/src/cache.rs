@@ -3,6 +3,7 @@
 use crate::block::{Access, AccessKind, MemBlock};
 use crate::policy::ReplacementPolicy;
 use crate::set::SetState;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Configuration of a single cache level.
@@ -129,13 +130,23 @@ impl CacheConfig {
 
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.size_bytes();
+        // Print the size in the largest unit that divides it exactly; a
+        // sub-KiB (or non-KiB-multiple) cache prints plain bytes instead of
+        // the old truncated-to-zero "0 KiB".
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        if bytes.is_multiple_of(MIB) {
+            write!(f, "{} MiB", bytes / MIB)?;
+        } else if bytes.is_multiple_of(KIB) {
+            write!(f, "{} KiB", bytes / KIB)?;
+        } else {
+            write!(f, "{bytes} B")?;
+        }
         write!(
             f,
-            "{} KiB {}-way, {}-byte lines, {}",
-            self.size_bytes() / 1024,
-            self.assoc,
-            self.line_size,
-            self.policy
+            " {}-way, {}-byte lines, {}",
+            self.assoc, self.line_size, self.policy
         )
     }
 }
@@ -180,71 +191,213 @@ impl LevelStats {
 }
 
 /// The state of a set-associative cache, generic over the line payload.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// # Sparse representation
+///
+/// The state stores only the *touched* sets, in a sorted map, next to one
+/// shared empty-set template for the geometry.  Lines are replaced but never
+/// removed, so a set outside the map is guaranteed to be in its initial
+/// state — empty lines *and* initial replacement-policy metadata — and the
+/// template answers for it.  Consequences:
+///
+/// * construction is O(1) regardless of the number of sets (a 64 MiB level
+///   costs the same as a 256 KiB one),
+/// * [`clone`](Clone::clone), [`CacheState::map_payloads`] and
+///   [`CacheState::rotate_sets`] are O(occupied sets),
+/// * memory is proportional to the working set, not the cache capacity.
+///
+/// Equality and hashing ignore *how* a state was touched: a set that was
+/// touched but left empty (e.g. by a no-write-allocate write miss through
+/// [`CacheState::set_mut`]) compares equal to one that was never touched.
+#[derive(Clone, Debug)]
 pub struct CacheState<B> {
-    sets: Vec<SetState<B>>,
+    num_sets: usize,
+    /// The shared empty-set template: every set outside `occupied` is in
+    /// exactly this state.
+    template: SetState<B>,
+    /// Touched sets, keyed by set index (sorted).
+    occupied: BTreeMap<usize, SetState<B>>,
+}
+
+impl<B: PartialEq> PartialEq for CacheState<B> {
+    fn eq(&self, other: &Self) -> bool {
+        // Touched-but-empty sets equal the template, so only the non-empty
+        // entries discriminate (plus the geometry itself).
+        self.num_sets == other.num_sets
+            && self.template == other.template
+            && self
+                .occupied
+                .iter()
+                .filter(|(_, s)| !s.is_empty())
+                .eq(other.occupied.iter().filter(|(_, s)| !s.is_empty()))
+    }
+}
+
+impl<B: Eq> Eq for CacheState<B> {}
+
+impl<B: std::hash::Hash> std::hash::Hash for CacheState<B> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.num_sets.hash(state);
+        self.template.hash(state);
+        for (idx, set) in self.occupied.iter().filter(|(_, s)| !s.is_empty()) {
+            idx.hash(state);
+            set.hash(state);
+        }
+    }
 }
 
 impl<B: Clone> CacheState<B> {
-    /// An empty cache with the geometry of `config`.
+    /// An empty cache with the geometry of `config`.  O(1): no per-set
+    /// allocation happens until a set is touched.
     pub fn new(config: &CacheConfig) -> Self {
         CacheState {
-            sets: (0..config.num_sets())
-                .map(|_| SetState::new(config.policy(), config.assoc()))
-                .collect(),
+            num_sets: config.num_sets(),
+            template: SetState::new(config.policy(), config.assoc()),
+            occupied: BTreeMap::new(),
         }
     }
 
     /// Number of cache sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
-    /// The state of cache set `idx`.
+    /// The state of cache set `idx`.  An untouched set answers with the
+    /// shared empty template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
     pub fn set(&self, idx: usize) -> &SetState<B> {
-        &self.sets[idx]
+        assert!(idx < self.num_sets, "set index out of range");
+        self.occupied.get(&idx).unwrap_or(&self.template)
     }
 
-    /// Mutable access to cache set `idx`.
+    /// Mutable access to cache set `idx`.  This marks the set as touched:
+    /// an untouched set is materialised from the empty template first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
     pub fn set_mut(&mut self, idx: usize) -> &mut SetState<B> {
-        &mut self.sets[idx]
+        assert!(idx < self.num_sets, "set index out of range");
+        let template = &self.template;
+        self.occupied.entry(idx).or_insert_with(|| template.clone())
     }
 
-    /// All cache sets.
-    pub fn sets(&self) -> &[SetState<B>] {
-        &self.sets
+    /// Replaces the state of cache set `idx` wholesale (marking it
+    /// touched).  Used by the warping simulator to land transformed sets on
+    /// their rotated positions without materialising a template first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn insert_set(&mut self, idx: usize, set: SetState<B>) {
+        assert!(idx < self.num_sets, "set index out of range");
+        self.occupied.insert(idx, set);
     }
 
-    /// Indices of the sets holding at least one line.  For kernels whose
-    /// working set touches few sets of a large cache this is the only part
-    /// of the state worth encoding or digesting; empty sets are guaranteed
-    /// to still carry their initial replacement-policy state (lines are
-    /// replaced, never removed, so a set that was ever touched stays
-    /// occupied).
-    pub fn occupied_set_indices(&self) -> Vec<usize> {
-        self.sets
+    /// Removes and returns every touched set as `(index, set)` pairs in
+    /// ascending index order, leaving the state empty.  O(occupied); the
+    /// building block of warp application, which moves all occupied sets to
+    /// rotated positions at once.
+    pub fn take_entries(&mut self) -> Vec<(usize, SetState<B>)> {
+        std::mem::take(&mut self.occupied).into_iter().collect()
+    }
+
+    /// All cache sets as `(index, set)` pairs, including untouched ones
+    /// (which answer with the shared empty template).  O(total sets) when
+    /// consumed fully — prefer [`CacheState::occupied_entries`] wherever
+    /// the empty sets carry no information.
+    pub fn sets(&self) -> impl Iterator<Item = (usize, &SetState<B>)> + '_ {
+        (0..self.num_sets).map(move |i| (i, self.set(i)))
+    }
+
+    /// Borrowing iterator over the indices of the sets holding at least one
+    /// line, in ascending order.  O(occupied), no allocation.  For kernels
+    /// whose working set touches few sets of a large cache this is the only
+    /// part of the state worth encoding or digesting; every other set is
+    /// guaranteed to still carry its initial replacement-policy state
+    /// (lines are replaced, never removed, so a set that ever held a line
+    /// stays occupied).
+    pub fn occupied_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.occupied
             .iter()
-            .enumerate()
             .filter(|(_, s)| !s.is_empty())
-            .map(|(i, _)| i)
-            .collect()
+            .map(|(&i, _)| i)
+    }
+
+    /// Borrowing iterator over `(index, set)` for the sets holding at least
+    /// one line, in ascending index order.  O(occupied), no allocation.
+    pub fn occupied_entries(&self) -> impl Iterator<Item = (usize, &SetState<B>)> + '_ {
+        self.occupied
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&i, s)| (i, s))
+    }
+
+    /// Number of sets holding at least one line.  O(occupied).
+    pub fn occupied_len(&self) -> usize {
+        self.occupied_indices().count()
+    }
+
+    /// Indices of the sets holding at least one line, as a fresh vector.
+    /// Allocating convenience wrapper over
+    /// [`CacheState::occupied_indices`], kept for call sites that need an
+    /// owned list.
+    pub fn occupied_set_indices(&self) -> Vec<usize> {
+        self.occupied_indices().collect()
     }
 
     /// Applies a function to every payload, preserving geometry and policy
-    /// state.
+    /// state.  O(occupied sets).
     pub fn map_payloads<C>(&self, mut f: impl FnMut(&B) -> C) -> CacheState<C> {
         CacheState {
-            sets: self.sets.iter().map(|s| s.map_payloads(&mut f)).collect(),
+            num_sets: self.num_sets,
+            template: self.template.map_payloads(&mut f),
+            occupied: self
+                .occupied
+                .iter()
+                .map(|(&i, s)| (i, s.map_payloads(&mut f)))
+                .collect(),
+        }
+    }
+
+    /// Rotates the cache sets by `offset` positions: set `i` of `self` ends
+    /// up at set `(i + offset) mod num_sets` of the result.  This is the
+    /// set bijection a block shift induces (Equation 5 of the paper) and
+    /// costs O(occupied sets): only touched entries move.
+    pub fn rotate_sets(&self, offset: i64) -> CacheState<B> {
+        let n = self.num_sets as i64;
+        CacheState {
+            num_sets: self.num_sets,
+            template: self.template.clone(),
+            occupied: self
+                .occupied
+                .iter()
+                .map(|(&i, s)| (((i as i64 + offset).rem_euclid(n)) as usize, s.clone()))
+                .collect(),
         }
     }
 
     /// Permutes the cache sets: set `i` of the result is set `perm(i)` of
-    /// `self`.  Used to apply index bijections (Equation 5 of the paper).
+    /// `self`.  Only the occupied sets are cloned, but `perm` is evaluated
+    /// for every index (a general permutation cannot be inverted without
+    /// enumerating it) — for the rotation case use the O(occupied)
+    /// [`CacheState::rotate_sets`] instead.
     pub fn permute_sets(&self, perm: impl Fn(usize) -> usize) -> CacheState<B> {
+        let mut occupied = BTreeMap::new();
+        if !self.occupied.is_empty() {
+            for new in 0..self.num_sets {
+                if let Some(set) = self.occupied.get(&perm(new)) {
+                    occupied.insert(new, set.clone());
+                }
+            }
+        }
         CacheState {
-            sets: (0..self.sets.len())
-                .map(|i| self.sets[perm(i)].clone())
-                .collect(),
+            num_sets: self.num_sets,
+            template: self.template.clone(),
+            occupied,
         }
     }
 }
@@ -253,13 +406,15 @@ impl CacheState<MemBlock> {
     /// Classifies and performs a read access to a memory block
     /// (`ClCache` followed by `UpCache`).  Returns `true` for a hit.
     pub fn access_block(&mut self, config: &CacheConfig, block: MemBlock) -> bool {
+        // A read always fills on a miss, so touching the set is warranted
+        // either way.
         let idx = config.index(block);
-        self.sets[idx].access(config.policy(), block)
+        self.set_mut(idx).access(config.policy(), block)
     }
 
     /// Classifies a block without updating the state (`ClCache`).
     pub fn classify_block(&self, config: &CacheConfig, block: MemBlock) -> bool {
-        self.sets[config.index(block)].classify(&block)
+        self.set(config.index(block)).classify(&block)
     }
 
     /// Classifies and performs an access, honouring the write-allocation
@@ -268,14 +423,22 @@ impl CacheState<MemBlock> {
     pub fn access(&mut self, config: &CacheConfig, access: Access) -> bool {
         let block = config.block_of_address(access.address);
         let idx = config.index(block);
-        let set = &mut self.sets[idx];
+        let fill = access.kind != AccessKind::Write || config.write_allocate();
+        // Look the set up without touching it first: a write miss that does
+        // not allocate must leave an untouched set untouched.
+        let Some(set) = self.occupied.get_mut(&idx) else {
+            if fill {
+                self.set_mut(idx).on_miss_insert(config.policy(), block);
+            }
+            return false;
+        };
         match set.find(|b| *b == block) {
             Some(line) => {
                 set.on_hit(config.policy(), line);
                 true
             }
             None => {
-                if access.kind != AccessKind::Write || config.write_allocate() {
+                if fill {
                     set.on_miss_insert(config.policy(), block);
                 }
                 false
@@ -296,6 +459,24 @@ mod tests {
         assert_eq!(c.index(MemBlock(64)), 0);
         assert_eq!(c.index(MemBlock(65)), 1);
         assert_eq!(c.block_of_address(128), MemBlock(2));
+    }
+
+    #[test]
+    fn display_picks_the_exact_unit() {
+        let fmt = |size: u64, assoc: usize, line: u64| {
+            CacheConfig::new(size, assoc, line, ReplacementPolicy::Lru).to_string()
+        };
+        // Below 1 KiB: plain bytes, not the old truncated "0 KiB".
+        assert!(fmt(512, 4, 8).starts_with("512 B "), "{}", fmt(512, 4, 8));
+        assert!(fmt(16, 2, 8).starts_with("16 B "));
+        // Exact KiB and MiB multiples.
+        assert!(fmt(32 * 1024, 8, 64).starts_with("32 KiB "));
+        assert!(fmt(64 * 1024 * 1024, 16, 64).starts_with("64 MiB "));
+        // A KiB multiple that is not a MiB multiple stays in KiB.
+        assert!(fmt(1536 * 1024, 4, 64).starts_with("1536 KiB "));
+        // Not a whole number of KiB: bytes again.
+        let odd = CacheConfig::with_sets(3, 2, 8, ReplacementPolicy::Lru);
+        assert!(odd.to_string().starts_with("48 B "), "{odd}");
     }
 
     #[test]
@@ -321,7 +502,8 @@ mod tests {
             CacheConfig::fully_associative(2, 64, ReplacementPolicy::Lru).no_write_allocate();
         let mut cache = CacheState::new(&config);
         assert!(!cache.access(&config, Access::write(0)));
-        // The write miss did not allocate, so a read to the same block misses.
+        // The write miss did not allocate — not even a touched-set entry.
+        assert_eq!(cache.occupied_len(), 0);
         assert!(!cache.access(&config, Access::read(0)));
         // The read allocated; now it hits.
         assert!(cache.access(&config, Access::read(0)));
@@ -351,5 +533,57 @@ mod tests {
         let rotated = cache.permute_sets(|i| (i + 1) % 4);
         assert_eq!(rotated.set(0).lines()[0], Some(MemBlock(1)));
         assert_eq!(rotated.set(3).lines()[0], Some(MemBlock(0)));
+        // rotate_sets(-1) is the same bijection, computed sparsely.
+        assert_eq!(rotated, cache.rotate_sets(-1));
+    }
+
+    #[test]
+    fn construction_is_sparse_and_sets_answer_with_the_template() {
+        // A "64 MiB" geometry: construction must not allocate per set.
+        let config = CacheConfig::new(64 * 1024 * 1024, 16, 64, ReplacementPolicy::Plru);
+        let mut cache: CacheState<MemBlock> = CacheState::new(&config);
+        assert_eq!(cache.num_sets(), 65536);
+        assert_eq!(cache.occupied_len(), 0);
+        assert!(cache.set(12345).is_empty());
+        cache.access_block(&config, MemBlock(7));
+        assert_eq!(cache.occupied_set_indices(), vec![7]);
+        assert_eq!(cache.occupied_indices().collect::<Vec<_>>(), vec![7]);
+        let (idx, set) = cache.occupied_entries().next().unwrap();
+        assert_eq!(idx, 7);
+        assert_eq!(set.lines()[0], Some(MemBlock(7)));
+    }
+
+    #[test]
+    fn touched_but_empty_sets_do_not_break_equality() {
+        let config = CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru).no_write_allocate();
+        let mut touched = CacheState::new(&config);
+        // Materialise set 2 without ever filling it.
+        let _ = touched.set_mut(2);
+        let fresh: CacheState<MemBlock> = CacheState::new(&config);
+        assert_eq!(touched, fresh);
+        assert_eq!(touched.occupied_len(), 0);
+        let hash = |state: &CacheState<MemBlock>| {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            state.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash(&touched), hash(&fresh));
+    }
+
+    #[test]
+    fn take_entries_drains_and_insert_set_lands() {
+        let config = CacheConfig::with_sets(4, 1, 1, ReplacementPolicy::Lru);
+        let mut cache = CacheState::new(&config);
+        cache.access_block(&config, MemBlock(1));
+        cache.access_block(&config, MemBlock(2));
+        let entries = cache.take_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(cache.occupied_len(), 0);
+        for (idx, set) in entries {
+            cache.insert_set((idx + 1) % 4, set);
+        }
+        assert_eq!(cache.occupied_set_indices(), vec![2, 3]);
+        assert_eq!(cache.set(2).lines()[0], Some(MemBlock(1)));
     }
 }

@@ -9,7 +9,9 @@
 //!   (Property 1): [`ReplacementPolicy::Lru`], [`ReplacementPolicy::Fifo`],
 //!   [`ReplacementPolicy::Plru`] and [`ReplacementPolicy::Qlru`],
 //! * individual cache sets ([`SetState`]), set-associative caches with modulo
-//!   placement ([`CacheConfig`], [`CacheState`]),
+//!   placement ([`CacheConfig`], [`CacheState`] — a sparse store of the
+//!   touched sets plus one shared empty-set template, so construction is
+//!   O(1) and clone/rotation cost O(occupied sets)),
 //! * the depth-N memory system: [`MemoryConfig`] describes any number of
 //!   non-inclusive non-exclusive cache levels (with write-allocate and
 //!   no-write-allocate write policies, conversions from [`CacheConfig`] and

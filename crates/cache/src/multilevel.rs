@@ -84,7 +84,9 @@ pub struct MultiLevelState<B> {
 }
 
 impl<B: Clone> MultiLevelState<B> {
-    /// An empty hierarchy with the geometry of `config`.
+    /// An empty hierarchy with the geometry of `config`.  O(depth), not
+    /// O(total sets): each level is a sparse [`CacheState`] that allocates
+    /// nothing until a set is touched.
     pub fn new(config: &MemoryConfig) -> Self {
         MultiLevelState {
             levels: config.levels().iter().map(CacheState::new).collect(),

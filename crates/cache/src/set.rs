@@ -49,21 +49,7 @@ impl<B: std::hash::Hash> std::hash::Hash for SetState<B> {
     }
 }
 
-impl<B: Clone> SetState<B> {
-    /// An empty cache set of the given associativity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `assoc` is zero, or if the policy is PLRU and `assoc` is not
-    /// a power of two.
-    pub fn new(policy: ReplacementPolicy, assoc: usize) -> Self {
-        SetState {
-            lines: vec![None; assoc],
-            policy_state: policy.initial_state(assoc),
-            version: 0,
-        }
-    }
-
+impl<B> SetState<B> {
     /// The associativity of the set.
     pub fn assoc(&self) -> usize {
         self.lines.len()
@@ -116,6 +102,22 @@ impl<B: Clone> SetState<B> {
     pub fn line_mut(&mut self, idx: usize) -> Option<&mut B> {
         self.version += 1;
         self.lines[idx].as_mut()
+    }
+}
+
+impl<B: Clone> SetState<B> {
+    /// An empty cache set of the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero, or if the policy is PLRU and `assoc` is not
+    /// a power of two.
+    pub fn new(policy: ReplacementPolicy, assoc: usize) -> Self {
+        SetState {
+            lines: vec![None; assoc],
+            policy_state: policy.initial_state(assoc),
+            version: 0,
+        }
     }
 
     /// Applies a function to every payload, keeping positions and policy

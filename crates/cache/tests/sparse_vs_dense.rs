@@ -1,0 +1,219 @@
+//! Observational equivalence of the sparse `CacheState` store and a dense
+//! reference model.
+//!
+//! `CacheState` stores only the touched sets (plus one shared empty-set
+//! template); this suite drives it and a plain `Vec<SetState>` reference
+//! through random interleavings of `access` / `classify` / `permute_sets` /
+//! `rotate_sets` / `map_payloads` / `clone` across all four replacement
+//! policies and both write-allocation modes, asserting after every step
+//! that the two models are observationally identical: same per-set states
+//! at every index, same hit/miss answers, same occupancy view.
+
+use cache_model::{
+    Access, AccessKind, CacheConfig, CacheState, MemBlock, ReplacementPolicy, SetState,
+};
+use proptest::prelude::*;
+
+/// The dense reference: one eagerly allocated `SetState` per cache set,
+/// updated with exactly the per-set logic the sparse store delegates to.
+#[derive(Clone)]
+struct DenseCache {
+    config: CacheConfig,
+    sets: Vec<SetState<MemBlock>>,
+}
+
+impl DenseCache {
+    fn new(config: &CacheConfig) -> Self {
+        DenseCache {
+            config: config.clone(),
+            sets: (0..config.num_sets())
+                .map(|_| SetState::new(config.policy(), config.assoc()))
+                .collect(),
+        }
+    }
+
+    fn access(&mut self, access: Access) -> bool {
+        let block = self.config.block_of_address(access.address);
+        let set = &mut self.sets[self.config.index(block)];
+        match set.find(|b| *b == block) {
+            Some(line) => {
+                set.on_hit(self.config.policy(), line);
+                true
+            }
+            None => {
+                if access.kind != AccessKind::Write || self.config.write_allocate() {
+                    set.on_miss_insert(self.config.policy(), block);
+                }
+                false
+            }
+        }
+    }
+
+    fn classify(&self, address: u64) -> bool {
+        let block = self.config.block_of_address(address);
+        self.sets[self.config.index(block)].classify(&block)
+    }
+
+    /// Set `i` of the result is set `perm(i)` of `self` (the dense
+    /// definition `permute_sets` must reproduce).
+    fn permute(&self, perm: impl Fn(usize) -> usize) -> DenseCache {
+        DenseCache {
+            config: self.config.clone(),
+            sets: (0..self.sets.len())
+                .map(|i| self.sets[perm(i)].clone())
+                .collect(),
+        }
+    }
+
+    fn map_payloads(&self, mut f: impl FnMut(&MemBlock) -> MemBlock) -> DenseCache {
+        DenseCache {
+            config: self.config.clone(),
+            sets: self.sets.iter().map(|s| s.map_payloads(&mut f)).collect(),
+        }
+    }
+
+    fn occupied(&self) -> Vec<usize> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// One step of a random history over both models.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// `access(addr)` — read or write, honouring write allocation.
+    Access { addr: u64, write: bool },
+    /// `classify_block(addr)` — answers must agree, no state change.
+    Classify { addr: u64 },
+    /// Replace both states by their rotation by `k` sets, exercising
+    /// `permute_sets` and the sparse-native `rotate_sets` alternately.
+    Rotate { k: usize, native: bool },
+    /// Replace both states by `map_payloads(b + delta)`.
+    Map { delta: u64 },
+    /// Replace both states by a clone (and check clone equality).
+    Clone,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        0u64..10,
+        0u64..(64 * 64),
+        prop::bool::ANY,
+        0usize..8,
+        1u64..100,
+    )
+        .prop_map(|(kind, addr, flag, k, delta)| match kind {
+            0..=5 => Step::Access { addr, write: flag },
+            6 => Step::Classify { addr },
+            7 => Step::Rotate { k, native: flag },
+            8 => Step::Map { delta },
+            _ => Step::Clone,
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop::sample::select(ReplacementPolicy::ALL.to_vec()),
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        prop::sample::select(vec![1usize, 2, 4]),
+        prop::bool::ANY,
+    )
+        .prop_map(|(policy, sets, assoc, allocate)| {
+            CacheConfig::with_sets(sets, assoc, 64, policy).with_write_allocate(allocate)
+        })
+}
+
+/// Every observation the two models expose must coincide.
+fn assert_observationally_equal(sparse: &CacheState<MemBlock>, dense: &DenseCache) {
+    assert_eq!(sparse.num_sets(), dense.sets.len());
+    for (i, reference) in dense.sets.iter().enumerate() {
+        assert_eq!(sparse.set(i), reference, "set {i} diverged");
+    }
+    assert_eq!(sparse.occupied_set_indices(), dense.occupied());
+    assert_eq!(
+        sparse.occupied_indices().collect::<Vec<_>>(),
+        dense.occupied()
+    );
+    for (i, set) in sparse.occupied_entries() {
+        assert_eq!(set, &dense.sets[i]);
+    }
+    // The lazy all-sets iterator agrees with indexed access.
+    for (i, set) in sparse.sets() {
+        assert_eq!(set, &dense.sets[i]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sparse_store_is_observationally_dense(
+        config in arb_config(),
+        steps in proptest::collection::vec(arb_step(), 1..50),
+    ) {
+        let mut sparse = CacheState::new(&config);
+        let mut dense = DenseCache::new(&config);
+        let num_sets = config.num_sets();
+        for step in steps {
+            match step {
+                Step::Access { addr, write } => {
+                    let access = if write { Access::write(addr) } else { Access::read(addr) };
+                    let hit_sparse = sparse.access(&config, access);
+                    let hit_dense = dense.access(access);
+                    prop_assert_eq!(hit_sparse, hit_dense, "hit/miss diverged at {:?}", step);
+                }
+                Step::Classify { addr } => {
+                    let block = config.block_of_address(addr);
+                    prop_assert_eq!(sparse.classify_block(&config, block), dense.classify(addr));
+                }
+                Step::Rotate { k, native } => {
+                    let k = k % num_sets;
+                    // Rotation by +k: new set (i + k) mod n holds old set i.
+                    dense = dense.permute(|i| (i + num_sets - k) % num_sets);
+                    sparse = if native {
+                        sparse.rotate_sets(k as i64)
+                    } else {
+                        sparse.permute_sets(|i| (i + num_sets - k) % num_sets)
+                    };
+                }
+                Step::Map { delta } => {
+                    dense = dense.map_payloads(|b| MemBlock(b.0 + delta));
+                    sparse = sparse.map_payloads(|b| MemBlock(b.0 + delta));
+                }
+                Step::Clone => {
+                    let copy = sparse.clone();
+                    prop_assert_eq!(&copy, &sparse, "a clone must compare equal");
+                    sparse = copy;
+                    dense = dense.clone();
+                }
+            }
+            assert_observationally_equal(&sparse, &dense);
+        }
+    }
+
+    /// Construction cost aside, a sparse state that never materialised some
+    /// set must still answer for it exactly like a fresh dense set.
+    #[test]
+    fn untouched_sets_answer_as_initial(
+        config in arb_config(),
+        history in proptest::collection::vec(0u64..(64 * 64), 0..30),
+    ) {
+        let mut sparse = CacheState::new(&config);
+        let mut dense = DenseCache::new(&config);
+        for addr in history {
+            let access = Access::read(addr);
+            prop_assert_eq!(sparse.access(&config, access), dense.access(access));
+        }
+        let initial: SetState<MemBlock> = SetState::new(config.policy(), config.assoc());
+        for i in 0..config.num_sets() {
+            prop_assert_eq!(sparse.set(i), &dense.sets[i]);
+            if dense.sets[i].is_empty() {
+                prop_assert_eq!(sparse.set(i), &initial, "empty set {} left its initial state", i);
+            }
+        }
+    }
+}

@@ -229,7 +229,10 @@ pub struct MultiLevelSystem {
 }
 
 impl MultiLevelSystem {
-    /// An empty memory system with the given configuration.
+    /// An empty memory system with the given configuration.  Construction
+    /// is independent of the cache sizes (the per-level states are sparse),
+    /// so building one system per request — as `Engine::run_batch` does —
+    /// stays cheap even for 64 MiB outer levels.
     pub fn new(config: MemoryConfig) -> Self {
         let config = config.normalized();
         let state = MultiLevelState::new(&config);

@@ -56,7 +56,8 @@ pub fn simulate_trace(trace: &[Access], config: &CacheConfig) -> LevelStats {
 /// Simulates a trace against an N-level memory system, returning the
 /// statistics of every level (L1 first).  This is the single trace-replay
 /// path behind both [`simulate_trace_hierarchy`] and the engine's trace
-/// backend, whatever the depth.
+/// backend, whatever the depth.  The replay state is sparse, so the cost is
+/// the trace length plus the touched sets — never the cache capacity.
 pub fn simulate_trace_memory(trace: &[Access], config: &MemoryConfig) -> Vec<LevelStats> {
     let config = config.normalized();
     let mut state = MultiLevelState::new(&config);

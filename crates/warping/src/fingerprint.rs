@@ -56,6 +56,7 @@
 
 use crate::symstate::SymLine;
 use cache_model::{CacheState, PolicyState, SetState};
+use std::collections::{HashMap, HashSet};
 
 /// Number of candidate warped dimensions a digest covers.  Loops nested
 /// deeper than this cannot use the fingerprint filter and fall back to
@@ -165,7 +166,7 @@ pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
 /// incremental [`FingerprintTracker`] is tested against.
 pub fn rebuild_level_fingerprint(state: &CacheState<SymLine>) -> [u64; MAX_TRACKED_DIMS] {
     let mut sums = [0u64; MAX_TRACKED_DIMS];
-    for set in state.sets() {
+    for (_, set) in state.sets() {
         let digest = digest_set(set);
         for (s, w) in sums.iter_mut().zip(digest.0) {
             *s = s.wrapping_add(w);
@@ -176,10 +177,18 @@ pub fn rebuild_level_fingerprint(state: &CacheState<SymLine>) -> [u64; MAX_TRACK
 
 /// Incrementally maintained per-set digests and rolling level fingerprints
 /// of one symbolic cache level.
+///
+/// The tracker mirrors the cache state's sparse representation: digests are
+/// stored only for sets whose content diverged from the shared empty
+/// template, so construction is O(1) and memory is proportional to the
+/// sets ever touched — not to the total number of sets of a 64 MiB level.
 #[derive(Clone, Debug)]
 pub struct FingerprintTracker {
-    digests: Vec<SetDigest>,
-    dirty_flag: Vec<bool>,
+    /// The digest every set in its initial (empty) state shares.
+    empty: SetDigest,
+    /// Digests of sets that diverged from the empty template.
+    digests: HashMap<usize, SetDigest>,
+    dirty_flag: HashSet<usize>,
     dirty: Vec<usize>,
     sums: [u64; MAX_TRACKED_DIMS],
 }
@@ -187,27 +196,27 @@ pub struct FingerprintTracker {
 impl FingerprintTracker {
     /// A tracker over a fresh (all-empty) state.  Every set of a fresh
     /// state is identical, so one template digest covers them all and
-    /// construction does no per-set digesting.
+    /// construction does no per-set digesting or allocation.
     pub fn new(state: &CacheState<SymLine>) -> Self {
         let empty = digest_set(state.set(0));
-        debug_assert!(state.sets().iter().all(SetState::is_empty));
+        debug_assert!(state.occupied_indices().next().is_none());
         let num_sets = state.num_sets();
         let mut sums = [0u64; MAX_TRACKED_DIMS];
         for (s, w) in sums.iter_mut().zip(empty.0) {
             *s = w.wrapping_mul(num_sets as u64);
         }
         FingerprintTracker {
-            dirty_flag: vec![false; num_sets],
+            empty,
+            digests: HashMap::new(),
+            dirty_flag: HashSet::new(),
             dirty: Vec::new(),
-            digests: vec![empty; num_sets],
             sums,
         }
     }
 
     /// Marks one set's digest as possibly stale.
     pub fn mark_dirty(&mut self, set: usize) {
-        if !self.dirty_flag[set] {
-            self.dirty_flag[set] = true;
+        if self.dirty_flag.insert(set) {
             self.dirty.push(set);
         }
     }
@@ -221,12 +230,19 @@ impl FingerprintTracker {
     /// match across a flush proves nothing about staleness.
     pub fn flush(&mut self, state: &CacheState<SymLine>) {
         for &s in &self.dirty {
-            self.dirty_flag[s] = false;
-            let digest = digest_set(state.set(s));
-            for ((sum, old), new) in self.sums.iter_mut().zip(self.digests[s].0).zip(digest.0) {
+            self.dirty_flag.remove(&s);
+            let set = state.set(s);
+            let digest = digest_set(set);
+            // A set a warp vacated reverts to the shared empty digest; drop
+            // its entry so the map tracks only diverged sets.
+            let old = if set.is_empty() && digest == self.empty {
+                self.digests.remove(&s).unwrap_or(self.empty)
+            } else {
+                self.digests.insert(s, digest).unwrap_or(self.empty)
+            };
+            for ((sum, old), new) in self.sums.iter_mut().zip(old.0).zip(digest.0) {
                 *sum = sum.wrapping_sub(old).wrapping_add(new);
             }
-            self.digests[s] = digest;
         }
         self.dirty.clear();
     }

@@ -71,14 +71,15 @@ fn encode_level(
                              // Their offsets are part of the encoding, so two states only compare
                              // equal when their occupied sets line up under the same rotation; the
                              // remaining sets are empty-and-initial on both sides by construction.
-    let mut offsets: Vec<(usize, usize)> = level
-        .occupied_sets()
-        .iter()
-        .map(|&s| ((s + num_sets - level.mru_set % num_sets) % num_sets, s))
+                             // The entries come straight off the sparse store's borrowing
+                             // iterator — no per-set re-lookup, no allocation beyond the sort.
+    let mut offsets: Vec<(usize, &cache_model::SetState<crate::symstate::SymLine>)> = level
+        .state
+        .occupied_entries()
+        .map(|(s, set)| ((s + num_sets - level.mru_set % num_sets) % num_sets, set))
         .collect();
-    offsets.sort_unstable();
-    for (offset, s) in offsets {
-        let set = level.state.set(s);
+    offsets.sort_unstable_by_key(|(offset, _)| *offset);
+    for (offset, set) in offsets {
         data.push(i64::MIN + 2); // set separator
         data.push(offset as i64);
         for line in set.lines() {

@@ -95,10 +95,10 @@ pub fn plan_warp(
 
     // 2. Cache agreement: every cached line must be consistent with the
     //    uniform shift.  Only the occupied sets can hold lines, so the scan
-    //    is O(occupied), independent of the total number of sets.
+    //    is O(occupied), independent of the total number of sets (the
+    //    sparse store's borrowing iterator yields the sets directly).
     for level in levels {
-        for &s in level.occupied_sets() {
-            let set = level.state.set(s);
+        for (_, set) in level.state.occupied_entries() {
             for line in set.lines().iter().flatten() {
                 let shifts_with_loop =
                     descendant_ids.contains(&line.node) && line.iter.len() >= warp_depth;

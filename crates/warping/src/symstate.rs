@@ -10,14 +10,13 @@
 //! iteration vectors (instead of rewriting expressions on every iterator
 //! increment) is the "on demand" renormalisation the paper alludes to.
 //!
-//! Next to the cache state proper, a [`SymLevel`] maintains two derived
-//! structures that make warp-match attempts cheap on large caches:
-//!
-//! * the sorted list of **occupied sets**, so canonical keys and warp plans
-//!   never iterate over the (possibly millions of) empty sets of a big L3;
-//! * a [`FingerprintTracker`] of
-//!   per-set digests and rolling level fingerprints, kept fresh with
-//!   dirty-set tracking driven by the cache crate's set-content versions.
+//! The cache state itself is sparse (`cache_model::CacheState` stores only
+//! the touched sets next to a shared empty template), so a [`SymLevel`]
+//! reads its **occupied-set view straight from the store** — canonical keys
+//! and warp plans never iterate over the (possibly millions of) empty sets
+//! of a big L3 — and adds one derived structure of its own: a
+//! [`FingerprintTracker`] of per-set digests and rolling level
+//! fingerprints, kept fresh with dirty-set tracking.
 
 use crate::fingerprint::FingerprintTracker;
 use cache_model::{AccessKind, CacheConfig, CacheState, LevelStats, MemBlock, SetState};
@@ -52,26 +51,22 @@ pub struct SymLevel {
     pub mru_set: usize,
     /// Hit/miss counters of the level.
     pub stats: LevelStats,
-    /// Sorted indices of the sets holding at least one line.
-    occupied: Vec<usize>,
-    occupied_flag: Vec<bool>,
     /// Incrementally maintained per-set digests and level fingerprints.
     tracker: FingerprintTracker,
 }
 
 impl SymLevel {
-    /// An empty symbolic level.
+    /// An empty symbolic level.  O(1) whatever the level's size: the sparse
+    /// cache state and the fingerprint tracker both start from shared empty
+    /// templates.
     pub fn new(config: CacheConfig) -> Self {
         let state = CacheState::new(&config);
         let tracker = FingerprintTracker::new(&state);
-        let num_sets = state.num_sets();
         SymLevel {
             config,
             state,
             mru_set: 0,
             stats: LevelStats::default(),
-            occupied: Vec::new(),
-            occupied_flag: vec![false; num_sets],
             tracker,
         }
     }
@@ -79,15 +74,18 @@ impl SymLevel {
     /// Classifies and performs an access to `block`, labelling the touched
     /// line with `(node, iter)`.  Returns `true` on a hit.
     ///
-    /// For no-write-allocate configurations a write miss does not allocate.
+    /// For no-write-allocate configurations a write miss does not allocate
+    /// (and leaves an untouched set untouched in the sparse store).
     pub fn access(&mut self, block: MemBlock, kind: AccessKind, node: usize, iter: &[i64]) -> bool {
         let set_idx = self.config.index(block);
         self.mru_set = set_idx;
         let policy = self.config.policy();
-        let set = self.state.set_mut(set_idx);
-        let version_before = set.content_version();
-        let hit = match set.find(|l| l.block == block) {
+        // Classify on the shared (immutable) view first: only mutating paths
+        // may materialise the set in the sparse store or dirty the tracker.
+        let found = self.state.set(set_idx).find(|l| l.block == block);
+        let hit = match found {
             Some(way) => {
+                let set = self.state.set_mut(set_idx);
                 set.on_hit(policy, way);
                 // The paper's SymUpSet replaces the hit line's symbolic block
                 // by the freshly accessed one.
@@ -98,11 +96,12 @@ impl SymLevel {
                 line.node = node;
                 line.iter.clear();
                 line.iter.extend_from_slice(iter);
+                self.tracker.mark_dirty(set_idx);
                 true
             }
             None => {
                 if kind != AccessKind::Write || self.config.write_allocate() {
-                    set.on_miss_insert(
+                    self.state.set_mut(set_idx).on_miss_insert(
                         policy,
                         SymLine {
                             block,
@@ -110,20 +109,11 @@ impl SymLevel {
                             iter: iter.to_vec(),
                         },
                     );
+                    self.tracker.mark_dirty(set_idx);
                 }
                 false
             }
         };
-        // The content-version hook tells us whether the set was actually
-        // mutated (a no-write-allocate write miss, for example, is not).
-        if self.state.set(set_idx).content_version() != version_before {
-            self.tracker.mark_dirty(set_idx);
-            if !self.occupied_flag[set_idx] {
-                self.occupied_flag[set_idx] = true;
-                let pos = self.occupied.partition_point(|&s| s < set_idx);
-                self.occupied.insert(pos, set_idx);
-            }
-        }
         self.stats.record(hit);
         hit
     }
@@ -133,18 +123,17 @@ impl SymLevel {
         self.state = CacheState::new(&self.config);
         self.mru_set = 0;
         self.stats = LevelStats::default();
-        self.occupied.clear();
-        self.occupied_flag.fill(false);
         self.tracker = FingerprintTracker::new(&self.state);
     }
 
-    /// Sorted indices of the cache sets holding at least one line.  Sets are
-    /// filled and replaced but never emptied, so this list only grows (until
-    /// a [`reset`](SymLevel::reset)), and every set outside it is guaranteed
+    /// Sorted indices of the cache sets holding at least one line, read
+    /// straight from the sparse store (no allocation).  Sets are filled and
+    /// replaced but never emptied, so this view only grows (until a
+    /// [`reset`](SymLevel::reset)), and every set outside it is guaranteed
     /// to be in its initial state — empty lines *and* initial
     /// replacement-policy metadata.
-    pub fn occupied_sets(&self) -> &[usize] {
-        &self.occupied
+    pub fn occupied_sets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.state.occupied_indices()
     }
 
     /// Brings the fingerprint tracker up to date with the cache state
@@ -214,60 +203,45 @@ impl SymLevel {
         // Rotate the sets: the set holding a block b now holds b + shift,
         // and (b + shift) mod S = (old index + rotation) mod S.  Empty sets
         // are interchangeable — they are always in their initial state — so
-        // only the occupied sets need to be transformed and moved: the warp
-        // costs O(occupied sets), not O(total sets).  Each occupied set is
+        // the warp drains the touched entries out of the sparse store (the
+        // vacated slots revert to the shared empty template for free),
+        // transforms them, and lands them on their rotated positions: the
+        // warp costs O(occupied sets), not O(total sets).  Each set is
         // rewritten independently, so the transforms parallelise across
-        // disjoint chunks of the occupied list.
-        let occupied = &self.occupied;
-        let old = &self.state;
+        // disjoint chunks of the drained entry list.
+        let entries = self.state.take_entries();
         let transformed: Vec<SetState<SymLine>> =
-            if threads > 1 && occupied.len() >= PARALLEL_SETS_THRESHOLD {
-                let mut out: Vec<Option<SetState<SymLine>>> = vec![None; occupied.len()];
-                let chunk = occupied.len().div_ceil(threads);
+            if threads > 1 && entries.len() >= PARALLEL_SETS_THRESHOLD {
+                let mut out: Vec<Option<SetState<SymLine>>> = vec![None; entries.len()];
+                let chunk = entries.len().div_ceil(threads);
                 let transform = &transform;
+                let entries = &entries;
                 std::thread::scope(|scope| {
                     for (t, slice) in out.chunks_mut(chunk).enumerate() {
                         scope.spawn(move || {
                             for (off, slot) in slice.iter_mut().enumerate() {
-                                let src = occupied[t * chunk + off];
-                                *slot = Some(old.set(src).map_payloads(|l| transform(l)));
+                                let (_, set) = &entries[t * chunk + off];
+                                *slot = Some(set.map_payloads(|l| transform(l)));
                             }
                         });
                     }
                 });
                 out.into_iter().map(|s| s.expect("chunk filled")).collect()
             } else {
-                occupied
+                entries
                     .iter()
-                    .map(|&s| old.set(s).map_payloads(&transform))
+                    .map(|(_, set)| set.map_payloads(&transform))
                     .collect()
             };
-        // Clear the old occupied slots back to the (shared) initial set
-        // state, then land the transformed sets on their rotated positions.
-        // The rotation is a bijection, so no landing slot is cleared twice.
-        let empty = SetState::new(self.config.policy(), self.config.assoc());
-        for &s in &self.occupied {
-            *self.state.set_mut(s) = empty.clone();
-        }
-        let mut new_occupied = Vec::with_capacity(self.occupied.len());
-        for (&s_old, set) in self.occupied.iter().zip(transformed) {
-            let s_new = (s_old + rotation) % num_sets;
-            *self.state.set_mut(s_new) = set;
-            new_occupied.push(s_new);
-        }
-        new_occupied.sort_unstable();
+        // The rotation is a bijection, so no landing slot is written twice.
         // Derived structures follow: vacated and landed-on slots both get
         // their digests refreshed on the next match attempt.
-        for &s in &self.occupied {
-            self.occupied_flag[s] = false;
+        for (&(s_old, _), set) in entries.iter().zip(transformed) {
+            let s_new = (s_old + rotation) % num_sets;
+            self.state.insert_set(s_new, set);
+            self.tracker.mark_dirty(s_old);
+            self.tracker.mark_dirty(s_new);
         }
-        for &s in &new_occupied {
-            self.occupied_flag[s] = true;
-        }
-        for &s in self.occupied.iter().chain(&new_occupied) {
-            self.tracker.mark_dirty(s);
-        }
-        self.occupied = new_occupied;
         self.mru_set = (self.mru_set + rotation) % num_sets;
     }
 
@@ -298,7 +272,7 @@ mod tests {
         assert_eq!(line.node, 9, "a hit refreshes the symbolic label");
         assert_eq!(line.iter, vec![1, 3]);
         assert_eq!(l.mru_set, 0);
-        assert_eq!(l.occupied_sets(), &[0]);
+        assert_eq!(l.occupied_sets().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]
@@ -307,10 +281,11 @@ mod tests {
         let mut l = SymLevel::new(config);
         assert!(!l.access(MemBlock(0), AccessKind::Write, 0, &[0]));
         assert!(l.state.set(0).lines().iter().all(Option::is_none));
-        assert!(l.occupied_sets().is_empty(), "no fill, no occupied set");
+        assert_eq!(l.occupied_sets().count(), 0, "no fill, no occupied set");
+        assert_eq!(l.state.occupied_len(), 0, "not even a touched-set entry");
         assert!(!l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
         assert!(l.access(MemBlock(0), AccessKind::Read, 0, &[0]));
-        assert_eq!(l.occupied_sets(), &[0]);
+        assert_eq!(l.occupied_sets().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]
@@ -382,7 +357,11 @@ mod tests {
             2 * 64,
             1,
         );
-        assert_eq!(l.occupied_sets(), &[3], "set 1 rotated to set 3");
+        assert_eq!(
+            l.occupied_sets().collect::<Vec<_>>(),
+            vec![3],
+            "set 1 rotated to set 3"
+        );
         assert_eq!(l.mru_set, 3);
         l.prepare_match();
         let rebuilt = rebuild_level_fingerprint(&l.state);

@@ -122,9 +122,9 @@ proptest! {
                 );
             }
             prop_assert_eq!(
-                level.occupied_sets().to_vec(),
+                level.occupied_sets().collect::<Vec<_>>(),
                 level.state.occupied_set_indices(),
-                "occupied-set list diverged from the state"
+                "occupied-set view diverged from the state"
             );
         }
     }
@@ -160,7 +160,10 @@ proptest! {
             }
             prop_assert_eq!(&sequential.state, &parallel.state);
             prop_assert_eq!(sequential.mru_set, parallel.mru_set);
-            prop_assert_eq!(sequential.occupied_sets(), parallel.occupied_sets());
+            prop_assert_eq!(
+                sequential.occupied_sets().collect::<Vec<_>>(),
+                parallel.occupied_sets().collect::<Vec<_>>()
+            );
         }
     }
 
