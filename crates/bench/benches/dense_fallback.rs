@@ -1,0 +1,119 @@
+//! Saturated-level access cost: the sparse `BTreeMap` store vs. a dense
+//! `Vec` baseline at ~100% occupancy.
+//!
+//! The sparse cache-state store (touched sets only, shared empty template)
+//! made construction O(1) and memory proportional to the working set — but
+//! once a kernel touches *every* set of a small L1, each access pays a
+//! `BTreeMap` lookup where a dense `Vec` would index directly.  The ROADMAP
+//! files an adaptive representation (flip a level to dense beyond ~50%
+//! occupancy) with the instruction to **measure before building**; this
+//! bench is that measurement.
+//!
+//! Both models run the identical per-set logic (`SetState`); the only
+//! difference is the set container.  Two access mixes are timed on a fully
+//! saturated 64-set × 8-way L1:
+//!
+//! * `hits` — a re-sweep of the resident working set (every access hits),
+//!   the pattern L1-resident kernels spend their explicit iterations on;
+//! * `stream` — a miss-per-line streaming sweep through fresh blocks
+//!   (every access evicts), the worst case for store mutation.
+//!
+//! Run with `cargo bench --bench dense_fallback`; CI compiles it via
+//! `cargo bench --no-run`.  The observed verdict is recorded in ROADMAP.md
+//! next to the dense-fallback item.
+
+use cache_model::{CacheConfig, CacheState, MemBlock, ReplacementPolicy, SetState};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// The dense baseline: one eagerly allocated set per index, same per-set
+/// logic as the sparse store delegates to.
+struct DenseState {
+    sets: Vec<SetState<MemBlock>>,
+}
+
+impl DenseState {
+    fn new(config: &CacheConfig) -> Self {
+        DenseState {
+            sets: (0..config.num_sets())
+                .map(|_| SetState::new(config.policy(), config.assoc()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn access_block(&mut self, config: &CacheConfig, block: MemBlock) -> bool {
+        let set = &mut self.sets[config.index(block)];
+        set.access(config.policy(), block)
+    }
+}
+
+/// The test system's L1: 32 KiB, 8-way, 64-byte lines — 64 sets, 512 lines.
+fn l1() -> CacheConfig {
+    CacheConfig::new(32 * 1024, 8, 64, ReplacementPolicy::Plru)
+}
+
+/// Blocks that fill every line of every set exactly once.
+fn saturating_blocks(config: &CacheConfig) -> Vec<MemBlock> {
+    (0..(config.num_sets() * config.assoc()) as u64)
+        .map(MemBlock)
+        .collect()
+}
+
+fn bench_dense_fallback(criterion: &mut Criterion) {
+    let config = l1();
+    let resident = saturating_blocks(&config);
+    let fresh: Vec<MemBlock> = (0..resident.len() as u64)
+        .map(|i| MemBlock(1_000_000 + i))
+        .collect();
+
+    let mut group = criterion.benchmark_group("dense_fallback");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    for (mix, blocks) in [("hits", &resident), ("stream", &fresh)] {
+        group.bench_with_input(
+            BenchmarkId::new("sparse", mix),
+            blocks,
+            |bencher, blocks| {
+                let mut state = CacheState::new(&config);
+                for &b in &resident {
+                    state.access_block(&config, b);
+                }
+                bencher.iter(|| {
+                    let mut hits = 0u64;
+                    for &b in blocks.iter() {
+                        hits += u64::from(state.access_block(&config, b));
+                    }
+                    // Re-saturate with the resident set so every timed pass
+                    // starts from 100% occupancy with identical content.
+                    for &b in &resident {
+                        state.access_block(&config, b);
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dense", mix), blocks, |bencher, blocks| {
+            let mut state = DenseState::new(&config);
+            for &b in &resident {
+                state.access_block(&config, b);
+            }
+            bencher.iter(|| {
+                let mut hits = 0u64;
+                for &b in blocks.iter() {
+                    hits += u64::from(state.access_block(&config, b));
+                }
+                for &b in &resident {
+                    state.access_block(&config, b);
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(dense_fallback, bench_dense_fallback);
+criterion_main!(dense_fallback);

@@ -22,7 +22,8 @@
 //!                        [--policies lru,fifo,plru,qlru]
 //!                        [--backends classic,warping,haystack,polycache,trace]
 //!                        [--levels SPEC] [--threads N]
-//!                        [--fingerprint-filter on|off] [--json]
+//!                        [--fingerprint-filter on|off]
+//!                        [--label-renorm on|off] [--json]
 //!
 //!           --levels describes the memory system as a comma-separated list
 //!           of cache levels, innermost first.  Each level is
@@ -52,6 +53,15 @@
 //!           counts are bit-identical either way (CI asserts exactly that
 //!           on a 64 MiB L3, guarding the sparse store's occupancy
 //!           tracking).
+//!
+//!           --label-renorm on|off toggles epoch-relative label
+//!           renormalisation (`WarpingOptions::label_renorm`).  `off`
+//!           restores current-iterator normalisation, under which frozen
+//!           outer-level labels block matching on L1-resident kernels.
+//!           Miss counts are bit-identical either way; the `renorms`
+//!           column (frozen levels matched per applied warp) shows what
+//!           `on` finds that `off` cannot (CI asserts both facts on an
+//!           L1-resident grid over a 64 MiB L3).
 //! ```
 
 use bench_suite::*;
@@ -73,6 +83,7 @@ fn main() {
     let mut levels = LevelsSpec::default();
     let mut threads: Option<usize> = None;
     let mut fingerprint_filter: Option<bool> = None;
+    let mut label_renorm: Option<bool> = None;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -137,6 +148,14 @@ fn main() {
                     _ => die("--fingerprint-filter expects `on` or `off`"),
                 });
             }
+            "--label-renorm" => {
+                i += 1;
+                label_renorm = Some(match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("--label-renorm expects `on` or `off`"),
+                });
+            }
             "--levels" => {
                 i += 1;
                 levels = parse_levels(args.get(i).map(String::as_str).unwrap_or(""))
@@ -151,14 +170,19 @@ fn main() {
         }
         i += 1;
     }
-    if let Some(filter) = fingerprint_filter {
+    if fingerprint_filter.is_some() || label_renorm.is_some() {
         // Applies to the warping backend only; the other backends have no
         // match pipeline to toggle.
         backends = backends
             .into_iter()
             .map(|backend| match backend {
                 Backend::Warping(mut options) => {
-                    options.fingerprint_filter = filter;
+                    if let Some(filter) = fingerprint_filter {
+                        options.fingerprint_filter = filter;
+                    }
+                    if let Some(renorm) = label_renorm {
+                        options.label_renorm = renorm;
+                    }
                     Backend::Warping(options)
                 }
                 other => other,
@@ -396,7 +420,7 @@ fn grid(
         return;
     }
     println!(
-        "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10} {:>7} {:>7} {:>8} {:>7} {:>9}",
+        "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9}",
         "kernel",
         "backend",
         "policy",
@@ -407,6 +431,7 @@ fn grid(
         "warps",
         "fp hits",
         "keys",
+        "renorms",
         "warp[µs]"
     );
     for (request, report) in requests.iter().zip(&reports) {
@@ -414,19 +439,28 @@ fn grid(
             Ok(report) => {
                 // Warping telemetry of the two-phase match pipeline; blank
                 // for the other backends.
-                let (warps, fp_hits, keys, warp_us) = report.warping.map_or_else(
-                    || (String::new(), String::new(), String::new(), String::new()),
+                let (warps, fp_hits, keys, renorms, warp_us) = report.warping.map_or_else(
+                    || {
+                        (
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                        )
+                    },
                     |w| {
                         (
                             w.warps.to_string(),
                             w.fingerprint_hits.to_string(),
                             w.exact_key_builds.to_string(),
+                            w.stale_label_renorms.to_string(),
                             format!("{:.1}", w.warp_apply_ns as f64 / 1e3),
                         )
                     },
                 );
                 println!(
-                    "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10.2} {:>7} {:>7} {:>8} {:>7} {:>9}",
+                    "{:<22} {:<10} {:<14} {:>14} {:>12} {:>10.2} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9}",
                     report.kernel,
                     report.backend,
                     request.memory.l1().policy().label(),
@@ -437,6 +471,7 @@ fn grid(
                     warps,
                     fp_hits,
                     keys,
+                    renorms,
                     warp_us
                 )
             }
@@ -625,7 +660,8 @@ fn print_usage() {
          [--policies lru,fifo,plru,qlru] \
          [--backends classic,warping,haystack,polycache,trace] \
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
-         [--threads N] [--fingerprint-filter on|off] [--json]"
+         [--threads N] [--fingerprint-filter on|off] [--label-renorm on|off] \
+         [--json]"
     );
 }
 

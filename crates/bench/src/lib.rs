@@ -103,6 +103,7 @@ fn warping_outcome(report: &SimReport) -> WarpingOutcome {
         match_attempts: stats.match_attempts,
         fingerprint_hits: stats.fingerprint_hits,
         exact_key_builds: stats.exact_key_builds,
+        stale_label_renorms: stats.stale_label_renorms,
         warp_apply_ns: stats.warp_apply_ns,
     }
 }

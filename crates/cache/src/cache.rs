@@ -209,6 +209,26 @@ impl LevelStats {
 /// Equality and hashing ignore *how* a state was touched: a set that was
 /// touched but left empty (e.g. by a no-write-allocate write miss through
 /// [`CacheState::set_mut`]) compares equal to one that was never touched.
+/// They also ignore the [level epoch](CacheState::epoch), which — like the
+/// per-set [content version](SetState::content_version) — is bookkeeping
+/// about *when* the state was last written, not content.
+///
+/// # The level epoch
+///
+/// Consumers that store logical timestamps in their payloads (the warping
+/// simulator labels every line with the iteration vector that loaded it)
+/// need a per-level reference point to compare those timestamps against:
+/// a line that stopped being touched keeps a frozen label, and comparing
+/// frozen labels against a *global* clock makes physically identical states
+/// look different.  The state therefore carries a **level-local epoch** —
+/// an iteration vector stamped by the caller on every payload write (fill
+/// or hit promotion) via [`CacheState::stamp_epoch`] — relative to which
+/// per-line labels can be renormalised.  The epoch is carried through
+/// [`clone`](Clone::clone), [`CacheState::map_payloads`],
+/// [`CacheState::rotate_sets`] and [`CacheState::permute_sets`], survives
+/// [`CacheState::take_entries`] (which drains the sets, not the clock), and
+/// can be advanced wholesale with [`CacheState::shift_epoch`] when every
+/// payload timestamp moves uniformly (a warp).
 #[derive(Clone, Debug)]
 pub struct CacheState<B> {
     num_sets: usize,
@@ -217,6 +237,9 @@ pub struct CacheState<B> {
     template: SetState<B>,
     /// Touched sets, keyed by set index (sorted).
     occupied: BTreeMap<usize, SetState<B>>,
+    /// The level-local epoch: iteration stamp of the most recent payload
+    /// write.  Empty until the first [`CacheState::stamp_epoch`].
+    epoch: Vec<i64>,
 }
 
 impl<B: PartialEq> PartialEq for CacheState<B> {
@@ -254,6 +277,33 @@ impl<B: Clone> CacheState<B> {
             num_sets: config.num_sets(),
             template: SetState::new(config.policy(), config.assoc()),
             occupied: BTreeMap::new(),
+            epoch: Vec::new(),
+        }
+    }
+
+    /// The level-local epoch: the iteration stamp of the most recent
+    /// [`CacheState::stamp_epoch`], empty if the state was never stamped
+    /// (or was stamped with an empty vector).  See the type-level
+    /// documentation for what the epoch is for.
+    pub fn epoch(&self) -> &[i64] {
+        &self.epoch
+    }
+
+    /// Records `iter` as the level's epoch.  Callers that timestamp their
+    /// payloads invoke this on every payload write (fill or hit promotion),
+    /// so the epoch always names the last access that touched the level.
+    pub fn stamp_epoch(&mut self, iter: &[i64]) {
+        self.epoch.clear();
+        self.epoch.extend_from_slice(iter);
+    }
+
+    /// Advances the epoch by `delta` along dimension `dim`, mirroring a
+    /// uniform shift of every payload timestamp (warp application).  A
+    /// no-op when the epoch does not extend to `dim` — a state whose last
+    /// write predates the shifted loop keeps its (frozen) stamp.
+    pub fn shift_epoch(&mut self, dim: usize, delta: i64) {
+        if let Some(v) = self.epoch.get_mut(dim) {
+            *v += delta;
         }
     }
 
@@ -341,16 +391,8 @@ impl<B: Clone> CacheState<B> {
         self.occupied_indices().count()
     }
 
-    /// Indices of the sets holding at least one line, as a fresh vector.
-    /// Allocating convenience wrapper over
-    /// [`CacheState::occupied_indices`], kept for call sites that need an
-    /// owned list.
-    pub fn occupied_set_indices(&self) -> Vec<usize> {
-        self.occupied_indices().collect()
-    }
-
-    /// Applies a function to every payload, preserving geometry and policy
-    /// state.  O(occupied sets).
+    /// Applies a function to every payload, preserving geometry, policy
+    /// state and the level epoch.  O(occupied sets).
     pub fn map_payloads<C>(&self, mut f: impl FnMut(&B) -> C) -> CacheState<C> {
         CacheState {
             num_sets: self.num_sets,
@@ -360,6 +402,7 @@ impl<B: Clone> CacheState<B> {
                 .iter()
                 .map(|(&i, s)| (i, s.map_payloads(&mut f)))
                 .collect(),
+            epoch: self.epoch.clone(),
         }
     }
 
@@ -377,6 +420,7 @@ impl<B: Clone> CacheState<B> {
                 .iter()
                 .map(|(&i, s)| (((i as i64 + offset).rem_euclid(n)) as usize, s.clone()))
                 .collect(),
+            epoch: self.epoch.clone(),
         }
     }
 
@@ -398,6 +442,7 @@ impl<B: Clone> CacheState<B> {
             num_sets: self.num_sets,
             template: self.template.clone(),
             occupied,
+            epoch: self.epoch.clone(),
         }
     }
 }
@@ -546,7 +591,6 @@ mod tests {
         assert_eq!(cache.occupied_len(), 0);
         assert!(cache.set(12345).is_empty());
         cache.access_block(&config, MemBlock(7));
-        assert_eq!(cache.occupied_set_indices(), vec![7]);
         assert_eq!(cache.occupied_indices().collect::<Vec<_>>(), vec![7]);
         let (idx, set) = cache.occupied_entries().next().unwrap();
         assert_eq!(idx, 7);
@@ -583,7 +627,42 @@ mod tests {
         for (idx, set) in entries {
             cache.insert_set((idx + 1) % 4, set);
         }
-        assert_eq!(cache.occupied_set_indices(), vec![2, 3]);
+        assert_eq!(cache.occupied_indices().collect::<Vec<_>>(), vec![2, 3]);
         assert_eq!(cache.set(2).lines()[0], Some(MemBlock(1)));
+    }
+
+    #[test]
+    fn epoch_is_stamped_shifted_carried_and_ignored_by_eq() {
+        let config = CacheConfig::with_sets(4, 1, 1, ReplacementPolicy::Lru);
+        let mut cache: CacheState<MemBlock> = CacheState::new(&config);
+        assert!(cache.epoch().is_empty(), "fresh states carry no stamp");
+        cache.access_block(&config, MemBlock(1));
+        cache.stamp_epoch(&[3, 7]);
+        assert_eq!(cache.epoch(), &[3, 7]);
+        cache.shift_epoch(1, 5);
+        assert_eq!(cache.epoch(), &[3, 12]);
+        // Shifting a dimension beyond the stamp is a no-op (frozen stamp).
+        cache.shift_epoch(2, 100);
+        assert_eq!(cache.epoch(), &[3, 12]);
+        // Carried through the sparse-store transformations ...
+        assert_eq!(cache.rotate_sets(1).epoch(), &[3, 12]);
+        assert_eq!(cache.permute_sets(|i| i).epoch(), &[3, 12]);
+        assert_eq!(cache.map_payloads(|b| b.0).epoch(), &[3, 12]);
+        assert_eq!(cache.clone().epoch(), &[3, 12]);
+        // ... surviving a drain (the epoch is a clock, not content) ...
+        let mut drained = cache.clone();
+        let _ = drained.take_entries();
+        assert_eq!(drained.epoch(), &[3, 12]);
+        // ... and ignored by equality and hashing, like set versions.
+        let mut other = cache.clone();
+        other.stamp_epoch(&[99]);
+        assert_eq!(cache, other);
+        let hash = |state: &CacheState<MemBlock>| {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            state.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash(&cache), hash(&other));
     }
 }

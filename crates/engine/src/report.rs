@@ -31,6 +31,11 @@ pub struct WarpingStats {
     /// Number of exact canonical-key constructions — the quantity the
     /// fingerprint filter exists to minimise.
     pub exact_key_builds: u64,
+    /// Levels (summed over applied warps) whose frozen labels were matched
+    /// through epoch renormalisation — the warps that current-iterator
+    /// normalisation could never find (L1-resident kernels over big
+    /// hierarchies).
+    pub stale_label_renorms: u64,
     /// Wall-clock nanoseconds spent applying warps.  Ignored by
     /// `PartialEq`.
     pub warp_apply_ns: u64,
@@ -45,6 +50,7 @@ impl PartialEq for WarpingStats {
             && self.match_attempts == other.match_attempts
             && self.fingerprint_hits == other.fingerprint_hits
             && self.exact_key_builds == other.exact_key_builds
+            && self.stale_label_renorms == other.stale_label_renorms
     }
 }
 
@@ -58,6 +64,7 @@ impl From<&WarpingOutcome> for WarpingStats {
             match_attempts: outcome.match_attempts,
             fingerprint_hits: outcome.fingerprint_hits,
             exact_key_builds: outcome.exact_key_builds,
+            stale_label_renorms: outcome.stale_label_renorms,
             warp_apply_ns: outcome.warp_apply_ns,
         }
     }

@@ -29,12 +29,32 @@
 //!   node id and the iteration vector **without** the value at dimension
 //!   `d` — a uniform shift of the warped iterator therefore cannot change
 //!   the digest;
+//! * the warped-dim *differences* between consecutive occupied lines that
+//!   carry the **same access node** — see below;
 //! * the *differences* between the concrete block numbers of consecutive
 //!   occupied lines — a uniform block shift (the `π` of the warping theorem)
 //!   leaves differences unchanged while still discriminating states whose
 //!   line phase differs;
 //! * the replacement-policy metadata verbatim, since matching states must
 //!   agree on it exactly.
+//!
+//! # Why exclusion (not epoch deltas) encodes the warped dimension
+//!
+//! The canonical key normalises each level's descendant labels by the
+//! *level epoch* — the warped-iterator stamp of the last label write at
+//! that level — so key equality means "labels shifted uniformly per level"
+//! (by the period for live levels, by zero for frozen ones).  A digest that
+//! mixed in raw warped-dim values would break under either shift; a digest
+//! that mixed in deltas from the epoch could not be maintained
+//! incrementally, because every access moves the epoch and would dirty the
+//! digests of *all* occupied sets.  Dropping the warped-dim value is
+//! invariant under **any** uniform per-level shift — live, frozen, or
+//! anything the key might factor out in the future — at zero incremental
+//! cost.  The discrimination this gives up is partly recovered soundly:
+//! two consecutive occupied lines labelled by the *same* node are either
+//! both descendants of the warping loop or both stale, so their warped-dim
+//! difference survives every transformation the key factors out (the shift
+//! cancels pairwise) and can be hashed without risking a missed match.
 //!
 //! The level fingerprint is the wrapping **sum** of the per-set digests.
 //! Summation is commutative, so rotating the sets — which permutes them —
@@ -101,6 +121,7 @@ impl SetDigest {
 pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
     let mut words = [FNV_OFFSET; MAX_TRACKED_DIMS];
     let mut prev_block: Option<u64> = None;
+    let mut prev_line: Option<&SymLine> = None;
     for line in set.lines() {
         match line {
             None => {
@@ -121,6 +142,19 @@ pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
                         }
                     }
                 }
+                // The excluded dimension re-enters as a pairwise difference
+                // when the neighbouring line carries the same node: the pair
+                // is then uniformly both-descendant or both-stale, so every
+                // label shift the canonical key factors out cancels.
+                if let Some(p) = prev_line {
+                    if p.node == l.node {
+                        for (d, w) in words.iter_mut().enumerate() {
+                            if let (Some(a), Some(b)) = (l.iter.get(d), p.iter.get(d)) {
+                                *w = mix(*w, a.wrapping_sub(*b) as u64);
+                            }
+                        }
+                    }
+                }
                 // Consecutive block differences are invariant under the
                 // uniform block shift of a warp; absolute blocks are not.
                 if let Some(prev) = prev_block {
@@ -130,6 +164,7 @@ pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
                     }
                 }
                 prev_block = Some(l.block.0);
+                prev_line = Some(l);
             }
         }
     }
@@ -308,6 +343,30 @@ mod tests {
         // A non-uniform shift changes the block differences.
         let c = set_of(&[Some(line(0, &[6], 14)), Some(line(1, &[6], 34))]);
         assert_ne!(digest_set(&a).word(0), digest_set(&c).word(0));
+    }
+
+    #[test]
+    fn same_node_warped_dim_spacing_is_hashed_shift_invariantly() {
+        // Two same-node lines: their warped-dim spacing discriminates (word
+        // 0 differs between spacing 1 and spacing 2) ...
+        let a = set_of(&[Some(line(0, &[5], 10)), Some(line(0, &[4], 26))]);
+        let b = set_of(&[Some(line(0, &[5], 10)), Some(line(0, &[3], 26))]);
+        assert_ne!(digest_set(&a).word(0), digest_set(&b).word(0));
+        // ... while a uniform label shift — what the epoch-relative key
+        // factors out, for live and frozen levels alike — cancels pairwise.
+        let shifted = set_of(&[Some(line(0, &[9], 10)), Some(line(0, &[8], 26))]);
+        assert_eq!(digest_set(&a).word(0), digest_set(&shifted).word(0));
+        // Mixed-node neighbours contribute no pair: one side could be a
+        // stale (absolute) label, so their spacing must stay out of the
+        // digest to preserve "equal keys ⟹ equal fingerprints".
+        let c = set_of(&[Some(line(0, &[5], 10)), Some(line(1, &[4], 26))]);
+        let d = set_of(&[Some(line(0, &[5], 10)), Some(line(1, &[3], 26))]);
+        assert_eq!(digest_set(&c).word(0), digest_set(&d).word(0));
+        assert_ne!(
+            digest_set(&c).word(1),
+            digest_set(&d).word(1),
+            "other words still see the absolute value"
+        );
     }
 
     #[test]

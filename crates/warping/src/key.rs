@@ -9,10 +9,25 @@
 //! * the enumeration of cache sets starts at the most-recently-accessed set
 //!   and cycles around, which factors out set rotations;
 //! * labels of access nodes that are descendants of the warping loop are
-//!   stored relative to the current value of the warped iterator, which
-//!   factors out the iterator shift;
+//!   stored relative to a **per-level normaliser** — the level's
+//!   [epoch](crate::symstate::SymLevel::epoch_at) on the warped dimension,
+//!   i.e. the warped-iterator stamp of the last access that wrote a label
+//!   at that level — which factors out the iterator shift *per level*;
 //! * replacement-policy metadata is included verbatim, since matching states
 //!   must agree on it exactly.
+//!
+//! Normalising by the level epoch instead of the current iterator value is
+//! what lets L1-resident kernels warp over big hierarchies: a level whose
+//! lines stopped being touched (the working set fits further in) keeps a
+//! frozen epoch next to its frozen labels, so the deltas — and hence the
+//! key — stay constant across iterations, where deltas from the *current*
+//! iterator would drift and physically identical states would never
+//! compare equal.  The per-level shift the normalisers factored out is not
+//! lost: the match bookkeeping remembers each entry's normalisers, and warp
+//! planning reconstructs the true per-level label shift from them (see
+//! [`plan`](crate::plan)).  Labels of non-descendant (stale) nodes remain
+//! absolute: no uniform shift ever applies to them, so matching states must
+//! agree on them exactly.
 //!
 //! The key is an exact encoding (not just a hash), so key equality implies
 //! symbolic equality — hash collisions cannot cause unsound warps.
@@ -39,20 +54,31 @@ pub struct CanonicalKey(Vec<i64>);
 
 impl CanonicalKey {
     /// Builds the canonical key of a collection of cache levels for a warp
-    /// attempt at a loop of depth `warp_depth` whose warped iterator
-    /// currently has value `current`.
+    /// attempt at a loop of depth `warp_depth`, normalising each level's
+    /// descendant labels by that level's entry in `normalizers` (one value
+    /// per level: the level epoch on the warped dimension, with the current
+    /// iterator value as the fallback for levels that carry no usable
+    /// stamp — see [`crate::simulator::WarpingSimulator`]).
     ///
     /// `descendants` are the ids of the access nodes below the loop: only
-    /// their labels are normalised by the warped iterator.
+    /// their labels are normalised; stale labels stay absolute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `normalizers` is shorter than `levels`.
     pub fn of_levels(
         levels: &[SymLevel],
         descendants: &HashSet<usize>,
         warp_depth: usize,
-        current: i64,
+        normalizers: &[i64],
     ) -> Self {
+        assert!(
+            normalizers.len() >= levels.len(),
+            "one normaliser per level"
+        );
         let mut data = Vec::new();
-        for level in levels {
-            encode_level(level, descendants, warp_depth, current, &mut data);
+        for (level, &normalizer) in levels.iter().zip(normalizers) {
+            encode_level(level, descendants, warp_depth, normalizer, &mut data);
         }
         CanonicalKey(data)
     }
@@ -62,7 +88,7 @@ fn encode_level(
     level: &SymLevel,
     descendants: &HashSet<usize>,
     warp_depth: usize,
-    current: i64,
+    normalizer: i64,
     data: &mut Vec<i64>,
 ) {
     let num_sets = level.state.num_sets();
@@ -90,7 +116,7 @@ fn encode_level(
                     let normalise = descendants.contains(&l.node) && l.iter.len() >= warp_depth;
                     for (d, v) in l.iter.iter().enumerate() {
                         if normalise && d == warp_depth - 1 {
-                            data.push(v - current);
+                            data.push(v - normalizer);
                         } else {
                             data.push(*v);
                         }
@@ -130,8 +156,8 @@ mod tests {
         SymLevel::new(CacheConfig::with_sets(4, 2, 1, ReplacementPolicy::Lru))
     }
 
-    fn key_of(level: &SymLevel, descendants: &HashSet<usize>, current: i64) -> CanonicalKey {
-        CanonicalKey::of_levels(std::slice::from_ref(level), descendants, 1, current)
+    fn key_of(level: &SymLevel, descendants: &HashSet<usize>, normalizer: i64) -> CanonicalKey {
+        CanonicalKey::of_levels(std::slice::from_ref(level), descendants, 1, &[normalizer])
     }
 
     #[test]
@@ -182,9 +208,29 @@ mod tests {
         s2.access(MemBlock(0), AccessKind::Read, 0, &[0]);
         // Promote the block in s2 only: ages differ, keys must differ.
         s2.access(MemBlock(0), AccessKind::Read, 0, &[0]);
-        let k1 = CanonicalKey::of_levels(std::slice::from_ref(&s1), &descendants, 1, 0);
-        let k2 = CanonicalKey::of_levels(std::slice::from_ref(&s2), &descendants, 1, 0);
+        let k1 = CanonicalKey::of_levels(std::slice::from_ref(&s1), &descendants, 1, &[0]);
+        let k2 = CanonicalKey::of_levels(std::slice::from_ref(&s2), &descendants, 1, &[0]);
         assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn frozen_levels_match_under_their_own_epoch() {
+        // The L1-resident scenario: an outer level froze at iteration 5 and
+        // is never touched again.  Normalised by its own (frozen) epoch the
+        // key is constant across match attempts; normalised by the current
+        // iterator — the pre-epoch behaviour — it drifts and never matches.
+        let descendants: HashSet<usize> = [0].into_iter().collect();
+        let mut frozen = level();
+        frozen.access(MemBlock(10), AccessKind::Read, 0, &[5]);
+        let epoch = frozen.epoch_at(0).expect("the fill stamped the epoch");
+        assert_eq!(epoch, 5);
+        let at_iteration = |normalizer: i64| key_of(&frozen, &descendants, normalizer);
+        assert_eq!(at_iteration(epoch), at_iteration(epoch));
+        assert_ne!(
+            at_iteration(100),
+            at_iteration(200),
+            "current-iterator normalisation drifts on frozen labels"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod symstate;
 
 pub use fingerprint::FingerprintTracker;
 pub use key::CanonicalKey;
-pub use plan::WarpPlan;
+pub use plan::{LevelWarpMode, WarpPlan};
 pub use simulator::{
     InvalidWarpingOptions, WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator,
 };

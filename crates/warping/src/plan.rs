@@ -12,9 +12,14 @@
 //!    bijection `π` of the theorem a global shift by `δ / linesize`, which
 //!    preserves the partition into cache sets (`π ∈ Π_index=`).
 //! 2. **Cache agreement** (the `CacheAgrees` check of the paper) — every
-//!    cached line, at every level, must be consistent with `π`: lines
-//!    labelled by descendant access nodes shift by construction, and any
-//!    other (stale) line forces `δ = 0`.
+//!    cached line, at every *shifted* level, must be consistent with `π`:
+//!    lines labelled by descendant access nodes shift by construction, and
+//!    any other (stale) line forces `δ = 0`.  Levels matched as **frozen**
+//!    ([`LevelWarpMode::Frozen`]) are exempt: their states are bit-identical
+//!    between the matched iterations (equal labels under equal epochs), and
+//!    the caller has verified they stay untouched across the warp window —
+//!    either the shift is zero, or the level recorded zero accesses during
+//!    the matched chunk, so the repeating access pattern never reaches it.
 //! 3. **Domain periodicity** (the `FurthestByDomains` check) — the iteration
 //!    domain of every descendant access node, restricted to the current
 //!    values of the outer iterators, must be invariant under translation by
@@ -42,28 +47,61 @@ pub struct WarpPlan {
     pub byte_shift_per_chunk: i64,
 }
 
+/// How one cache level participates in a warp, reconstructed by the
+/// simulator from the per-level label shift between the two matched states
+/// (the difference of their epoch normalisers).
+///
+/// * A level whose labels advanced by exactly one period between the
+///   matched states is [`Shifted`](LevelWarpMode::Shifted): it moves under
+///   the block bijection `π`, its sets rotate and its labels advance.
+/// * A level whose labels did not move at all is
+///   [`Frozen`](LevelWarpMode::Frozen): its state is bit-identical between
+///   the matched iterations and stays put across the warp.  This is the
+///   shape L1-resident kernels leave behind in big hierarchies — the outer
+///   levels were filled during warm-up and are never touched again — and
+///   recognising it is what makes such kernels warpable at all.
+/// * Any other label shift is inconsistent with a warp; the simulator
+///   rejects the match before planning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LevelWarpMode {
+    /// The level moves under the uniform block shift: sets rotate, labels
+    /// advance by `chunks * period`.
+    Shifted,
+    /// The level is bit-identical between the matched states and untouched
+    /// across the warp window: warp application skips it.
+    Frozen,
+}
+
 /// Decides whether and how far the simulation may warp.
 ///
 /// * `descendant_nodes` — the access nodes below the warping loop.
 /// * `descendant_ids` — their ids (for label classification).
-/// * `levels` — the symbolic cache levels (L1, and L2 if simulated).
+/// * `levels` — the symbolic cache levels, innermost first.
+/// * `modes` — how each level participates (parallel to `levels`); frozen
+///   levels are exempt from cache agreement, see [`LevelWarpMode`].
 /// * `warp_depth` — the depth of the warping loop (its iterator is dimension
 ///   `warp_depth - 1`).
 /// * `outer` — current values of the enclosing iterators
 ///   (length `warp_depth - 1`).
 /// * `v0`, `v1` — warped-iterator values of the matched and current states.
 /// * `v_last` — final value of the warped iterator for this loop execution.
+///
+/// # Panics
+///
+/// Panics if `modes` is shorter than `levels`.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_warp(
     descendant_nodes: &[&AccessNode],
     descendant_ids: &HashSet<usize>,
     levels: &[SymLevel],
+    modes: &[LevelWarpMode],
     warp_depth: usize,
     outer: &[i64],
     v0: i64,
     v1: i64,
     v_last: i64,
 ) -> Option<WarpPlan> {
+    assert!(modes.len() >= levels.len(), "one mode per level");
     let period = v1 - v0;
     if period <= 0 || descendant_nodes.is_empty() {
         return None;
@@ -93,11 +131,18 @@ pub fn plan_warp(
         return None;
     }
 
-    // 2. Cache agreement: every cached line must be consistent with the
-    //    uniform shift.  Only the occupied sets can hold lines, so the scan
-    //    is O(occupied), independent of the total number of sets (the
-    //    sparse store's borrowing iterator yields the sets directly).
-    for level in levels {
+    // 2. Cache agreement: every cached line of a *shifted* level must be
+    //    consistent with the uniform shift.  Frozen levels are exempt: they
+    //    are bit-identical between the matched states and the caller
+    //    guaranteed they stay untouched across the window, so their lines
+    //    (stale or not) simply persist.  Only the occupied sets can hold
+    //    lines, so the scan is O(occupied), independent of the total number
+    //    of sets (the sparse store's borrowing iterator yields the sets
+    //    directly).
+    for (level, mode) in levels.iter().zip(modes) {
+        if *mode == LevelWarpMode::Frozen {
+            continue;
+        }
         for (_, set) in level.state.occupied_entries() {
             for line in set.lines().iter().flatten() {
                 let shifts_with_loop =
@@ -200,6 +245,11 @@ mod tests {
         SymLevel::new(CacheConfig::with_sets(8, 2, 8, ReplacementPolicy::Lru))
     }
 
+    /// All levels shifted — the classic (pre-epoch) planning mode.
+    fn shifted(levels: &[SymLevel]) -> Vec<LevelWarpMode> {
+        vec![LevelWarpMode::Shifted; levels.len()]
+    }
+
     #[test]
     fn stencil_warps_to_the_end() {
         let (scop, ids) = nodes_of(
@@ -209,7 +259,8 @@ mod tests {
         let nodes: Vec<&AccessNode> = scop.access_nodes().collect();
         let ids: HashSet<usize> = ids.into_iter().collect();
         let levels = vec![empty_level()];
-        let plan = plan_warp(&nodes, &ids, &levels, 1, &[], 5, 6, 998).expect("warpable");
+        let plan = plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 5, 6, 998)
+            .expect("warpable");
         assert_eq!(plan.byte_shift_per_chunk, 8);
         assert_eq!(plan.chunks, 998 - 6);
     }
@@ -225,7 +276,7 @@ mod tests {
         let nodes: Vec<&AccessNode> = scop.access_nodes().collect();
         let ids: HashSet<usize> = ids.into_iter().collect();
         let levels = vec![empty_level()];
-        assert!(plan_warp(&nodes, &ids, &levels, 1, &[], 5, 6, 999).is_none());
+        assert!(plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 5, 6, 999).is_none());
     }
 
     #[test]
@@ -244,8 +295,19 @@ mod tests {
             64,
             ReplacementPolicy::Lru,
         ))];
-        assert!(plan_warp(&nodes, &ids, &levels, 1, &[], 5, 6, 3998).is_none());
-        let plan = plan_warp(&nodes, &ids, &levels, 1, &[], 2, 10, 3998).expect("period 8 warps");
+        assert!(plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 5, 6, 3998).is_none());
+        let plan = plan_warp(
+            &nodes,
+            &ids,
+            &levels,
+            &shifted(&levels),
+            1,
+            &[],
+            2,
+            10,
+            3998,
+        )
+        .expect("period 8 warps");
         assert_eq!(plan.byte_shift_per_chunk, 64);
     }
 
@@ -261,7 +323,35 @@ mod tests {
         // A line labelled by an access node that is not part of the loop.
         level.access(MemBlock(123_456), AccessKind::Read, 99, &[0]);
         let levels = vec![level];
-        assert!(plan_warp(&nodes, &ids, &levels, 1, &[], 5, 6, 998).is_none());
+        assert!(plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 5, 6, 998).is_none());
+    }
+
+    #[test]
+    fn frozen_levels_are_exempt_from_cache_agreement() {
+        // A two-level system: the L1 streams with the loop, the outer level
+        // froze after warm-up and holds lines — stale and descendant alike —
+        // that do not shift.  As a shifted level the stale line would veto
+        // any non-zero shift; marked frozen the plan goes through.
+        let (scop, ids) = nodes_of(
+            "double A[4000]; double B[4000];\n\
+             for (i = 1; i < 3999; i++) B[i-1] = A[i-1] + A[i];",
+        );
+        let nodes: Vec<&AccessNode> = scop.access_nodes().collect();
+        let ids: HashSet<usize> = ids.into_iter().collect();
+        let l1 = SymLevel::new(CacheConfig::with_sets(8, 2, 64, ReplacementPolicy::Lru));
+        let mut outer = SymLevel::new(CacheConfig::with_sets(64, 4, 64, ReplacementPolicy::Lru));
+        outer.access(MemBlock(123_456), AccessKind::Read, 99, &[0]);
+        outer.access(MemBlock(7), AccessKind::Read, 0, &[56]);
+        let levels = vec![l1, outer];
+        let all_shifted = shifted(&levels);
+        assert!(
+            plan_warp(&nodes, &ids, &levels, &all_shifted, 1, &[], 2, 10, 3998).is_none(),
+            "a shifted outer level with a stale line vetoes the shift"
+        );
+        let mixed = vec![LevelWarpMode::Shifted, LevelWarpMode::Frozen];
+        let plan = plan_warp(&nodes, &ids, &levels, &mixed, 1, &[], 2, 10, 3998)
+            .expect("a frozen outer level does not block the warp");
+        assert_eq!(plan.byte_shift_per_chunk, 64);
     }
 
     #[test]
@@ -275,7 +365,8 @@ mod tests {
         let nodes: Vec<&AccessNode> = scop.access_nodes().collect();
         let ids: HashSet<usize> = ids.into_iter().collect();
         let levels = vec![empty_level()];
-        let plan = plan_warp(&nodes, &ids, &levels, 1, &[], 5, 6, 998).expect("warp until guard");
+        let plan = plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 5, 6, 998)
+            .expect("warp until guard");
         assert!(6 + plan.chunks < 500);
         assert!(6 + plan.chunks >= 498);
     }
@@ -288,7 +379,8 @@ mod tests {
         let nodes: Vec<&AccessNode> = scop.access_nodes().collect();
         let ids: HashSet<usize> = ids.into_iter().collect();
         let levels = vec![empty_level()];
-        let plan = plan_warp(&nodes, &ids, &levels, 1, &[], 1, 2, 99).expect("identity warp");
+        let plan = plan_warp(&nodes, &ids, &levels, &shifted(&levels), 1, &[], 1, 2, 99)
+            .expect("identity warp");
         assert_eq!(plan.byte_shift_per_chunk, 0);
         assert_eq!(plan.chunks, 97);
     }

@@ -20,10 +20,26 @@
 //! stores only the fingerprint; the second sighting attaches the key; the
 //! third sighting can match exactly and warp.  Loops whose states never
 //! recur therefore never pay for key construction at all.
+//!
+//! # Relative-label addressing
+//!
+//! Keys normalise each level's descendant labels by that **level's epoch**
+//! (the warped-iterator stamp of the last label write at the level, see
+//! [`SymLevel::epoch_at`]) rather than by the current iterator.  When a
+//! match fires, the difference between the two states' normalisers
+//! reconstructs each level's true label shift: `period` means the level
+//! moves with the loop ([`LevelWarpMode::Shifted`]), `0` means the level is
+//! bit-identical and stays put ([`LevelWarpMode::Frozen`] — legal when the
+//! block shift is zero or the level saw no traffic during the matched
+//! chunk).  This is what lets kernels whose working set fits in the L1 warp
+//! over arbitrarily large outer levels: the outer levels' labels froze
+//! during warm-up, and under current-iterator normalisation ([
+//! `WarpingOptions::label_renorm`] = `false`) their keys would drift apart
+//! forever even though the states are physically identical.
 
 use crate::fingerprint::MAX_TRACKED_DIMS;
 use crate::key::CanonicalKey;
-use crate::plan::plan_warp;
+use crate::plan::{plan_warp, LevelWarpMode};
 use crate::symstate::SymLevel;
 use cache_model::{CacheConfig, HierarchyConfig, LevelStats, MemBlock, MemoryConfig};
 use polyhedra::Aff;
@@ -68,6 +84,17 @@ pub struct WarpingOutcome {
     /// fingerprint filter enabled this is typically a small fraction of
     /// [`match_attempts`](WarpingOutcome::match_attempts).
     pub exact_key_builds: u64,
+    /// Number of levels, summed over applied warps, whose stale (frozen)
+    /// labels were matched through epoch renormalisation — levels holding
+    /// lines that stopped being touched and were recognised as bit-identical
+    /// instead of blocking the match.  The warps the pre-epoch,
+    /// current-iterator normalisation could never find (frozen
+    /// *descendant* labels, e.g. L1-resident kernels over big hierarchies)
+    /// always show up here; a frozen level holding only non-descendant
+    /// (absolutely encoded) lines also counts, even though an identity
+    /// (zero-shift) warp over it could have matched under the old
+    /// normalisation too.
+    pub stale_label_renorms: u64,
     /// Wall-clock nanoseconds spent applying warps (counter extrapolation
     /// plus symbolic state advancement).  Ignored by `PartialEq`.
     pub warp_apply_ns: u64,
@@ -83,6 +110,7 @@ impl PartialEq for WarpingOutcome {
             && self.match_attempts == other.match_attempts
             && self.fingerprint_hits == other.fingerprint_hits
             && self.exact_key_builds == other.exact_key_builds
+            && self.stale_label_renorms == other.stale_label_renorms
     }
 }
 
@@ -136,6 +164,17 @@ pub struct WarpingOptions {
     /// exhaustive key-per-attempt pipeline (useful for differential testing
     /// and ablation); results are bit-identical either way.
     pub fingerprint_filter: bool,
+    /// Whether canonical keys normalise each level's descendant labels by
+    /// that level's epoch (the warped-iterator stamp of the last access
+    /// that wrote a label there) instead of the current iterator value.
+    /// Epoch normalisation makes *frozen* labels — outer-level lines that
+    /// stopped being touched because the working set fits further in —
+    /// shift-invariant, unlocking warps on L1-resident kernels over big
+    /// hierarchies.  Disabling it restores the pre-epoch pipeline (every
+    /// level normalised by the current iterator); miss counts are
+    /// bit-identical either way — renormalisation only changes *which*
+    /// states are recognised as matching, never what a warp extrapolates.
+    pub label_renorm: bool,
     /// Whether warp application may fan out across levels (and across sets
     /// within large levels) over the simulator's [thread
     /// budget](WarpingSimulator::with_threads).  The rewrite of each set is
@@ -161,6 +200,7 @@ impl WarpingOptions {
         min_trip_count: 24,
         max_fruitless_attempts: 512,
         fingerprint_filter: true,
+        label_renorm: true,
         parallel_warp: true,
     };
 
@@ -214,6 +254,13 @@ struct MatchEntry {
     v: i64,
     /// Counter snapshot at that point.
     counters: Counters,
+    /// The per-level label normalisers in effect when the state was
+    /// recorded (each level's epoch on the warped dimension, falling back
+    /// to `v`).  On a key match, the difference between the current
+    /// normalisers and these reconstructs each level's true label shift —
+    /// `period` for levels moving with the loop, `0` for frozen levels —
+    /// which decides the level's [`LevelWarpMode`].
+    epochs: Vec<i64>,
     /// The exact canonical key of the recorded state.  Built lazily: `None`
     /// until the entry's fingerprint is sighted a second time, so loops
     /// whose states never recur never pay for key construction.
@@ -267,6 +314,7 @@ pub struct WarpingSimulator {
     match_attempts: u64,
     fingerprint_hits: u64,
     exact_key_builds: u64,
+    stale_label_renorms: u64,
     warp_apply_ns: u64,
     /// Match attempts that did not result in a warp, per loop node (keyed by
     /// the node's address within the SCoP currently being simulated).
@@ -312,6 +360,7 @@ impl WarpingSimulator {
             match_attempts: 0,
             fingerprint_hits: 0,
             exact_key_builds: 0,
+            stale_label_renorms: 0,
             warp_apply_ns: 0,
             fruitless: HashMap::new(),
         })
@@ -380,6 +429,7 @@ impl WarpingSimulator {
             match_attempts: self.match_attempts,
             fingerprint_hits: self.fingerprint_hits,
             exact_key_builds: self.exact_key_builds,
+            stale_label_renorms: self.stale_label_renorms,
             warp_apply_ns: self.warp_apply_ns,
         }
     }
@@ -453,9 +503,35 @@ impl WarpingSimulator {
         Some(combined)
     }
 
-    fn build_key(&mut self, descendant_ids: &HashSet<usize>, depth: usize, v: i64) -> CanonicalKey {
+    /// The per-level label normalisers for a match attempt at loop depth
+    /// `depth` with current warped-iterator value `v`: each level's epoch on
+    /// the warped dimension, falling back to `v` for levels without a stamp
+    /// that deep (empty levels, or levels last written by a shallower
+    /// access — the fallback reproduces the pre-epoch behaviour for them).
+    /// With [`WarpingOptions::label_renorm`] disabled every level
+    /// normalises by `v`, restoring the old pipeline bit for bit.
+    fn epoch_normalizers(&self, depth: usize, v: i64) -> Vec<i64> {
+        let dim = depth - 1;
+        self.levels
+            .iter()
+            .map(|level| {
+                if self.options.label_renorm {
+                    level.epoch_at(dim).unwrap_or(v)
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    fn build_key(
+        &mut self,
+        descendant_ids: &HashSet<usize>,
+        depth: usize,
+        normalizers: &[i64],
+    ) -> CanonicalKey {
         self.exact_key_builds += 1;
-        CanonicalKey::of_levels(&self.levels, descendant_ids, depth, v)
+        CanonicalKey::of_levels(&self.levels, descendant_ids, depth, normalizers)
     }
 
     fn simulate_loop<'a>(&mut self, loop_node: &'a LoopNode, outer: &[i64], ctx: &mut RunCtx<'a>) {
@@ -561,6 +637,9 @@ impl WarpingSimulator {
         fruitless: &mut u64,
     ) -> Option<i64> {
         self.match_attempts += 1;
+        // The per-level label normalisers of this attempt's key: the level
+        // epochs (or the current iterator value, see `epoch_normalizers`).
+        let normalizers = self.epoch_normalizers(depth, v1);
         // Phase 1: the cheap rolling fingerprint (when enabled and the
         // warped dimension is tracked); otherwise fall back to hashing the
         // exact key, i.e. the exhaustive pipeline.  Only attempts that pay
@@ -573,7 +652,7 @@ impl WarpingSimulator {
                 Some(fp) => (fp, None),
                 None => {
                     *fruitless += 1;
-                    let key = self.build_key(&info.ids, depth, v1);
+                    let key = self.build_key(&info.ids, depth, &normalizers);
                     let mut hasher = std::collections::hash_map::DefaultHasher::new();
                     key.hash(&mut hasher);
                     (hasher.finish(), Some(key))
@@ -586,6 +665,7 @@ impl WarpingSimulator {
                     MatchEntry {
                         v: v1,
                         counters: self.counters(),
+                        epochs: normalizers,
                         key: current_key,
                     },
                 );
@@ -603,7 +683,7 @@ impl WarpingSimulator {
         // Phase 2: the exact canonical key decides.
         let key = current_key
             .take()
-            .unwrap_or_else(|| self.build_key(&info.ids, depth, v1));
+            .unwrap_or_else(|| self.build_key(&info.ids, depth, &normalizers));
         if entry.key.as_ref() != Some(&key) {
             // Either the stored state's key was never built (first
             // re-sighting of its fingerprint) or the fingerprints collided:
@@ -613,24 +693,58 @@ impl WarpingSimulator {
                 MatchEntry {
                     v: v1,
                     counters: self.counters(),
+                    epochs: normalizers,
                     key: Some(key),
                 },
             );
             return None;
         }
+        let period = v1 - entry.v;
+        // Equal keys say each level's labels moved uniformly; the normaliser
+        // difference says by *how much*.  A level that advanced by exactly
+        // one period moves with the loop (shifted); a level whose labels
+        // did not move at all is bit-identical between the matched states
+        // (frozen) — sound to leave in place when either the block shift is
+        // zero (π is the identity, an identical level trivially agrees) or
+        // the level saw no traffic during the chunk (the repeating access
+        // pattern never descends to it, so it stays untouched across the
+        // window).  Any other per-level shift is inconsistent with a warp.
+        let byte_shift_per_period = info
+            .uniform_coeff
+            .expect("attempts are gated on a uniform coefficient")
+            * period;
+        let chunk = self.counters();
+        let mut modes = Vec::with_capacity(self.levels.len());
+        for (idx, (&now, &then)) in normalizers.iter().zip(&entry.epochs).enumerate() {
+            let label_shift = now - then;
+            if label_shift == period {
+                modes.push(LevelWarpMode::Shifted);
+            } else if label_shift == 0 {
+                let chunk_traffic = chunk.level[idx].accesses - entry.counters.level[idx].accesses;
+                if byte_shift_per_period != 0 && chunk_traffic != 0 {
+                    return None;
+                }
+                modes.push(LevelWarpMode::Frozen);
+            } else {
+                return None;
+            }
+        }
         let plan = plan_warp(
             &info.nodes,
             &info.ids,
             &self.levels,
+            &modes,
             depth,
             outer,
             entry.v,
             v1,
             v_last,
         )?;
-        let period = v1 - entry.v;
+        debug_assert_eq!(
+            plan.byte_shift_per_chunk, byte_shift_per_period,
+            "the plan's shift must agree with the gating coefficient"
+        );
         let warp_start = Instant::now();
-        let chunk = self.counters();
         let chunk_accesses = chunk.accesses - entry.counters.accesses;
         // Extrapolate the counters across the warped chunks
         // (Equation 19 / line 12 of Algorithm 2).
@@ -646,6 +760,10 @@ impl WarpingSimulator {
         }
         // Advance the symbolic cache state (Equation 18), fanning the
         // per-level (and per-set) rewrites out over the thread budget.
+        // Frozen levels are skipped wholesale: their state — labels, epoch,
+        // MRU anchor — stays exactly where the warm-up left it, which is
+        // also what explicit simulation of the warped window would have
+        // produced (the window never touches them).
         let total_shift = plan.byte_shift_per_chunk * plan.chunks;
         let budget = if self.options.parallel_warp {
             self.warp_threads
@@ -653,13 +771,21 @@ impl WarpingSimulator {
             1
         };
         // Fan out across levels only when the budget covers one thread per
-        // level; a smaller budget stays sequential across levels (each level
-        // may still split its sets over the full budget), so the number of
-        // running threads never exceeds the budget.
-        if self.levels.len() > 1 && budget >= self.levels.len() {
-            let per_level = (budget / self.levels.len()).max(1);
+        // *rotating* level (frozen levels spawn no work and do not dilute
+        // the budget); a smaller budget stays sequential across levels
+        // (each level may still split its sets over the full budget), so
+        // the number of running threads never exceeds the budget.
+        let rotating = modes
+            .iter()
+            .filter(|m| **m == LevelWarpMode::Shifted)
+            .count();
+        if rotating > 1 && budget >= rotating {
+            let per_level = (budget / rotating).max(1);
             std::thread::scope(|scope| {
-                for level in self.levels.iter_mut() {
+                for (level, mode) in self.levels.iter_mut().zip(&modes) {
+                    if *mode == LevelWarpMode::Frozen {
+                        continue;
+                    }
                     let ids = &info.ids;
                     scope.spawn(move || {
                         level.apply_warp(
@@ -675,7 +801,10 @@ impl WarpingSimulator {
                 }
             });
         } else {
-            for level in &mut self.levels {
+            for (level, mode) in self.levels.iter_mut().zip(&modes) {
+                if *mode == LevelWarpMode::Frozen {
+                    continue;
+                }
                 level.apply_warp(
                     addresses,
                     &info.ids,
@@ -687,6 +816,16 @@ impl WarpingSimulator {
                 );
             }
         }
+        // Telemetry: frozen levels that actually hold stale lines are the
+        // matches the pre-epoch normalisation could never have made.
+        self.stale_label_renorms += self
+            .levels
+            .iter()
+            .zip(&modes)
+            .filter(|(level, mode)| {
+                **mode == LevelWarpMode::Frozen && level.state.occupied_indices().next().is_some()
+            })
+            .count() as u64;
         self.warps += 1;
         self.warp_apply_ns += warp_start.elapsed().as_nanos() as u64;
         Some(plan.chunks * period)

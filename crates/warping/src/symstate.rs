@@ -10,6 +10,15 @@
 //! iteration vectors (instead of rewriting expressions on every iterator
 //! increment) is the "on demand" renormalisation the paper alludes to.
 //!
+//! Renormalisation needs a reference point.  Each level carries a
+//! **level-local epoch** (see [`cache_model::CacheState::epoch`]): the
+//! iteration vector of the last access that wrote a label at this level,
+//! stamped on every fill and hit promotion.  Labels are *stored* absolute
+//! and *compared* relative to the epoch of their level — so outer-level
+//! lines whose labels froze (the working set fits in L1, nothing touches
+//! them any more) still compare equal across iterations, instead of
+//! drifting ever further from the current iterator.
+//!
 //! The cache state itself is sparse (`cache_model::CacheState` stores only
 //! the touched sets next to a shared empty template), so a [`SymLevel`]
 //! reads its **occupied-set view straight from the store** — canonical keys
@@ -74,8 +83,12 @@ impl SymLevel {
     /// Classifies and performs an access to `block`, labelling the touched
     /// line with `(node, iter)`.  Returns `true` on a hit.
     ///
-    /// For no-write-allocate configurations a write miss does not allocate
-    /// (and leaves an untouched set untouched in the sparse store).
+    /// Every payload write — a hit promotion or a miss fill — also stamps
+    /// `iter` as the level's [epoch](cache_model::CacheState::epoch), so the
+    /// epoch always names the last access that refreshed a label at this
+    /// level.  For no-write-allocate configurations a write miss does not
+    /// allocate (and leaves an untouched set untouched in the sparse store,
+    /// and the epoch unstamped).
     pub fn access(&mut self, block: MemBlock, kind: AccessKind, node: usize, iter: &[i64]) -> bool {
         let set_idx = self.config.index(block);
         self.mru_set = set_idx;
@@ -96,6 +109,7 @@ impl SymLevel {
                 line.node = node;
                 line.iter.clear();
                 line.iter.extend_from_slice(iter);
+                self.state.stamp_epoch(iter);
                 self.tracker.mark_dirty(set_idx);
                 true
             }
@@ -109,6 +123,7 @@ impl SymLevel {
                             iter: iter.to_vec(),
                         },
                     );
+                    self.state.stamp_epoch(iter);
                     self.tracker.mark_dirty(set_idx);
                 }
                 false
@@ -116,6 +131,17 @@ impl SymLevel {
         };
         self.stats.record(hit);
         hit
+    }
+
+    /// The level epoch's value on iterator dimension `dim`: the warped-dim
+    /// stamp of the last access that wrote a label at this level, or `None`
+    /// when no write ever reached that deep (the level is empty, or its
+    /// last write came from a shallower loop).  Canonical keys encode each
+    /// descendant label's warped-dim value relative to this stamp, which
+    /// makes frozen labels — lines that stopped being touched because the
+    /// working set fits in an inner level — shift-invariant for free.
+    pub fn epoch_at(&self, dim: usize) -> Option<i64> {
+        self.state.epoch().get(dim).copied()
     }
 
     /// Resets the level to an empty state.
@@ -243,6 +269,15 @@ impl SymLevel {
             self.tracker.mark_dirty(s_new);
         }
         self.mru_set = (self.mru_set + rotation) % num_sets;
+        // The level's last label write advances with its labels: in the
+        // execution the warp skipped, the corresponding access would have
+        // stamped the epoch `chunks * period` iterations later.  A no-op
+        // when the stamp does not reach the warped dimension — a level can
+        // arrive here with such a stamp (the simulator's normaliser then
+        // fell back to the current iterator, classifying it as shifted),
+        // and its too-shallow stamp deliberately stays put so later
+        // attempts keep using the same fallback.
+        self.state.shift_epoch(warp_depth - 1, chunks * period);
     }
 
     /// The concrete cache state (dropping symbolic labels).
@@ -340,6 +375,37 @@ mod tests {
         for (d, word) in rebuilt.iter().enumerate() {
             assert_eq!(l.fingerprint(d), Some(*word), "dim {d}");
         }
+    }
+
+    #[test]
+    fn epoch_follows_label_writes_and_warps() {
+        let mut l = level();
+        assert_eq!(l.epoch_at(0), None, "a fresh level has no stamp");
+        // A fill stamps the epoch; so does a hit promotion.
+        l.access(MemBlock(0), AccessKind::Read, 0, &[4]);
+        assert_eq!(l.epoch_at(0), Some(4));
+        l.access(MemBlock(0), AccessKind::Read, 0, &[9]);
+        assert_eq!(l.epoch_at(0), Some(9));
+        assert_eq!(l.epoch_at(1), None, "the stamp is one deep");
+        // A no-write-allocate write miss touches nothing: no stamp update.
+        let nwa = CacheConfig::with_sets(4, 2, 64, ReplacementPolicy::Lru).no_write_allocate();
+        let mut frozen = SymLevel::new(nwa);
+        frozen.access(MemBlock(0), AccessKind::Write, 0, &[3]);
+        assert_eq!(frozen.epoch_at(0), None);
+        // A warp advances the stamp with the labels.
+        let addr = Aff::var(1, 0).scale(64);
+        let mut warped = level();
+        warped.access(MemBlock(9), AccessKind::Read, 0, &[9]);
+        warped.apply_warp(
+            std::slice::from_ref(&addr),
+            &[0].into_iter().collect(),
+            1,
+            2,
+            3,
+            6 * 64,
+            1,
+        );
+        assert_eq!(warped.epoch_at(0), Some(9 + 6));
     }
 
     #[test]

@@ -123,7 +123,7 @@ proptest! {
             }
             prop_assert_eq!(
                 level.occupied_sets().collect::<Vec<_>>(),
-                level.state.occupied_set_indices(),
+                level.state.occupied_indices().collect::<Vec<_>>(),
                 "occupied-set view diverged from the state"
             );
         }
@@ -160,6 +160,9 @@ proptest! {
             }
             prop_assert_eq!(&sequential.state, &parallel.state);
             prop_assert_eq!(sequential.mru_set, parallel.mru_set);
+            // State equality ignores the epoch (bookkeeping), so check the
+            // clocks agree explicitly — matching depends on them.
+            prop_assert_eq!(sequential.state.epoch(), parallel.state.epoch());
             prop_assert_eq!(
                 sequential.occupied_sets().collect::<Vec<_>>(),
                 parallel.occupied_sets().collect::<Vec<_>>()
