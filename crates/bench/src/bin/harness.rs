@@ -62,6 +62,26 @@
 //!           column (frozen levels matched per applied warp) shows what
 //!           `on` finds that `off` cannot (CI asserts both facts on an
 //!           L1-resident grid over a 64 MiB L3).
+//!
+//!   serve   run the JSON-lines simulation service:
+//!           harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N]
+//!
+//!           Without `--addr` the service reads requests from stdin and
+//!           writes envelopes to stdout.  With `--addr` it listens on TCP
+//!           (port 0 picks a free port; the bound address is printed as
+//!           `serving on HOST:PORT` before the first accept), serves any
+//!           number of sequential or concurrent connections, and stops
+//!           when a client sends `{"cmd":"shutdown"}`.  One request per
+//!           line — a `SimRequest` JSON object or an `{"id":…,
+//!           "request":…}` wrapper — answered out-of-order by
+//!           `{"id","served","cached","serve_ns","report"}` envelopes;
+//!           identical requests (under variable renaming) are answered
+//!           from a content-addressed report cache or coalesced onto an
+//!           in-flight simulation.  `{"cmd":"stats"}` and end of input
+//!           report a `{"serve_stats":{…}}` summary.  `--cache-cap` bounds
+//!           the report cache in entries and `--workers` sizes the
+//!           work-stealing pool (env defaults: WARPSIM_SERVE_CACHE_CAP,
+//!           WARPSIM_SERVE_WORKERS).
 //! ```
 
 use bench_suite::*;
@@ -76,6 +96,11 @@ fn main() {
         std::process::exit(2);
     }
     let experiment = args[0].clone();
+    if experiment == "serve" {
+        // `serve` has its own flags; bypass the experiment option parser.
+        serve_command(&args[1..]);
+        return;
+    }
     let mut dataset = Dataset::Small;
     let mut kernels: Vec<Kernel> = Kernel::ALL.to_vec();
     let mut policies: Vec<ReplacementPolicy> = vec![ReplacementPolicy::Plru];
@@ -437,16 +462,18 @@ fn grid(
     for (request, report) in requests.iter().zip(&reports) {
         match report {
             Ok(report) => {
-                // Warping telemetry of the two-phase match pipeline; blank
-                // for the other backends.
+                // Warping telemetry of the two-phase match pipeline; `-`
+                // for the other backends, so every row has the same field
+                // count regardless of which telemetry knobs are on and
+                // column-oriented consumers (awk, cut) stay aligned.
                 let (warps, fp_hits, keys, renorms, warp_us) = report.warping.map_or_else(
                     || {
                         (
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                            String::new(),
+                            "-".to_string(),
+                            "-".to_string(),
+                            "-".to_string(),
+                            "-".to_string(),
+                            "-".to_string(),
                         )
                     },
                     |w| {
@@ -483,6 +510,111 @@ fn grid(
             ),
         }
     }
+}
+
+/// The `serve` subcommand: the JSON-lines simulation service over stdin or
+/// a TCP listener.
+fn serve_command(args: &[String]) {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut addr: Option<String> = None;
+    let mut config = serve::ServeConfig::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--addr expects HOST:PORT")),
+                );
+            }
+            "--cache-cap" => {
+                i += 1;
+                config.cache_capacity = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| die("--cache-cap expects an entry count"));
+            }
+            "--workers" => {
+                i += 1;
+                config.workers = args
+                    .get(i)
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--workers expects a positive number"));
+            }
+            other => die(&format!("unknown serve argument `{other}`")),
+        }
+        i += 1;
+    }
+    let service = Arc::new(serve::SimService::new(config));
+
+    let Some(addr) = addr else {
+        // Stdin mode: one session, envelopes (and the final stats line) on
+        // stdout.
+        let stdin = std::io::stdin();
+        serve::serve_lines(&service, stdin.lock(), std::io::stdout())
+            .unwrap_or_else(|e| die(&format!("serving stdin failed: {e}")));
+        return;
+    };
+
+    let listener = std::net::TcpListener::bind(&addr)
+        .unwrap_or_else(|e| die(&format!("cannot listen on {addr}: {e}")));
+    let local = listener
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("no local address: {e}")));
+    // Scripts (and CI) bind port 0 and scrape the actual port from here.
+    println!("serving on {local}");
+    let _ = std::io::stdout().flush();
+    // Nonblocking accept + poll, so a shutdown requested on one connection
+    // stops the accept loop without needing a final wake-up connection.
+    listener
+        .set_nonblocking(true)
+        .unwrap_or_else(|e| die(&format!("cannot poll the listener: {e}")));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut sessions = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream
+                    .set_nonblocking(false)
+                    .unwrap_or_else(|e| die(&format!("cannot configure a connection: {e}")));
+                let reader = std::io::BufReader::new(
+                    stream
+                        .try_clone()
+                        .unwrap_or_else(|e| die(&format!("cannot split a connection: {e}"))),
+                );
+                let service = service.clone();
+                let stop = stop.clone();
+                sessions.push(std::thread::spawn(move || {
+                    match serve::serve_lines(&service, reader, stream) {
+                        Ok((_stats, shutdown)) => {
+                            if shutdown {
+                                stop.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        Err(e) => eprintln!("connection failed: {e}"),
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => die(&format!("accept failed: {e}")),
+        }
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+    // The service-lifetime summary, like the per-session trailer lines.
+    println!(
+        "{}",
+        serde_json::to_string(&service.stats()).expect("stats serialise")
+    );
 }
 
 fn parse_policy(name: &str) -> Option<ReplacementPolicy> {
@@ -661,7 +793,8 @@ fn print_usage() {
          [--backends classic,warping,haystack,polycache,trace] \
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
          [--threads N] [--fingerprint-filter on|off] [--label-renorm on|off] \
-         [--json]"
+         [--json]\n\
+         \x20      harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N]"
     );
 }
 

@@ -45,10 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod report;
 mod request;
 
 pub use cache_model::{MemoryConfig, MemoryConfigError};
+pub use canon::CanonicalHash;
 pub use report::{SimReport, WarpingStats};
 pub use request::{dataset_by_name, Backend, KernelSpec, SimRequest};
 
@@ -167,6 +169,7 @@ impl Engine {
         backend_threads: usize,
     ) -> Result<SimReport, EngineError> {
         let kernel = request.kernel.name();
+        let serve_start = Instant::now();
         let build_start = Instant::now();
         let scop = request
             .kernel
@@ -285,6 +288,10 @@ impl Engine {
             exact,
             build_ms,
             sim_ms,
+            wall_ns: Some(serve_start.elapsed().as_nanos() as u64),
+            // Stamped by schedulers that queue requests (the serving
+            // layer's worker pool); a direct `run` never queues.
+            queue_ns: None,
         })
     }
 

@@ -1,7 +1,7 @@
 //! The unified simulation report returned by every backend.
 
 use cache_model::{LevelStats, MemoryConfig};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use simulate::SimulationResult;
 use warping::WarpingOutcome;
 
@@ -79,7 +79,12 @@ impl From<WarpingOutcome> for WarpingStats {
 /// The result of one [`SimRequest`](crate::SimRequest): every backend —
 /// simulators, analytical models and the trace replayer — reports through
 /// this one serializable shape.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Serialization note: the optional per-request timing fields
+/// ([`wall_ns`](SimReport::wall_ns), [`queue_ns`](SimReport::queue_ns)) are
+/// *omitted* from the JSON object when unset, so consumers written before
+/// they existed see exactly the shape they always did.
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Kernel display name.
     pub kernel: String,
@@ -108,6 +113,16 @@ pub struct SimReport {
     pub build_ms: f64,
     /// Wall-clock time spent simulating, in milliseconds.
     pub sim_ms: f64,
+    /// End-to-end wall-clock nanoseconds serving this request (build +
+    /// simulate), stamped by [`Engine::run`](crate::Engine::run).  `None`
+    /// for reports that predate the field (e.g. deserialized from old
+    /// JSON); omitted from JSON when unset.
+    pub wall_ns: Option<u64>,
+    /// Nanoseconds the request waited in a scheduler queue before a worker
+    /// picked it up.  Stamped by the serving layer's worker pool
+    /// (`crates/serve`); `None` for requests that never queued; omitted
+    /// from JSON when unset.
+    pub queue_ns: Option<u64>,
 }
 
 impl SimReport {
@@ -139,5 +154,31 @@ impl SimReport {
     /// The report as a JSON string.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("reports serialize")
+    }
+}
+
+// Hand-written (rather than derived) so the optional timing fields can be
+// skipped when unset — pre-existing JSON consumers keep seeing the exact
+// object shape they were written against.
+impl Serialize for SimReport {
+    fn serialize_value(&self) -> Value {
+        let mut fields = vec![
+            ("kernel".to_string(), self.kernel.serialize_value()),
+            ("backend".to_string(), self.backend.serialize_value()),
+            ("memory".to_string(), self.memory.serialize_value()),
+            ("result".to_string(), self.result.serialize_value()),
+            ("levels".to_string(), self.levels.serialize_value()),
+            ("warping".to_string(), self.warping.serialize_value()),
+            ("exact".to_string(), self.exact.serialize_value()),
+            ("build_ms".to_string(), self.build_ms.serialize_value()),
+            ("sim_ms".to_string(), self.sim_ms.serialize_value()),
+        ];
+        if let Some(wall_ns) = self.wall_ns {
+            fields.push(("wall_ns".to_string(), wall_ns.serialize_value()));
+        }
+        if let Some(queue_ns) = self.queue_ns {
+            fields.push(("queue_ns".to_string(), queue_ns.serialize_value()));
+        }
+        Value::Object(fields)
     }
 }

@@ -1,0 +1,410 @@
+//! Canonicalisation of affine loop-nest ASTs.
+//!
+//! Two mini-C kernels that differ only in spelling — iterator or array
+//! names, the order/association of terms inside an affine expression,
+//! `i < N` written as `i <= N - 1`, the order of conjuncts in a guard —
+//! simulate identically: elaboration erases names and normalises bounds
+//! into polyhedra.  The serving layer wants to recognise such requests
+//! *before* paying for elaboration and simulation, so it can key a report
+//! cache on the kernel's meaning rather than its spelling.
+//!
+//! [`canonicalize`] rewrites a [`Program`] into a canonical representative
+//! of its α-equivalence class:
+//!
+//! * **α-renaming** — arrays become `a0, a1, …` in declaration order
+//!   (declaration order is semantic: it determines the base addresses the
+//!   elaborator assigns), and loop iterators become `i0, i1, …` in binding
+//!   (pre-order traversal) order;
+//! * **normalised affine expressions** — every expression is flattened
+//!   into a sum of `coefficient * iterator` terms plus a constant, with
+//!   zero coefficients dropped and terms ordered by iterator binding
+//!   index (free names, which would fail elaboration anyway, sort after
+//!   all bound iterators by name);
+//! * **normalised bounds/guards** — every comparison is rewritten into
+//!   `expr >= 0` form (`<`/`<=`/`>` become `>=` with the constant folded
+//!   in; equalities are sign-normalised), and the conjuncts of an `if`
+//!   are sorted and deduplicated (conjunction is order-independent).
+//!
+//! Programs with the same canonical form elaborate to identical SCoPs and
+//! therefore produce bit-identical simulation reports.  The converse does
+//! not hold (canonicalisation is syntactic, not a polyhedral equivalence
+//! check) — which is exactly what a cache key needs: it may split
+//! semantically equal programs, but it must never merge distinct ones.
+
+use crate::ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statement};
+use std::collections::BTreeMap;
+
+/// A term key of the canonical linear form: bound iterators order by
+/// binding index, free names after them by name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum TermKey {
+    Bound(usize),
+    Free(String),
+}
+
+/// An expression flattened to `sum(coeff * iter) + constant`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Linear {
+    terms: BTreeMap<TermKey, i64>,
+    constant: i64,
+}
+
+impl Linear {
+    fn constant(c: i64) -> Self {
+        Linear {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    fn add(mut self, other: &Linear) -> Self {
+        for (k, v) in &other.terms {
+            *self.terms.entry(k.clone()).or_insert(0) += v;
+        }
+        self.constant += other.constant;
+        self.prune()
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        for v in self.terms.values_mut() {
+            *v *= k;
+        }
+        self.constant *= k;
+        self.prune()
+    }
+
+    fn negate(self) -> Self {
+        self.scale(-1)
+    }
+
+    fn prune(mut self) -> Self {
+        self.terms.retain(|_, v| *v != 0);
+        self
+    }
+
+    /// The sign of the first non-zero coefficient (or of the constant for
+    /// constant expressions); used to sign-normalise equalities.
+    fn leading_sign(&self) -> i64 {
+        self.terms
+            .values()
+            .next()
+            .copied()
+            .unwrap_or(self.constant)
+            .signum()
+    }
+
+    /// Rebuilds a canonical [`Expr`]: terms in key order, left-associated
+    /// sums, trailing constant only when non-zero (or when there are no
+    /// terms at all).
+    fn to_expr(&self, names: &dyn Fn(&TermKey) -> String) -> Expr {
+        let mut expr: Option<Expr> = None;
+        for (key, &coeff) in &self.terms {
+            let var = Expr::Iter(names(key));
+            let term = if coeff == 1 { var } else { var.scale(coeff) };
+            expr = Some(match expr {
+                None => term,
+                Some(prev) => prev.add(term),
+            });
+        }
+        match expr {
+            None => Expr::Const(self.constant),
+            Some(e) if self.constant != 0 => e.add(Expr::Const(self.constant)),
+            Some(e) => e,
+        }
+    }
+}
+
+/// Renaming state threaded through the rewrite.
+struct Renamer {
+    /// Declared array name → canonical name (`a0`, `a1`, …).
+    arrays: BTreeMap<String, String>,
+    /// Stack of iterator bindings: original name → binding index.
+    scope: Vec<(String, usize)>,
+    /// Next fresh iterator binding index.
+    next_iter: usize,
+}
+
+impl Renamer {
+    fn lookup(&self, name: &str) -> TermKey {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, idx)| TermKey::Bound(*idx))
+            .unwrap_or_else(|| TermKey::Free(name.to_string()))
+    }
+
+    fn term_name(&self, key: &TermKey) -> String {
+        match key {
+            TermKey::Bound(idx) => format!("i{idx}"),
+            TermKey::Free(name) => name.clone(),
+        }
+    }
+
+    fn array_name(&self, name: &str) -> String {
+        self.arrays.get(name).cloned().unwrap_or_else(|| {
+            // Undeclared arrays fail elaboration; keep the spelling so the
+            // canonical form still distinguishes such (broken) programs.
+            name.to_string()
+        })
+    }
+}
+
+fn linearize(expr: &Expr, renamer: &Renamer) -> Linear {
+    match expr {
+        Expr::Const(c) => Linear::constant(*c),
+        Expr::Iter(name) => {
+            let mut terms = BTreeMap::new();
+            terms.insert(renamer.lookup(name), 1);
+            Linear { terms, constant: 0 }
+        }
+        Expr::Add(a, b) => linearize(a, renamer).add(&linearize(b, renamer)),
+        Expr::Sub(a, b) => linearize(a, renamer).add(&linearize(b, renamer).negate()),
+        Expr::Mul(k, e) => linearize(e, renamer).scale(*k),
+    }
+}
+
+fn canon_expr(expr: &Expr, renamer: &Renamer) -> Expr {
+    let linear = linearize(expr, renamer);
+    linear.to_expr(&|key| renamer.term_name(key))
+}
+
+/// Rewrites `lhs op rhs` into canonical `expr >= 0` (or sign-normalised
+/// `expr == 0`) form with the constant folded in.
+fn canon_condition(condition: &Condition, renamer: &Renamer) -> Condition {
+    let lhs = linearize(&condition.lhs, renamer);
+    let rhs = linearize(&condition.rhs, renamer);
+    let (linear, op) = match condition.op {
+        // lhs < rhs  ⇔  rhs - lhs - 1 >= 0
+        CmpOp::Lt => (rhs.add(&lhs.negate()).add(&Linear::constant(-1)), CmpOp::Ge),
+        // lhs <= rhs  ⇔  rhs - lhs >= 0
+        CmpOp::Le => (rhs.add(&lhs.negate()), CmpOp::Ge),
+        // lhs > rhs  ⇔  lhs - rhs - 1 >= 0
+        CmpOp::Gt => (lhs.add(&rhs.negate()).add(&Linear::constant(-1)), CmpOp::Ge),
+        // lhs >= rhs  ⇔  lhs - rhs >= 0
+        CmpOp::Ge => (lhs.add(&rhs.negate()), CmpOp::Ge),
+        // lhs == rhs  ⇔  ±(lhs - rhs) == 0, sign-normalised.
+        CmpOp::Eq => {
+            let diff = lhs.add(&rhs.negate());
+            let diff = if diff.leading_sign() < 0 {
+                diff.negate()
+            } else {
+                diff
+            };
+            (diff, CmpOp::Eq)
+        }
+    };
+    Condition {
+        lhs: linear.to_expr(&|key| renamer.term_name(key)),
+        op,
+        rhs: Expr::Const(0),
+    }
+}
+
+fn canon_access(access: &ArrayAccess, renamer: &Renamer) -> ArrayAccess {
+    ArrayAccess {
+        array: renamer.array_name(&access.array),
+        indices: access
+            .indices
+            .iter()
+            .map(|index| canon_expr(index, renamer))
+            .collect(),
+    }
+}
+
+fn canon_statements(stmts: &[Statement], renamer: &mut Renamer) -> Vec<Statement> {
+    stmts
+        .iter()
+        .map(|stmt| match stmt {
+            Statement::For {
+                iter,
+                lower,
+                upper,
+                stride,
+                body,
+            } => {
+                // Bounds are evaluated in the enclosing scope (a loop bound
+                // may not reference its own iterator).
+                let lower = canon_expr(lower, renamer);
+                let upper = canon_expr(upper, renamer);
+                let idx = renamer.next_iter;
+                renamer.next_iter += 1;
+                renamer.scope.push((iter.clone(), idx));
+                let body = canon_statements(body, renamer);
+                renamer.scope.pop();
+                Statement::For {
+                    iter: format!("i{idx}"),
+                    lower,
+                    upper,
+                    stride: *stride,
+                    body,
+                }
+            }
+            Statement::If { conditions, body } => {
+                let mut conditions: Vec<Condition> = conditions
+                    .iter()
+                    .map(|c| canon_condition(c, renamer))
+                    .collect();
+                // Conjunction is order-independent: sort (by the canonical
+                // structural rendering, which is deterministic) and dedup.
+                conditions.sort_by_key(|c| format!("{:?}", c));
+                conditions.dedup();
+                Statement::If {
+                    conditions,
+                    body: canon_statements(body, renamer),
+                }
+            }
+            Statement::Assign { write, reads } => Statement::Assign {
+                write: canon_access(write, renamer),
+                // Read order is program order (it is the access order the
+                // simulator replays) and therefore semantic: keep it.
+                reads: reads.iter().map(|r| canon_access(r, renamer)).collect(),
+            },
+        })
+        .collect()
+}
+
+/// Rewrites a program into the canonical representative of its
+/// α-equivalence class (see the module docs for the exact normalisations).
+///
+/// Canonicalisation is idempotent, preserves elaboration semantics, and
+/// maps programs that differ only in naming or affine spelling to equal
+/// [`Program`] values.
+pub fn canonicalize(program: &Program) -> Program {
+    let mut renamer = Renamer {
+        arrays: program
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(idx, decl)| (decl.name.clone(), format!("a{idx}")))
+            .collect(),
+        scope: Vec::new(),
+        next_iter: 0,
+    };
+    let arrays = program
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(idx, decl)| ArrayDecl {
+            name: format!("a{idx}"),
+            extents: decl.extents.clone(),
+            elem_size: decl.elem_size,
+        })
+        .collect();
+    let stmts = canon_statements(&program.stmts, &mut renamer);
+    Program { arrays, stmts }
+}
+
+/// A deterministic textual rendering of the canonical form of `program` —
+/// two programs produce the same text iff [`canonicalize`] maps them to the
+/// same AST.  This is the string the serving layer hashes to build
+/// content-addressed cache keys.
+pub fn canonical_text(program: &Program) -> String {
+    format!("{:?}", canonicalize(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn canon_src(source: &str) -> String {
+        canonical_text(&parse_program(source).expect("valid program"))
+    }
+
+    #[test]
+    fn renaming_is_invisible() {
+        let a = canon_src(
+            "double A[100]; double B[100];\n\
+             for (i = 1; i < 99; i++) B[i-1] = A[i-1] + A[i];",
+        );
+        let b = canon_src(
+            "double xs[100]; double ys[100];\n\
+             for (k = 1; k < 99; k++) ys[k-1] = xs[k-1] + xs[k];",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affine_spelling_is_invisible() {
+        let a = canon_src("double A[64]; for (i = 0; i < 64; i++) A[2*i - i] = A[i];");
+        let b = canon_src("double A[64]; for (i = 0; i < 64; i++) A[i + 0] = A[i];");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn guard_spelling_and_order_are_invisible() {
+        let a = canon_src(
+            "double A[64];\n\
+             for (i = 0; i < 64; i++) if (i >= 2 && i <= 10) A[i] = A[i];",
+        );
+        let b = canon_src(
+            "double A[64];\n\
+             for (i = 0; i < 64; i++) if (i < 11 && i > 1) A[i] = A[i];",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn semantic_differences_survive() {
+        let base = canon_src("double A[64]; for (i = 0; i < 64; i++) A[i] = A[i];");
+        for other in [
+            // Different trip count.
+            "double A[64]; for (i = 0; i < 63; i++) A[i] = A[i];",
+            // Different subscript.
+            "double A[64]; for (i = 0; i < 64; i++) A[0] = A[i];",
+            // Different array size (different footprint/base addresses).
+            "double A[128]; for (i = 0; i < 64; i++) A[i] = A[i];",
+            // Different stride.
+            "double A[64]; for (i = 0; i < 64; i += 2) A[i] = A[i];",
+        ] {
+            assert_ne!(base, canon_src(other), "{other}");
+        }
+    }
+
+    #[test]
+    fn declaration_order_is_semantic() {
+        // Swapping declarations swaps the elaborator's base addresses; the
+        // canonical form must keep them apart.
+        let a = canon_src(
+            "double A[64]; double B[128];\n\
+             for (i = 0; i < 64; i++) A[i] = B[i];",
+        );
+        let b = canon_src(
+            "double B[128]; double A[64];\n\
+             for (i = 0; i < 64; i++) A[i] = B[i];",
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn canonicalisation_is_idempotent() {
+        let program = parse_program(
+            "double A[100]; double B[100];\n\
+             for (i = 1; i < 99; i++) if (i > 3) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap();
+        let once = canonicalize(&program);
+        let twice = canonicalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn canonical_programs_elaborate_identically() {
+        use crate::elaborate::{elaborate, ElaborateOptions};
+        let original = parse_program(
+            "double A[100]; double B[100];\n\
+             for (i = 1; i < 99; i++) B[i-1] = A[i-1] + A[i];",
+        )
+        .unwrap();
+        let renamed = parse_program(
+            "double P[100]; double Q[100];\n\
+             for (t = 1; t <= 98; t++) Q[t-1] = P[t-1] + P[t];",
+        )
+        .unwrap();
+        let options = ElaborateOptions::default();
+        let a = elaborate(&canonicalize(&original), &options).unwrap();
+        let b = elaborate(&canonicalize(&renamed), &options).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod canon;
 pub mod elaborate;
 pub mod parser;
 pub mod tree;
 pub mod walk;
 
 pub use ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statement};
+pub use canon::{canonical_text, canonicalize};
 pub use elaborate::{elaborate, ElaborateError, ElaborateOptions};
 pub use parser::{parse_program, ParseError};
 pub use tree::{AccessNode, ArrayInfo, LoopNode, Node, Scop};

@@ -1,0 +1,367 @@
+//! Simulation-as-a-service over the [`Engine`] facade.
+//!
+//! PRs 3–5 made a single request cheap (~1–2 ms even over 64 MiB
+//! hierarchies); the remaining cost of serving heavy traffic sits *above*
+//! [`Engine::run_batch`]: every request used to re-simulate from scratch,
+//! identical in-flight requests each paid full price, and batch fan-out
+//! was static.  This crate adds the serving layer the ROADMAP's
+//! millions-of-users story needs:
+//!
+//! * a **content-addressed report cache** ([`cache::ReportCache`]) keyed by
+//!   [`SimRequest::canonical_hash`] — repeated kernels, under any spelling,
+//!   are cache hits;
+//! * **in-flight dedup** ([`dedup::PendingMap`]) — a thundering herd of one
+//!   kernel coalesces onto a single simulation;
+//! * a **work-stealing worker pool** ([`pool::WorkerPool`]) replacing
+//!   `run_batch`'s static fan-out, recording per-request queue latency;
+//! * a **JSON-lines wire protocol** ([`wire::serve_lines`]) streaming
+//!   reports back out of order as they finish, with a GraphBrew-style
+//!   [`ServeStats`] JSON summary on shutdown.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{Backend, KernelSpec, SimRequest};
+//! use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+//! use serve::{Served, ServeConfig, SimService};
+//!
+//! let service = SimService::new(ServeConfig::default());
+//! let request = SimRequest::new(
+//!     KernelSpec::source("k", "double A[64]; for (i = 0; i < 64; i++) A[i] = A[i];"),
+//!     MemoryConfig::from(CacheConfig::fully_associative(8, 8, ReplacementPolicy::Lru)),
+//!     Backend::warping(),
+//! );
+//! let (cold, how) = service.submit(&request).unwrap();
+//! assert_eq!(how, Served::Simulated);
+//! let (warm, how) = service.submit(&request).unwrap();
+//! assert_eq!(how, Served::CacheHit);
+//! // The warm report is byte-identical to the cold one.
+//! assert_eq!(cold.to_json(), warm.to_json());
+//! assert_eq!(service.stats().cache_hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dedup;
+pub mod pool;
+pub mod wire;
+
+pub use cache::{CacheCounters, ReportCache};
+pub use dedup::{Claim, Follower, LeaderToken, PendingMap};
+pub use pool::{PoolCounters, WorkerPool};
+pub use wire::serve_lines;
+
+use engine::{Engine, EngineError, SimReport, SimRequest};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How the serving layer answered a submission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Served {
+    /// The request ran on the engine (a cold miss).
+    Simulated,
+    /// The report came from the content-addressed cache.
+    CacheHit,
+    /// The submission coalesced onto an identical in-flight simulation.
+    Coalesced,
+}
+
+impl Served {
+    /// A short stable identifier used on the wire.
+    pub fn label(self) -> &'static str {
+        match self {
+            Served::Simulated => "simulated",
+            Served::CacheHit => "cache_hit",
+            Served::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Configuration of a [`SimService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the scheduling pool.
+    pub workers: usize,
+    /// Report-cache bound, in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with `WARPSIM_SERVE_WORKERS` /
+    /// `WARPSIM_SERVE_CACHE_CAP` environment overrides applied (the
+    /// GraphBrew-style env-var configuration idiom, so deployments can tune
+    /// the service without new flags).
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Some(workers) = env_usize("WARPSIM_SERVE_WORKERS") {
+            config.workers = workers.max(1);
+        }
+        if let Some(capacity) = env_usize("WARPSIM_SERVE_CACHE_CAP") {
+            config.cache_capacity = capacity;
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// A JSON-serializable snapshot of the service counters (exported on
+/// shutdown by the wire protocol, GraphBrew-style, so downstream tools can
+/// scrape cache efficiency without parsing logs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ServeStats {
+    /// Submissions accepted.
+    pub requests: u64,
+    /// Submissions that ran a simulation.
+    pub simulated: u64,
+    /// Submissions answered from the report cache.
+    pub cache_hits: u64,
+    /// First-probe cache misses (simulated + coalesced + errored).
+    pub cache_misses: u64,
+    /// Submissions that coalesced onto an in-flight identical request.
+    pub coalesced: u64,
+    /// Reports evicted to keep the cache within its bound.
+    pub evictions: u64,
+    /// Reports currently cached.
+    pub cache_entries: u64,
+    /// Cache bound, in entries.
+    pub cache_capacity: u64,
+    /// Submissions that returned an error (errors are never cached).
+    pub errors: u64,
+    /// Worker threads in the scheduling pool.
+    pub workers: u64,
+    /// Jobs a worker stole from another worker's deque.
+    pub steals: u64,
+}
+
+type Runner = Box<dyn Fn(&SimRequest) -> Result<SimReport, EngineError> + Send + Sync>;
+
+/// What one submission resolves to: the report and how it was served, or
+/// the engine's error.
+pub type Outcome = Result<(SimReport, Served), EngineError>;
+
+/// The simulation service: an [`Engine`] behind a content-addressed report
+/// cache, an in-flight dedup map and a work-stealing scheduler.
+///
+/// The service is `Sync`: share one per process (typically behind an
+/// [`Arc`], which [`SimService::run_batch`] and the wire protocol require)
+/// and submit from any thread.
+pub struct SimService {
+    engine: Engine,
+    cache: ReportCache,
+    pending: PendingMap,
+    pool: WorkerPool,
+    runner: Option<Runner>,
+    requests: AtomicU64,
+    simulated: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl SimService {
+    /// A service over a default [`Engine`] whose per-request thread budget
+    /// is the machine's parallelism divided by the pool's worker count —
+    /// when several workers simulate concurrently, none of them
+    /// oversubscribes the machine with parallel warp application.
+    pub fn new(config: ServeConfig) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let engine = Engine::new().with_threads((cores / config.workers.max(1)).max(1));
+        SimService::with_engine(engine, config)
+    }
+
+    /// A service over a caller-configured engine.
+    pub fn with_engine(engine: Engine, config: ServeConfig) -> Self {
+        SimService {
+            engine,
+            cache: ReportCache::new(config.cache_capacity),
+            pending: PendingMap::new(),
+            pool: WorkerPool::new(config.workers),
+            runner: None,
+            requests: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the engine call with an arbitrary runner.  This is the
+    /// instrumentation seam: tests use it to count or gate simulations
+    /// deterministically (e.g. holding the leader until a known number of
+    /// followers have coalesced); embedders could use it to delegate to a
+    /// remote simulator.  Caching, dedup and scheduling behave exactly as
+    /// with the real engine.
+    pub fn with_runner(
+        mut self,
+        runner: impl Fn(&SimRequest) -> Result<SimReport, EngineError> + Send + Sync + 'static,
+    ) -> Self {
+        self.runner = Some(Box::new(runner));
+        self
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Serves one request: cache hit, coalesced wait, or a fresh
+    /// simulation whose report is cached for the next identical request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the engine reports ([`EngineError`]); errors are published
+    /// to coalesced followers but never cached, so a transiently failing
+    /// request is retried on its next submission.
+    pub fn submit(&self, request: &SimRequest) -> Result<(SimReport, Served), EngineError> {
+        self.submit_queued(request, None)
+    }
+
+    /// [`SimService::submit`] with the scheduler-measured queue latency of
+    /// the request, which is stamped into the report (and therefore into
+    /// the cache) when this submission ends up simulating.
+    pub fn submit_queued(
+        &self,
+        request: &SimRequest,
+        queue_ns: Option<u64>,
+    ) -> Result<(SimReport, Served), EngineError> {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        let key = request.canonical_hash().as_u128();
+        // Fast path: one shard-local read lock.
+        if let Some(report) = self.cache.get(key) {
+            return Ok((report, Served::CacheHit));
+        }
+        match self.pending.claim(key) {
+            Claim::Follower(follower) => follower.wait().map(|report| (report, Served::Coalesced)),
+            Claim::Leader(token) => {
+                // The leader that raced us may have published + cached
+                // between our probe and our claim; quiet so the common
+                // path does not double-count misses.
+                if let Some(report) = self.cache.get_quiet(key) {
+                    self.pending.complete(token, Ok(report.clone()));
+                    return Ok((report, Served::CacheHit));
+                }
+                let mut outcome = match &self.runner {
+                    Some(runner) => runner(request),
+                    None => self.engine.run(request),
+                };
+                match &mut outcome {
+                    Ok(report) => {
+                        if queue_ns.is_some() {
+                            report.queue_ns = queue_ns;
+                        }
+                        self.simulated.fetch_add(1, Ordering::SeqCst);
+                        self.cache.insert(key, report.clone());
+                    }
+                    Err(_) => {
+                        self.errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                self.pending.complete(token, outcome.clone());
+                outcome.map(|report| (report, Served::Simulated))
+            }
+        }
+    }
+
+    /// Serves a batch through the work-stealing pool: requests are placed
+    /// round-robin on the workers' deques (each worker gets a private run;
+    /// stealing rebalances stragglers), identical requests within the batch
+    /// dedup/cache exactly like wire submissions, and every simulated
+    /// report carries its measured queue latency
+    /// ([`SimReport::queue_ns`](engine::SimReport)).
+    ///
+    /// Results come back in input order, like
+    /// [`Engine::run_batch`](engine::Engine::run_batch).
+    pub fn run_batch(self: &Arc<Self>, requests: &[SimRequest]) -> Vec<Outcome> {
+        struct BatchState {
+            slots: Vec<Mutex<Option<Outcome>>>,
+            remaining: Mutex<usize>,
+            done: Condvar,
+        }
+        let state = Arc::new(BatchState {
+            slots: requests.iter().map(|_| Mutex::new(None)).collect(),
+            remaining: Mutex::new(requests.len()),
+            done: Condvar::new(),
+        });
+        for (index, request) in requests.iter().enumerate() {
+            let service = self.clone();
+            let state = state.clone();
+            let request = request.clone();
+            let enqueued = Instant::now();
+            self.pool.spawn_at(index, move || {
+                let queue_ns = enqueued.elapsed().as_nanos() as u64;
+                let outcome = service.submit_queued(&request, Some(queue_ns));
+                *state.slots[index].lock().expect("batch slot not poisoned") = Some(outcome);
+                let mut remaining = state.remaining.lock().expect("batch not poisoned");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    state.done.notify_all();
+                }
+            });
+        }
+        let mut remaining = state.remaining.lock().expect("batch not poisoned");
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).expect("batch not poisoned");
+        }
+        drop(remaining);
+        Arc::try_unwrap(state)
+            .map(|state| {
+                state
+                    .slots
+                    .into_iter()
+                    .map(|slot| {
+                        slot.into_inner()
+                            .expect("batch slot not poisoned")
+                            .expect("every batch slot was filled")
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|state| {
+                state
+                    .slots
+                    .iter()
+                    .map(|slot| {
+                        slot.lock()
+                            .expect("batch slot not poisoned")
+                            .clone()
+                            .expect("every batch slot was filled")
+                    })
+                    .collect()
+            })
+    }
+
+    /// The scheduling pool (used by the wire protocol to run line jobs).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        let cache = self.cache.counters();
+        let pool = self.pool.counters();
+        ServeStats {
+            requests: self.requests.load(Ordering::SeqCst),
+            simulated: self.simulated.load(Ordering::SeqCst),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            coalesced: self.pending.coalesced(),
+            evictions: cache.evictions,
+            cache_entries: cache.entries,
+            cache_capacity: cache.capacity,
+            errors: self.errors.load(Ordering::SeqCst),
+            workers: pool.workers,
+            steals: pool.steals,
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per input line, one envelope per output line, streamed back
+//! **out of order** as simulations finish (a cache hit on line 500 is not
+//! stuck behind a cold miss on line 3).  Envelopes carry the request id so
+//! clients can reorder.
+//!
+//! Input lines are either a bare [`SimRequest`] JSON object (the id defaults
+//! to the 1-based line number), an `{"id": …, "request": {…}}` wrapper, or a
+//! control line:
+//!
+//! * `{"cmd": "stats"}` — emit a `{"serve_stats": {…}}` line immediately;
+//! * `{"cmd": "shutdown"}` — drain in-flight work and stop reading.
+//!
+//! Output lines are `{"id", "served", "cached", "serve_ns", "report"}` on
+//! success (`served` is a [`Served::label`], `cached` is true for cache hits,
+//! `serve_ns` is this submission's wall time including queueing) or
+//! `{"id", "error"}` on parse/simulation failure.  End of input (or a
+//! shutdown line) flushes a final `{"serve_stats": {…}}` summary.
+
+use crate::{ServeStats, Served, SimService};
+use engine::SimRequest;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What one input line asked for.
+enum Line {
+    Request { id: Value, request: SimRequest },
+    Stats,
+    Shutdown,
+}
+
+fn parse_line(line: &str, number: u64) -> Result<Line, (Value, String)> {
+    let default_id = Value::UInt(number);
+    let value: Value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(error) => return Err((default_id, format!("invalid JSON: {error}"))),
+    };
+    if let Some(cmd) = value.get("cmd").and_then(Value::as_str) {
+        return match cmd {
+            "stats" => Ok(Line::Stats),
+            "shutdown" => Ok(Line::Shutdown),
+            other => Err((default_id, format!("unknown command `{other}`"))),
+        };
+    }
+    let (id, request_value) = match value.get("request") {
+        Some(request) => (value.get("id").cloned().unwrap_or(default_id), request),
+        None => (default_id, &value),
+    };
+    match SimRequest::deserialize_value(request_value) {
+        Ok(request) => Ok(Line::Request { id, request }),
+        Err(error) => Err((id, error)),
+    }
+}
+
+fn write_line<W: Write>(writer: &Mutex<W>, value: &Value) {
+    let text = serde_json::to_string(value).expect("values render");
+    let mut writer = writer.lock().expect("wire writer not poisoned");
+    // A dead client is not the server's problem; drop the line.
+    let _ = writeln!(writer, "{text}");
+    let _ = writer.flush();
+}
+
+fn error_envelope(id: Value, message: String) -> Value {
+    Value::Object(vec![
+        ("id".to_string(), id),
+        ("error".to_string(), Value::Str(message)),
+    ])
+}
+
+fn stats_line(stats: &ServeStats) -> Value {
+    Value::Object(vec![("serve_stats".to_string(), stats.serialize_value())])
+}
+
+/// Tracks in-flight line jobs so end-of-input can drain them.
+struct WaitGroup {
+    pending: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl WaitGroup {
+    fn new() -> Self {
+        WaitGroup {
+            pending: Mutex::new(0),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn add(&self) {
+        *self.pending.lock().expect("waitgroup not poisoned") += 1;
+    }
+
+    fn done(&self) {
+        let mut pending = self.pending.lock().expect("waitgroup not poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("waitgroup not poisoned");
+        while *pending > 0 {
+            pending = self.drained.wait(pending).expect("waitgroup not poisoned");
+        }
+    }
+}
+
+/// Serves JSON-lines requests from `reader`, streaming envelopes to
+/// `writer` as they finish, until end of input or a shutdown line.  Returns
+/// the final stats snapshot (also written as the last output line) and
+/// whether an explicit shutdown was requested — a TCP server keeps
+/// accepting connections after a mere end-of-stream, but stops on
+/// `{"cmd": "shutdown"}`.
+///
+/// # Errors
+///
+/// Propagates read errors on the input stream; output errors are ignored
+/// (a client that hangs up mid-stream does not kill the server).
+pub fn serve_lines<W>(
+    service: &Arc<SimService>,
+    reader: impl BufRead,
+    writer: W,
+) -> std::io::Result<(ServeStats, bool)>
+where
+    W: Write + Send + 'static,
+{
+    let writer = Arc::new(Mutex::new(writer));
+    let jobs = Arc::new(WaitGroup::new());
+    let mut shutdown = false;
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line, index as u64 + 1) {
+            Ok(Line::Request { id, request }) => {
+                let service = service.clone();
+                let writer = writer.clone();
+                let jobs = jobs.clone();
+                let arrived = Instant::now();
+                jobs.add();
+                service.clone().pool().spawn(move || {
+                    let queue_ns = arrived.elapsed().as_nanos() as u64;
+                    let envelope = match service.submit_queued(&request, Some(queue_ns)) {
+                        Ok((report, served)) => Value::Object(vec![
+                            ("id".to_string(), id),
+                            ("served".to_string(), Value::Str(served.label().to_string())),
+                            (
+                                "cached".to_string(),
+                                Value::Bool(served == Served::CacheHit),
+                            ),
+                            (
+                                "serve_ns".to_string(),
+                                Value::UInt(arrived.elapsed().as_nanos() as u64),
+                            ),
+                            ("report".to_string(), report.serialize_value()),
+                        ]),
+                        Err(error) => error_envelope(id, error.to_string()),
+                    };
+                    write_line(&writer, &envelope);
+                    jobs.done();
+                });
+            }
+            Ok(Line::Stats) => {
+                write_line(&writer, &stats_line(&service.stats()));
+            }
+            Ok(Line::Shutdown) => {
+                shutdown = true;
+                break;
+            }
+            Err((id, message)) => {
+                write_line(&writer, &error_envelope(id, message));
+            }
+        }
+    }
+    jobs.wait();
+    let stats = service.stats();
+    write_line(&writer, &stats_line(&stats));
+    Ok((stats, shutdown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use std::io::Cursor;
+
+    const KERNEL: &str = "double A[32]; for (i = 0; i < 32; i++) A[i] = A[i];";
+
+    fn request_line(id: u64) -> String {
+        format!(
+            r#"{{"id":{id},"request":{{"kernel":{{"type":"source","name":"k","code":"{KERNEL}"}},"memory":{{"levels":[{{"sets":1,"assoc":8,"line_size":8,"policy":"lru"}}]}},"backend":"warping"}}}}"#
+        )
+    }
+
+    /// A shared Vec<u8> sink the test can read back after serving.
+    #[derive(Clone)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("sink").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines_of(sink: &Sink) -> Vec<Value> {
+        let bytes = sink.0.lock().expect("sink").clone();
+        String::from_utf8(bytes)
+            .expect("utf-8 output")
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("every output line is JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn duplicate_lines_hit_the_cache_and_stats_trail() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+        }));
+        let input = format!(
+            "{}\n{}\n{}\n",
+            request_line(1),
+            request_line(2),
+            request_line(3)
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let (stats, shutdown) =
+            serve_lines(&service, Cursor::new(input), sink.clone()).expect("serving succeeds");
+        assert!(!shutdown);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.cache_hits + stats.coalesced, 2);
+
+        let lines = lines_of(&sink);
+        assert_eq!(lines.len(), 4, "three envelopes plus the stats trailer");
+        assert!(lines[3].get("serve_stats").is_some());
+        let mut reports = Vec::new();
+        for envelope in &lines[..3] {
+            let id = envelope.get("id").and_then(Value::as_u64).expect("id");
+            assert!((1..=3).contains(&id));
+            let report = envelope.get("report").expect("success envelope");
+            reports.push(serde_json::to_string(report).expect("renders"));
+        }
+        // Dedup/caching must not change the payload: all three reports are
+        // byte-identical.
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn bad_lines_get_error_envelopes_and_shutdown_stops_reading() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 1,
+            cache_capacity: 4,
+        }));
+        let input = format!(
+            "not json\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\n{}\n",
+            request_line(9)
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let (stats, shutdown) =
+            serve_lines(&service, Cursor::new(input), sink.clone()).expect("serving succeeds");
+        assert!(shutdown);
+        assert_eq!(stats.requests, 0, "the line after shutdown is never read");
+
+        let lines = lines_of(&sink);
+        assert_eq!(
+            lines.len(),
+            3,
+            "error envelope, stats line, final stats line"
+        );
+        assert!(lines[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("parse error envelope")
+            .contains("invalid JSON"));
+        assert_eq!(lines[0].get("id").and_then(Value::as_u64), Some(1));
+        assert!(lines[1].get("serve_stats").is_some());
+        assert!(lines[2].get("serve_stats").is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end service behaviour: thundering-herd coalescing, cache-hit
+//! bit-identity under α-renaming, and batch scheduling through the
+//! work-stealing pool.
+
+use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+use engine::{Backend, Engine, KernelSpec, SimRequest};
+use serve::{ServeConfig, Served, SimService};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn memory() -> MemoryConfig {
+    MemoryConfig::single(CacheConfig::with_sets(4, 8, 64, ReplacementPolicy::Lru))
+}
+
+fn request(code: &str) -> SimRequest {
+    SimRequest::new(KernelSpec::source("k", code), memory(), Backend::warping())
+}
+
+const KERNEL: &str = "double A[64]; for (i = 0; i < 64; i++) A[i] = A[i - 1] + A[i];";
+/// `KERNEL` under α-renaming: different array, iterator and whitespace-free
+/// bound spelling, same simulation.
+const KERNEL_RENAMED: &str =
+    "double buf[64]; for (t = 0; t <= 63; t++) buf[t] = buf[t - 1] + buf[t];";
+
+/// A thundering herd of N identical submissions costs one simulation: the
+/// leader's runner is gated until every follower has coalesced, so the test
+/// is deterministic, not racy.
+#[test]
+fn thundering_herd_coalesces_onto_one_simulation() {
+    const HERD: usize = 8;
+    let runs = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let service = {
+        let runs = runs.clone();
+        let release = release.clone();
+        Arc::new(
+            SimService::new(ServeConfig {
+                workers: 2,
+                cache_capacity: 16,
+            })
+            .with_runner(move |request| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+                Engine::new().run(request)
+            }),
+        )
+    };
+
+    let submitters: Vec<_> = (0..HERD)
+        .map(|_| {
+            let service = service.clone();
+            thread::spawn(move || service.submit(&request(KERNEL)).expect("herd is served"))
+        })
+        .collect();
+    // Followers count themselves before they park, so once HERD-1 have
+    // coalesced the leader (already inside the gated runner) is the only
+    // submission that will ever simulate.
+    while service.stats().coalesced < (HERD - 1) as u64 {
+        thread::yield_now();
+    }
+    release.store(true, Ordering::SeqCst);
+
+    let outcomes: Vec<_> = submitters
+        .into_iter()
+        .map(|handle| handle.join().expect("submitter thread"))
+        .collect();
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "one simulation for the herd"
+    );
+    let simulated = outcomes
+        .iter()
+        .filter(|(_, how)| *how == Served::Simulated)
+        .count();
+    let coalesced = outcomes
+        .iter()
+        .filter(|(_, how)| *how == Served::Coalesced)
+        .count();
+    assert_eq!((simulated, coalesced), (1, HERD - 1));
+    let reference = outcomes[0].0.to_json();
+    for (report, _) in &outcomes {
+        assert_eq!(
+            report.to_json(),
+            reference,
+            "herd reports are bit-identical"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, HERD as u64);
+    assert_eq!(stats.simulated, 1);
+    assert_eq!(stats.coalesced, (HERD - 1) as u64);
+}
+
+/// An α-renamed resubmission is a cache hit and its report is byte-for-byte
+/// the cold report (cached timing fields included).
+#[test]
+fn renamed_resubmission_hits_the_cache_bit_identically() {
+    let service = SimService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 8,
+    });
+    let (cold, how) = service.submit(&request(KERNEL)).expect("cold run succeeds");
+    assert_eq!(how, Served::Simulated);
+    let (warm, how) = service
+        .submit(&request(KERNEL_RENAMED))
+        .expect("warm run succeeds");
+    assert_eq!(how, Served::CacheHit);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let stats = service.stats();
+    assert_eq!((stats.simulated, stats.cache_hits), (1, 1));
+}
+
+/// Errors are reported but never cached: a failing request is retried on
+/// its next submission.
+#[test]
+fn errors_are_not_cached() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let service = {
+        let attempts = attempts.clone();
+        SimService::new(ServeConfig {
+            workers: 1,
+            cache_capacity: 8,
+        })
+        .with_runner(move |request| {
+            if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(engine::EngineError::InvalidOptions("transient".to_string()))
+            } else {
+                Engine::new().run(request)
+            }
+        })
+    };
+    assert!(service.submit(&request(KERNEL)).is_err());
+    let (_, how) = service.submit(&request(KERNEL)).expect("retry succeeds");
+    assert_eq!(how, Served::Simulated, "the error was not cached");
+    assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    assert_eq!(service.stats().errors, 1);
+}
+
+/// `run_batch` returns results in input order, dedups duplicates within the
+/// batch, and stamps the measured queue latency into simulated reports.
+#[test]
+fn batch_results_are_ordered_deduped_and_queue_stamped() {
+    let service = Arc::new(SimService::new(ServeConfig {
+        workers: 4,
+        cache_capacity: 32,
+    }));
+    let distinct = [
+        "double A[16]; for (i = 0; i < 16; i++) A[i] = A[i];",
+        "double A[32]; for (i = 0; i < 32; i++) A[i] = A[i];",
+        "double A[48]; for (i = 0; i < 48; i++) A[i] = A[i];",
+        "double A[64]; for (i = 0; i < 64; i++) A[i] = A[i];",
+    ];
+    // 16 requests over 4 distinct kernels, duplicates interleaved.
+    let requests: Vec<SimRequest> = (0..16).map(|i| request(distinct[i % 4])).collect();
+    let outcomes = service.run_batch(&requests);
+    assert_eq!(outcomes.len(), requests.len());
+
+    let mut by_kernel = Vec::new();
+    for (outcome, request) in outcomes.iter().zip(&requests) {
+        let (report, _) = outcome.as_ref().expect("batch request served");
+        // Input order: each slot's report answers its own request.
+        assert_eq!(
+            report.result.accesses,
+            2 * expected_extent(request),
+            "slot answers its own kernel"
+        );
+        assert!(
+            report.queue_ns.is_some(),
+            "batch reports carry queue latency"
+        );
+        by_kernel.push(report.to_json());
+    }
+    // Duplicates got bit-identical reports.
+    for i in 0..16 {
+        assert_eq!(by_kernel[i], by_kernel[i % 4]);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 16);
+    assert_eq!(stats.simulated, 4, "one simulation per distinct kernel");
+    assert_eq!(
+        stats.cache_hits + stats.coalesced,
+        12,
+        "every duplicate was deduped or cached"
+    );
+}
+
+/// The loop extent encoded in the bodies of
+/// [`batch_results_are_ordered_deduped_and_queue_stamped`]'s kernels.
+fn expected_extent(request: &SimRequest) -> u64 {
+    match &request.kernel {
+        KernelSpec::Source { code, .. } => {
+            let marker = "i < ";
+            let start = code.find(marker).expect("kernel has a bound") + marker.len();
+            code[start..]
+                .split(';')
+                .next()
+                .expect("bound ends")
+                .trim()
+                .parse()
+                .expect("numeric bound")
+        }
+        _ => unreachable!("batch test uses source kernels"),
+    }
+}
