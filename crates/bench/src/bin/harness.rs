@@ -63,8 +63,40 @@
 //!           `on` finds that `off` cannot (CI asserts both facts on an
 //!           L1-resident grid over a 64 MiB L3).
 //!
+//!   explore sweep a parametric kernel family across tile-size bindings ×
+//!           memory hierarchies × replacement policies:
+//!           harness explore [--sweep TI=4,8,16,32;TJ=4,8,16,32]
+//!                           [--bind NI=32,NJ=32,NK=32]
+//!                           [--hierarchies l1;l1l2] [--policies lru,plru]
+//!                           [--backend warping] [--workers N]
+//!                           [--template FILE] [--name NAME] [--json]
+//!
+//!           The template (default: the tiled `gemm` of
+//!           `polybench::parametric`) is parsed ONCE and registered as a
+//!           kernel family with the serving layer; every grid point is a
+//!           binding of its `param`s stamped out by substitution, so the
+//!           sweep never re-parses source.  Points fan out through the
+//!           service's work-stealing pool and stream back as they finish
+//!           (rows arrive out of grid order).  After the grid drains, the
+//!           harness prints, per hierarchy × policy, the Pareto front of
+//!           (tile configuration, per-level miss counts): the configs no
+//!           other config beats on every cache level at once.
+//!           `--hierarchies` takes `;`-separated `--levels` specs (the
+//!           presets or explicit `size:assoc:line` lists); `--sweep` takes
+//!           `;`-separated `NAME=v1,v2,...` axes; `--bind` fixes the
+//!           remaining parameters.  The trailer reports the family-tier
+//!           counters (requests, report-cache hits, simulations).
+//!
 //!   serve   run the JSON-lines simulation service:
 //!           harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N]
+//!                         [--debug-hash]
+//!
+//!           `--debug-hash` adds the 128-bit canonical address of every
+//!           request (`"canonical_hash"`, hex) to its reply envelope, so
+//!           clients can verify that two spellings of a kernel really
+//!           collide.  `--workers 0` and `--cache-cap 0` are rejected up
+//!           front with an explanation (a zero-worker pool would never run
+//!           anything; a zero-entry cache would re-simulate every request).
 //!
 //!           Without `--addr` the service reads requests from stdin and
 //!           writes envelopes to stdout.  With `--addr` it listens on TCP
@@ -99,6 +131,11 @@ fn main() {
     if experiment == "serve" {
         // `serve` has its own flags; bypass the experiment option parser.
         serve_command(&args[1..]);
+        return;
+    }
+    if experiment == "explore" {
+        // `explore` too: its grid axes are parameter bindings, not kernels.
+        explore_command(&args[1..]);
         return;
     }
     let mut dataset = Dataset::Small;
@@ -512,6 +549,408 @@ fn grid(
     }
 }
 
+/// The `explore` subcommand: sweep a parametric kernel family's bindings ×
+/// memory hierarchies × replacement policies through the serving layer's
+/// worker pool, stream per-point results as they finish, and print the
+/// Pareto front of (tile configuration, per-level miss counts) for every
+/// hierarchy × policy combination.
+fn explore_command(args: &[String]) {
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut sweep_spec = "TI=4,8,16,32;TJ=4,8,16,32".to_string();
+    let mut bind_spec = "NI=32,NJ=32,NK=32".to_string();
+    let mut hierarchies_spec = "l1;l1l2".to_string();
+    let mut policies = vec![ReplacementPolicy::Lru, ReplacementPolicy::Plru];
+    let mut backend = Backend::warping();
+    let mut workers: Option<usize> = None;
+    let mut template_path: Option<String> = None;
+    let mut family_name = "tiled-gemm".to_string();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sweep" => {
+                i += 1;
+                sweep_spec = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--sweep expects NAME=v1,v2;NAME=v1,v2"));
+            }
+            "--bind" => {
+                i += 1;
+                bind_spec = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--bind expects NAME=value,NAME=value"));
+            }
+            "--hierarchies" => {
+                i += 1;
+                hierarchies_spec = args.get(i).cloned().unwrap_or_else(|| {
+                    die("--hierarchies expects `;`-separated --levels specs, e.g. l1;l1l2")
+                });
+            }
+            "--policies" => {
+                i += 1;
+                policies = args
+                    .get(i)
+                    .map(String::as_str)
+                    .unwrap_or("")
+                    .split(',')
+                    .map(|name| {
+                        parse_policy(name.trim())
+                            .unwrap_or_else(|| die(&format!("unknown policy `{name}`")))
+                    })
+                    .collect();
+            }
+            "--backend" => {
+                i += 1;
+                backend = args
+                    .get(i)
+                    .and_then(|name| Backend::by_name(name))
+                    .unwrap_or_else(|| die("--backend expects a backend name"));
+            }
+            "--workers" => {
+                i += 1;
+                workers = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| die("--workers expects a number")),
+                );
+            }
+            "--template" => {
+                i += 1;
+                template_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--template expects a file path")),
+                );
+            }
+            "--name" => {
+                i += 1;
+                family_name = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--name expects a family name"));
+            }
+            "--json" => json = true,
+            other => die(&format!("unknown explore argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let code = match &template_path {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read template `{path}`: {e}"))),
+        None => polybench::parametric::TILED_GEMM.to_string(),
+    };
+    let sweep = parse_sweep(&sweep_spec).unwrap_or_else(|e| die(&e));
+    let fixed = scop::ParamBindings::parse(&bind_spec)
+        .unwrap_or_else(|e| die(&format!("invalid --bind spec: {e}")));
+    let hierarchies: Vec<(String, LevelsSpec)> = hierarchies_spec
+        .split(';')
+        .map(|spec| {
+            let spec = spec.trim();
+            (
+                spec.to_string(),
+                parse_levels(spec).unwrap_or_else(|e| die(&e)),
+            )
+        })
+        .collect();
+    if hierarchies.is_empty() || policies.is_empty() {
+        die("explore needs at least one hierarchy and one policy");
+    }
+
+    let mut config = serve::ServeConfig::from_env();
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    config
+        .validate()
+        .unwrap_or_else(|e| die(&format!("invalid serve config: {e}")));
+    let service = Arc::new(serve::SimService::new(config));
+    let registered = service
+        .register_family(&family_name, &code)
+        .unwrap_or_else(|e| die(&e));
+    if !json {
+        println!(
+            "family {} ({}) over params [{}]",
+            registered.family,
+            family_name,
+            registered.params.join(", ")
+        );
+    }
+
+    // One point per swept-binding combination × hierarchy × policy.
+    struct Point {
+        sweep_key: String,
+        hierarchy: String,
+        policy: ReplacementPolicy,
+        request: SimRequest,
+    }
+    let combos = cartesian(&sweep);
+    let mut points = Vec::new();
+    for (hierarchy, spec) in &hierarchies {
+        for &policy in &policies {
+            let memory = spec.memory(policy);
+            for combo in &combos {
+                let mut bindings: Vec<(String, i64)> = fixed
+                    .iter()
+                    .map(|(name, value)| (name.to_string(), value))
+                    .collect();
+                bindings.extend(combo.iter().cloned());
+                let sweep_key = combo
+                    .iter()
+                    .map(|(name, value)| format!("{name}={value}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                points.push(Point {
+                    sweep_key,
+                    hierarchy: hierarchy.clone(),
+                    policy,
+                    request: SimRequest::new(
+                        KernelSpec::parametric(&family_name, &code, bindings),
+                        memory.clone(),
+                        backend,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stream every point through the service's work-stealing pool; rows
+    // print as points finish, not in grid order.
+    let (tx, rx) = mpsc::channel();
+    for (index, point) in points.iter().enumerate() {
+        let service = service.clone();
+        let request = point.request.clone();
+        let tx = tx.clone();
+        let enqueued = Instant::now();
+        service.clone().pool().spawn(move || {
+            let queue_ns = enqueued.elapsed().as_nanos() as u64;
+            let outcome = service.submit_queued(&request, Some(queue_ns));
+            let _ = tx.send((index, outcome));
+        });
+    }
+    drop(tx);
+
+    if !json {
+        println!(
+            "{:<20} {:<24} {:<14} {:>10} {:<20} {:>10}",
+            "tiles", "hierarchy", "policy", "sim[ms]", "misses/level", "served"
+        );
+    }
+    let mut results: Vec<Option<engine::SimReport>> = points.iter().map(|_| None).collect();
+    for (index, outcome) in rx {
+        let point = &points[index];
+        match outcome {
+            Ok((report, served)) => {
+                if !json {
+                    let misses = report
+                        .levels
+                        .iter()
+                        .map(|level| level.misses.to_string())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    println!(
+                        "{:<20} {:<24} {:<14} {:>10.2} {:<20} {:>10}",
+                        point.sweep_key,
+                        point.hierarchy,
+                        point.policy.label(),
+                        report.sim_ms,
+                        misses,
+                        served.label()
+                    );
+                }
+                results[index] = Some(report);
+            }
+            Err(e) => {
+                if json {
+                    eprintln!(
+                        "{} on {}/{}: {e}",
+                        point.sweep_key,
+                        point.hierarchy,
+                        point.policy.label()
+                    );
+                } else {
+                    println!(
+                        "{:<20} {:<24} {:<14} error: {e}",
+                        point.sweep_key,
+                        point.hierarchy,
+                        point.policy.label()
+                    );
+                }
+            }
+        }
+    }
+
+    // Pareto fronts: per hierarchy × policy, the tile configurations whose
+    // per-level miss-count vectors are not dominated (another config at
+    // most equal on every level and strictly better on one).
+    let mut json_points = Vec::new();
+    let mut json_fronts = Vec::new();
+    for (hierarchy, _) in &hierarchies {
+        for &policy in &policies {
+            let group: Vec<(usize, Vec<u64>)> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, point)| point.hierarchy == *hierarchy && point.policy == policy)
+                .filter_map(|(index, _)| {
+                    results[index]
+                        .as_ref()
+                        .map(|report| (index, report.levels.iter().map(|l| l.misses).collect()))
+                })
+                .collect();
+            let front: Vec<(usize, &Vec<u64>)> = group
+                .iter()
+                .filter(|(_, misses)| !group.iter().any(|(_, other)| dominates(other, misses)))
+                .map(|entry| (entry.0, &entry.1))
+                .collect();
+            if json {
+                for (index, misses) in &group {
+                    json_points.push(serde::Value::Object(vec![
+                        (
+                            "tiles".to_string(),
+                            serde::Value::Str(points[*index].sweep_key.clone()),
+                        ),
+                        (
+                            "hierarchy".to_string(),
+                            serde::Value::Str(hierarchy.clone()),
+                        ),
+                        (
+                            "policy".to_string(),
+                            serde::Value::Str(policy.label().to_string()),
+                        ),
+                        (
+                            "misses".to_string(),
+                            serde::Value::Array(
+                                misses.iter().map(|&m| serde::Value::UInt(m)).collect(),
+                            ),
+                        ),
+                    ]));
+                }
+                json_fronts.push(serde::Value::Object(vec![
+                    (
+                        "hierarchy".to_string(),
+                        serde::Value::Str(hierarchy.clone()),
+                    ),
+                    (
+                        "policy".to_string(),
+                        serde::Value::Str(policy.label().to_string()),
+                    ),
+                    (
+                        "front".to_string(),
+                        serde::Value::Array(
+                            front
+                                .iter()
+                                .map(|(index, _)| {
+                                    serde::Value::Str(points[*index].sweep_key.clone())
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]));
+            } else {
+                println!(
+                    "\npareto front ({hierarchy}, {}): {} of {} tile configs",
+                    policy.label(),
+                    front.len(),
+                    group.len()
+                );
+                for (index, misses) in &front {
+                    println!(
+                        "  {:<20} misses {}",
+                        points[*index].sweep_key,
+                        misses
+                            .iter()
+                            .map(u64::to_string)
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    );
+                }
+            }
+        }
+    }
+
+    let stats = service.stats();
+    if json {
+        let output = serde::Value::Object(vec![
+            ("family".to_string(), serde::Value::Str(registered.family)),
+            ("points".to_string(), serde::Value::Array(json_points)),
+            ("pareto".to_string(), serde::Value::Array(json_fronts)),
+            (
+                "serve_stats".to_string(),
+                serde::Serialize::serialize_value(&stats),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("explore output serialises")
+        );
+    } else {
+        println!(
+            "\n{} points; family requests {}, family cache hits {}, simulated {}",
+            points.len(),
+            stats.family_requests,
+            stats.family_hits,
+            stats.simulated
+        );
+    }
+}
+
+/// `a` dominates `b` when it is at most equal on every level and strictly
+/// better on at least one.
+fn dominates(a: &[u64], b: &[u64]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| x <= y)
+        && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// Parses a `--sweep` spec: `;`-separated `NAME=v1,v2,...` entries.
+fn parse_sweep(spec: &str) -> Result<Vec<(String, Vec<i64>)>, String> {
+    let mut sweep = Vec::new();
+    for entry in spec.split(';') {
+        let (name, values) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("sweep entry `{entry}` must be NAME=v1,v2,..."))?;
+        let values = values
+            .split(',')
+            .map(|value| {
+                value
+                    .trim()
+                    .parse::<i64>()
+                    .map_err(|_| format!("invalid sweep value `{value}` for `{name}`"))
+            })
+            .collect::<Result<Vec<i64>, String>>()?;
+        if values.is_empty() {
+            return Err(format!("sweep entry `{entry}` has no values"));
+        }
+        sweep.push((name.trim().to_string(), values));
+    }
+    if sweep.is_empty() {
+        return Err("--sweep expects at least one NAME=v1,v2 entry".to_string());
+    }
+    Ok(sweep)
+}
+
+/// The cartesian product of the swept parameter values, in spec order.
+fn cartesian(sweep: &[(String, Vec<i64>)]) -> Vec<Vec<(String, i64)>> {
+    let mut combos = vec![Vec::new()];
+    for (name, values) in sweep {
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for combo in &combos {
+            for &value in values {
+                let mut extended = combo.clone();
+                extended.push((name.clone(), value));
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
 /// The `serve` subcommand: the JSON-lines simulation service over stdin or
 /// a TCP listener.
 fn serve_command(args: &[String]) {
@@ -521,6 +960,7 @@ fn serve_command(args: &[String]) {
 
     let mut addr: Option<String> = None;
     let mut config = serve::ServeConfig::from_env();
+    let mut options = serve::WireOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -544,20 +984,24 @@ fn serve_command(args: &[String]) {
                 config.workers = args
                     .get(i)
                     .and_then(|n| n.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| die("--workers expects a positive number"));
+                    .unwrap_or_else(|| die("--workers expects a number"));
             }
+            "--debug-hash" => options.debug_hash = true,
             other => die(&format!("unknown serve argument `{other}`")),
         }
         i += 1;
     }
+    // Degenerate configurations (`--workers 0`, `--cache-cap 0`) are caught
+    // here, before any socket is bound, with an explanation of what the
+    // zero would break.
+    config.validate().unwrap_or_else(|e| die(&e));
     let service = Arc::new(serve::SimService::new(config));
 
     let Some(addr) = addr else {
         // Stdin mode: one session, envelopes (and the final stats line) on
         // stdout.
         let stdin = std::io::stdin();
-        serve::serve_lines(&service, stdin.lock(), std::io::stdout())
+        serve::serve_lines_with(&service, stdin.lock(), std::io::stdout(), options)
             .unwrap_or_else(|e| die(&format!("serving stdin failed: {e}")));
         return;
     };
@@ -591,7 +1035,7 @@ fn serve_command(args: &[String]) {
                 let service = service.clone();
                 let stop = stop.clone();
                 sessions.push(std::thread::spawn(move || {
-                    match serve::serve_lines(&service, reader, stream) {
+                    match serve::serve_lines_with(&service, reader, stream, options) {
                         Ok((_stats, shutdown)) => {
                             if shutdown {
                                 stop.store(true, Ordering::SeqCst);
@@ -794,7 +1238,11 @@ fn print_usage() {
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
          [--threads N] [--fingerprint-filter on|off] [--label-renorm on|off] \
          [--json]\n\
-         \x20      harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N]"
+         \x20      harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N] \
+         [--debug-hash]\n\
+         \x20      harness explore [--sweep TI=4,8;TJ=4,8] [--bind NI=32,...] \
+         [--hierarchies l1;l1l2] [--policies lru,plru] [--backend warping] \
+         [--workers N] [--template FILE] [--name NAME] [--json]"
     );
 }
 

@@ -30,6 +30,25 @@ impl CanonicalHash {
     pub fn as_u128(self) -> u128 {
         self.0
     }
+
+    /// Reconstructs a hash from its raw digest (e.g. a value previously
+    /// obtained via [`CanonicalHash::as_u128`] and stored out of band).
+    pub fn from_u128(raw: u128) -> Self {
+        CanonicalHash(raw)
+    }
+
+    /// Digests a list of `(tag, body)` components with the same
+    /// length-prefixed FNV-1a/128 scheme used by
+    /// [`SimRequest::canonical_hash`].  The serving layer uses this to
+    /// derive secondary addresses (e.g. family ids) that live in the same
+    /// hash space.
+    pub fn of_components(components: &[(&str, &str)]) -> Self {
+        let mut fnv = Fnv128::new();
+        for (tag, body) in components {
+            fnv.component(tag, body);
+        }
+        fnv.finish()
+    }
 }
 
 impl fmt::Display for CanonicalHash {
@@ -113,7 +132,50 @@ impl KernelSpec {
                 }
             }
             KernelSpec::Prebuilt { scop, .. } => format!("scop:{scop:?}"),
+            // A parametric kernel addresses by the *instance* it denotes:
+            // the template is instantiated (parse is memoised process-wide)
+            // and the substituted program rendered through the same
+            // canonical path as a constant `source` request.  A hand-written
+            // constant kernel and a parametric one that stamps out the same
+            // program therefore share one cache address.
+            KernelSpec::Parametric { code, bindings, .. } => {
+                match scop::ParametricScop::cached(code) {
+                    Ok(template) => {
+                        let values = scop::ParamBindings::from_pairs(bindings.iter().cloned());
+                        match template.instantiate_program(&values) {
+                            Ok(program) => format!("ast:{}", scop::canonical_text(&program)),
+                            Err(e) => format!("badbindings:{code}|{bindings:?}|{e}"),
+                        }
+                    }
+                    Err(_) => format!("unparsed:{code}|{bindings:?}"),
+                }
+            }
         }
+    }
+
+    /// A deterministic canonical rendering of the kernel *family*: the
+    /// parametric template with its parameters left symbolic, α-renamed so
+    /// that renamed and re-spelled templates collapse onto one family text.
+    ///
+    /// Returns `None` for non-parametric kernels — a constant kernel is an
+    /// instance, not a family.
+    pub fn family_text(&self) -> Option<String> {
+        match self {
+            KernelSpec::Parametric { code, .. } => match scop::ParametricScop::cached(code) {
+                Ok(template) => Some(format!("family:{}", template.family_text())),
+                Err(_) => Some(format!("unparsed-family:{code}")),
+            },
+            _ => None,
+        }
+    }
+
+    /// The 128-bit address of this kernel's family ([`family_text`] digested
+    /// with the request FNV scheme), or `None` for non-parametric kernels.
+    ///
+    /// [`family_text`]: KernelSpec::family_text
+    pub fn family_hash(&self) -> Option<CanonicalHash> {
+        let family = self.family_text()?;
+        Some(CanonicalHash::of_components(&[("family", &family)]))
     }
 }
 
@@ -126,10 +188,17 @@ impl SimRequest {
     pub fn canonical_hash(&self) -> CanonicalHash {
         let mut fnv = Fnv128::new();
         fnv.component("kernel", &self.kernel.canonical_text());
-        fnv.component(
-            "memory",
-            &serde_json::to_string(&self.memory).expect("memory configs serialize"),
-        );
+        fnv.component("config", &self.config_text());
+        fnv.finish()
+    }
+
+    /// A deterministic rendering of the request's kernel-independent half:
+    /// the memory configuration and the backend with its options.  The
+    /// serving layer keys family-tier instance memos by
+    /// `config_text × bindings`, so it must separate requests exactly as
+    /// finely as [`SimRequest::canonical_hash`] does.
+    pub fn config_text(&self) -> String {
+        let memory = serde_json::to_string(&self.memory).expect("memory configs serialize");
         let backend = match &self.backend {
             // Every warping option shapes the report (the tuning knobs
             // change the telemetry block even when miss counts agree), so
@@ -137,8 +206,18 @@ impl SimRequest {
             Backend::Warping(options) => format!("warping:{options:?}"),
             other => other.label().to_string(),
         };
-        fnv.component("backend", &backend);
-        fnv.finish()
+        format!("memory:{memory};backend:{backend}")
+    }
+
+    /// The stable 128-bit address of this request's kernel *family*
+    /// (the parametric template with parameters symbolic), or `None` for
+    /// non-parametric kernels.
+    ///
+    /// The family address deliberately ignores bindings, memory config and
+    /// backend: one family spans its whole exploration grid, and the serving
+    /// layer keys instances within it by `(config, bindings)`.
+    pub fn family_hash(&self) -> Option<CanonicalHash> {
+        self.kernel.family_hash()
     }
 }
 
@@ -225,6 +304,66 @@ mod tests {
             ..WarpingOptions::default()
         });
         assert_ne!(base_hash, other.canonical_hash(), "warping options");
+    }
+
+    const TEMPLATE: &str = "param N;\n\
+        double A[N];\n\
+        for (i = 0; i < N; i++) A[i] = A[i];";
+
+    #[test]
+    fn parametric_instances_share_the_constant_kernel_address() {
+        let memory = MemoryConfig::from(CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru));
+        let parametric = SimRequest::new(
+            KernelSpec::parametric("fam", TEMPLATE, [("N", 64)]),
+            memory.clone(),
+            Backend::warping(),
+        );
+        let constant = request("double A[64]; for (i = 0; i < 64; i++) A[i] = A[i];");
+        assert_eq!(parametric.canonical_hash(), constant.canonical_hash());
+
+        // Different bindings denote a different simulation.
+        let other = SimRequest::new(
+            KernelSpec::parametric("fam", TEMPLATE, [("N", 65)]),
+            memory,
+            Backend::warping(),
+        );
+        assert_ne!(parametric.canonical_hash(), other.canonical_hash());
+    }
+
+    #[test]
+    fn family_hash_spans_bindings_configs_and_renamings() {
+        let memory = MemoryConfig::from(CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru));
+        let a = SimRequest::new(
+            KernelSpec::parametric("fam", TEMPLATE, [("N", 64)]),
+            memory.clone(),
+            Backend::warping(),
+        );
+        // Renamed template, different bindings, different config/backend:
+        // still the same family.
+        let renamed = "param M;\ndouble Z[M];\nfor (k = 0; k < M; k++) Z[k] = Z[k];";
+        let b = SimRequest::new(
+            KernelSpec::parametric("other", renamed, [("M", 256)]),
+            MemoryConfig::from(CacheConfig::new(2048, 8, 64, ReplacementPolicy::Plru)),
+            Backend::Classic,
+        );
+        assert_eq!(a.family_hash(), b.family_hash());
+        assert!(a.family_hash().is_some());
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+
+        // Constant kernels have no family.
+        assert_eq!(
+            request("double A[8]; for (i = 0; i < 8; i++) A[i] = A[i];").family_hash(),
+            None
+        );
+
+        // A structurally different template is a different family.
+        let widened = "param N;\ndouble A[N];\nfor (i = 0; i < N; i++) A[i] = A[i+1];";
+        let c = SimRequest::new(
+            KernelSpec::parametric("fam", widened, [("N", 64)]),
+            MemoryConfig::from(CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru)),
+            Backend::warping(),
+        );
+        assert_ne!(a.family_hash(), c.family_hash());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use cache_model::MemoryConfig;
 use polybench::{Dataset, Kernel};
-use scop::{parse_scop, Scop};
+use scop::{parse_scop, ParamBindings, ParametricScop, Scop};
 use serde::{Deserialize, Serialize, Value};
 use warping::WarpingOptions;
 
@@ -37,6 +37,19 @@ pub enum KernelSpec {
         /// The SCoP.
         scop: Scop,
     },
+    /// A parametric kernel family (mini-C source with `param` declarations)
+    /// plus the bindings that select one concrete instance.  The template
+    /// is parsed once per process ([`ParametricScop::cached`]); building an
+    /// instance is substitution + elaboration only.
+    Parametric {
+        /// Display name used in reports.
+        name: String,
+        /// The parametric mini-C source.
+        code: String,
+        /// Parameter bindings, sorted by name (deduplicated; the
+        /// constructor normalises).
+        bindings: Vec<(String, i64)>,
+    },
 }
 
 impl KernelSpec {
@@ -61,13 +74,45 @@ impl KernelSpec {
         }
     }
 
+    /// A request kernel selecting one instance of a parametric family.
+    /// Bindings are normalised (sorted by name, later duplicates win) so
+    /// equal binding sets compare and hash equal regardless of input order.
+    pub fn parametric<I, S>(name: impl Into<String>, code: impl Into<String>, bindings: I) -> Self
+    where
+        I: IntoIterator<Item = (S, i64)>,
+        S: Into<String>,
+    {
+        let normalised: std::collections::BTreeMap<String, i64> = bindings
+            .into_iter()
+            .map(|(name, value)| (name.into(), value))
+            .collect();
+        KernelSpec::Parametric {
+            name: name.into(),
+            code: code.into(),
+            bindings: normalised.into_iter().collect(),
+        }
+    }
+
     /// The display name used in reports.
     pub fn name(&self) -> String {
         match self {
-            KernelSpec::Source { name, .. } | KernelSpec::Prebuilt { name, .. } => name.clone(),
+            KernelSpec::Source { name, .. }
+            | KernelSpec::Prebuilt { name, .. }
+            | KernelSpec::Parametric { name, .. } => name.clone(),
             KernelSpec::PolyBench { kernel, dataset } => {
                 format!("{}@{}", kernel.name(), dataset.name())
             }
+        }
+    }
+
+    /// The bindings of a parametric spec as [`ParamBindings`] (empty for
+    /// other variants).
+    pub fn param_bindings(&self) -> ParamBindings {
+        match self {
+            KernelSpec::Parametric { bindings, .. } => {
+                ParamBindings::from_pairs(bindings.iter().cloned())
+            }
+            _ => ParamBindings::new(),
         }
     }
 
@@ -81,6 +126,12 @@ impl KernelSpec {
             KernelSpec::Source { code, .. } => parse_scop(code),
             KernelSpec::PolyBench { kernel, dataset } => kernel.build(*dataset),
             KernelSpec::Prebuilt { scop, .. } => Ok(scop.clone()),
+            KernelSpec::Parametric { code, .. } => {
+                let template = ParametricScop::cached(code).map_err(|e| e.to_string())?;
+                template
+                    .instantiate(&self.param_bindings())
+                    .map_err(|e| e.to_string())
+            }
         }
     }
 }
@@ -225,6 +276,24 @@ impl Serialize for KernelSpec {
                 ("type".to_string(), Value::Str("prebuilt".to_string())),
                 ("name".to_string(), Value::Str(name.clone())),
             ]),
+            KernelSpec::Parametric {
+                name,
+                code,
+                bindings,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("parametric".to_string())),
+                ("name".to_string(), Value::Str(name.clone())),
+                ("code".to_string(), Value::Str(code.clone())),
+                (
+                    "bindings".to_string(),
+                    Value::Object(
+                        bindings
+                            .iter()
+                            .map(|(param, value)| (param.clone(), Value::Int(*value)))
+                            .collect(),
+                    ),
+                ),
+            ]),
         }
     }
 }
@@ -261,6 +330,34 @@ impl Deserialize for KernelSpec {
                 let dataset = dataset_by_name(dataset)
                     .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
                 Ok(KernelSpec::polybench(kernel, dataset))
+            }
+            "parametric" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("parametric kernel spec is missing `name`")?;
+                let code = value
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .ok_or("parametric kernel spec is missing `code`")?;
+                let bindings = match value.get("bindings") {
+                    Some(Value::Object(entries)) => entries
+                        .iter()
+                        .map(|(param, v)| {
+                            let bound = v.as_i64().ok_or_else(|| {
+                                format!("binding for parameter `{param}` must be an integer")
+                            })?;
+                            Ok((param.clone(), bound))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    Some(other) => {
+                        return Err(format!(
+                            "parametric kernel spec `bindings` must be an object, got {other:?}"
+                        ))
+                    }
+                    None => Vec::new(),
+                };
+                Ok(KernelSpec::parametric(name, code, bindings))
             }
             "prebuilt" => Err(
                 "prebuilt kernel specs are an in-process optimisation and cannot travel over \
@@ -326,5 +423,58 @@ impl Deserialize for SimRequest {
             memory,
             backend,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+
+    #[test]
+    fn parametric_specs_roundtrip_over_the_wire() {
+        let request = SimRequest::new(
+            KernelSpec::parametric(
+                "tiled",
+                "param N, T;\ndouble A[N];\nfor (i = 0; i < N; i += T) A[i] = A[i];",
+                [("T", 8), ("N", 64)],
+            ),
+            MemoryConfig::from(CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru)),
+            Backend::warping(),
+        );
+        let text = serde_json::to_string(&request).expect("requests serialize");
+        assert!(text.contains("\"parametric\""), "wire form: {text}");
+        let back: SimRequest = serde_json::from_str(&text).expect("requests deserialize");
+        assert_eq!(back.kernel.name(), "tiled");
+        match &back.kernel {
+            KernelSpec::Parametric { bindings, .. } => {
+                // Bindings are normalised to name order regardless of the
+                // order they were supplied in.
+                assert_eq!(bindings, &vec![("N".to_string(), 64), ("T".to_string(), 8)]);
+            }
+            other => panic!("roundtripped into {other:?}"),
+        }
+        assert_eq!(request.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn parametric_bindings_must_be_integers() {
+        let text = r#"{"type":"parametric","name":"k","code":"param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];","bindings":{"N":"big"}}"#;
+        let err = KernelSpec::deserialize_value(
+            &serde_json::from_str::<serde::Value>(text).expect("valid JSON"),
+        )
+        .expect_err("string bindings must be rejected");
+        assert!(err.contains("must be an integer"), "got: {err}");
+    }
+
+    #[test]
+    fn parametric_build_surfaces_binding_errors() {
+        let spec = KernelSpec::parametric(
+            "k",
+            "param N;\ndouble A[N];\nfor (i = 0; i < N; i++) A[i] = A[i];",
+            [] as [(&str, i64); 0],
+        );
+        let err = spec.build().expect_err("unbound parameter must fail");
+        assert!(err.contains("never bound"), "got: {err}");
     }
 }

@@ -1,0 +1,88 @@
+//! Property test for parametric kernel families: an instantiated
+//! parametric kernel is indistinguishable from the hand-written constant
+//! kernel it denotes — same canonical instance hash (so the serving layer
+//! caches them under one address) and the same [`SimReport`] counts —
+//! across random bindings, cache geometries and replacement policies.
+
+use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
+use engine::{Backend, Engine, KernelSpec, SimRequest};
+use proptest::prelude::*;
+
+/// The parametric template: a tiled two-array stencil with an if-guard for
+/// the ragged last tile, so every `(N, T)` pair is legal.
+const TEMPLATE: &str = "\
+    param N, T;\n\
+    double A[N];\n\
+    double B[N];\n\
+    for (ii = 0; ii < N; ii += T)\n\
+        for (i = ii; i < ii + T; i++)\n\
+            if (i < N) B[i] = A[i] + A[i];\n";
+
+/// The same program with the parameters substituted by hand.
+fn constant_source(n: i64, t: i64) -> String {
+    format!(
+        "double A[{n}];\n\
+         double B[{n}];\n\
+         for (ii = 0; ii < {n}; ii += {t})\n\
+             for (i = ii; i < ii + {t}; i++)\n\
+                 if (i < {n}) B[i] = A[i] + A[i];\n"
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop::sample::select(vec![
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Plru,
+        ReplacementPolicy::Qlru,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn instantiation_is_indistinguishable_from_the_constant_kernel(
+        n in 4i64..64,
+        t in 1i64..12,
+        sets in 1usize..8,
+        // Power-of-two associativities only: PLRU's tree state requires it.
+        assoc in prop::sample::select(vec![1usize, 2, 4]),
+        policy in arb_policy(),
+    ) {
+        let memory = MemoryConfig::single(CacheConfig::with_sets(sets, assoc, 64, policy));
+        let parametric = SimRequest::new(
+            KernelSpec::parametric("tiled", TEMPLATE, [("N", n), ("T", t)]),
+            memory.clone(),
+            Backend::warping(),
+        );
+        let constant = SimRequest::new(
+            KernelSpec::source("tiled", constant_source(n, t)),
+            memory,
+            Backend::warping(),
+        );
+
+        // Same cache address: a warm report cache serves either spelling.
+        prop_assert_eq!(
+            parametric.canonical_hash(),
+            constant.canonical_hash(),
+            "N={} T={} must share an instance address",
+            n,
+            t
+        );
+
+        // Same simulation outcome, bit for bit.
+        let engine = Engine::new().with_threads(1);
+        let from_template = engine.run(&parametric).expect("parametric instance runs");
+        let by_hand = engine.run(&constant).expect("constant kernel runs");
+        prop_assert!(
+            from_template.same_outcome(&by_hand),
+            "N={} T={} policy={:?}: {:?} vs {:?}",
+            n,
+            t,
+            policy,
+            from_template.result,
+            by_hand.result
+        );
+    }
+}

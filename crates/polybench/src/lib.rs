@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parametric;
 mod sources_la;
 mod sources_other;
 mod sources_stencil;

@@ -1,0 +1,103 @@
+//! Parametric (tileable) variants of PolyBench kernels.
+//!
+//! The constant sources in this crate bake every extent into the text, so
+//! exploring a tile-size grid means generating and re-parsing one source
+//! per grid point.  The templates here declare the problem and tile sizes
+//! as `param`s instead: a [`scop::ParametricScop`] parses the template once
+//! and stamps out each grid point by substitution, and the serving layer's
+//! family tier caches the whole grid under one family address.
+//!
+//! The constant generators ([`tiled_gemm`]) render the *same* program text
+//! with the parameters substituted by hand.  They exist so tests and CI can
+//! prove the equivalence: a template instance and its hand-written constant
+//! twin share one canonical address and one report.
+
+/// A loop-tiled `gemm` (C = α·A×B + β·C) over problem sizes `NI × NJ × NK`
+/// with an `TI × TJ` tile over the `i`/`j` loops.  If-guards cover the
+/// ragged last tiles, so every positive binding is legal — tile sizes need
+/// not divide the problem sizes.
+pub const TILED_GEMM: &str = "\
+param NI, NJ, NK, TI, TJ;
+double C[NI][NJ]; double A[NI][NK]; double B[NK][NJ];
+for (ii = 0; ii < NI; ii += TI)
+  for (jj = 0; jj < NJ; jj += TJ)
+    for (i = ii; i < ii + TI; i++)
+      if (i < NI) {
+        for (j = jj; j < jj + TJ; j++)
+          if (j < NJ) C[i][j] *= beta;
+        for (k = 0; k < NK; k++)
+          for (j = jj; j < jj + TJ; j++)
+            if (j < NJ) C[i][j] += alpha * A[i][k] * B[k][j];
+      }
+";
+
+/// The constant-source twin of [`TILED_GEMM`]: the same tiled program with
+/// the parameters substituted textually.  Instances of the template and the
+/// output of this generator share one canonical address.
+pub fn tiled_gemm(ni: u64, nj: u64, nk: u64, ti: u64, tj: u64) -> String {
+    format!(
+        "double C[{ni}][{nj}]; double A[{ni}][{nk}]; double B[{nk}][{nj}];\n\
+         for (ii = 0; ii < {ni}; ii += {ti})\n\
+           for (jj = 0; jj < {nj}; jj += {tj})\n\
+             for (i = ii; i < ii + {ti}; i++)\n\
+               if (i < {ni}) {{\n\
+                 for (j = jj; j < jj + {tj}; j++)\n\
+                   if (j < {nj}) C[i][j] *= beta;\n\
+                 for (k = 0; k < {nk}; k++)\n\
+                   for (j = jj; j < jj + {tj}; j++)\n\
+                     if (j < {nj}) C[i][j] += alpha * A[i][k] * B[k][j];\n\
+               }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scop::{canonical_text, parse_program, ParamBindings, ParametricScop};
+
+    #[test]
+    fn template_instances_match_the_constant_generator() {
+        let template = ParametricScop::parse(TILED_GEMM).expect("template parses");
+        assert_eq!(template.params(), ["NI", "NJ", "NK", "TI", "TJ"]);
+        // Ragged tiles included: 7 and 5 do not divide 20 and 18.
+        for (ni, nj, nk, ti, tj) in [(16, 16, 16, 4, 4), (20, 18, 12, 7, 5)] {
+            let bindings = ParamBindings::new()
+                .with("NI", ni)
+                .with("NJ", nj)
+                .with("NK", nk)
+                .with("TI", ti)
+                .with("TJ", tj);
+            let instance = template
+                .instantiate_program(&bindings)
+                .expect("positive bindings instantiate");
+            let by_hand = parse_program(&tiled_gemm(
+                ni as u64, nj as u64, nk as u64, ti as u64, tj as u64,
+            ))
+            .expect("constant twin parses");
+            assert_eq!(
+                canonical_text(&instance),
+                canonical_text(&by_hand),
+                "NI={ni} NJ={nj} NK={nk} TI={ti} TJ={tj}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiling_preserves_the_access_count() {
+        // A tiled gemm touches exactly the accesses of the untiled one.
+        let untiled = crate::sources_la::gemm(12, 10, 8);
+        let untiled = scop::parse_scop(&untiled).expect("untiled gemm builds");
+        let template = ParametricScop::cached(TILED_GEMM).expect("template parses");
+        let tiled = template
+            .instantiate(
+                &ParamBindings::new()
+                    .with("NI", 12)
+                    .with("NJ", 10)
+                    .with("NK", 8)
+                    .with("TI", 5)
+                    .with("TJ", 3),
+            )
+            .expect("tiled instance builds");
+        assert_eq!(scop::count_accesses(&tiled), scop::count_accesses(&untiled));
+    }
+}

@@ -2,18 +2,27 @@
 //!
 //! The AST is deliberately small: it can express exactly the static control
 //! parts (SCoPs) the simulator handles — `for` loops with affine bounds and
-//! unit stride, `if` guards with conjunctions of affine comparisons, and
-//! assignment statements whose array subscripts are affine expressions of
-//! the surrounding loop iterators.
+//! constant strides, `if` guards with conjunctions of affine comparisons,
+//! and assignment statements whose array subscripts are affine expressions
+//! of the surrounding loop iterators.
+//!
+//! Programs may additionally declare named **parameters** (`param N;`).
+//! A parameter behaves like a free name usable in bounds, extents, strides
+//! and subscripts; it must be substituted by a constant (see
+//! [`crate::param::ParametricScop`]) before elaboration.  To express tile
+//! shapes like `N / T * T` the expression grammar carries a truncating
+//! division [`Expr::Div`] and a general product [`Expr::Prod`]; both must
+//! fold to constants (or a constant times an affine expression) after
+//! substitution.
 
 use std::fmt;
 
-/// An affine expression over named loop iterators.
+/// An affine expression over named loop iterators and parameters.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Expr {
     /// An integer constant.
     Const(i64),
-    /// A loop iterator, referred to by name.
+    /// A loop iterator or parameter, referred to by name.
     Iter(String),
     /// Sum of two expressions.
     Add(Box<Expr>, Box<Expr>),
@@ -21,6 +30,14 @@ pub enum Expr {
     Sub(Box<Expr>, Box<Expr>),
     /// Product of a constant and an expression (affine multiplication).
     Mul(i64, Box<Expr>),
+    /// Truncating integer division (C semantics).  Only meaningful over
+    /// parameters: both operands must fold to constants after parameter
+    /// substitution.
+    Div(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.  At least one side must fold to a
+    /// constant after parameter substitution for the program to stay
+    /// affine.
+    Prod(Box<Expr>, Box<Expr>),
 }
 
 impl Expr {
@@ -51,7 +68,38 @@ impl Expr {
         Expr::Mul(k, Box::new(self))
     }
 
-    /// The iterator names referenced by the expression, in first-use order.
+    /// `self / other` with C (truncating) division semantics.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other` as a general (symbolic) product.
+    pub fn prod(self, other: Expr) -> Expr {
+        Expr::Prod(Box::new(self), Box::new(other))
+    }
+
+    /// Folds the expression to a constant if it contains no names, using
+    /// checked arithmetic and C truncating division.  Returns `None` for
+    /// expressions mentioning iterators/parameters, on overflow, and on
+    /// division by zero.
+    pub fn eval_const(&self) -> Option<i64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            Expr::Iter(_) => None,
+            Expr::Add(a, b) => a.eval_const()?.checked_add(b.eval_const()?),
+            Expr::Sub(a, b) => a.eval_const()?.checked_sub(b.eval_const()?),
+            Expr::Mul(k, e) => k.checked_mul(e.eval_const()?),
+            Expr::Div(a, b) => match b.eval_const()? {
+                0 => None,
+                d => a.eval_const()?.checked_div(d),
+            },
+            Expr::Prod(a, b) => a.eval_const()?.checked_mul(b.eval_const()?),
+        }
+    }
+
+    /// The iterator/parameter names referenced by the expression, in
+    /// first-use order.
     pub fn iterators(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.collect_iterators(&mut out);
@@ -66,7 +114,7 @@ impl Expr {
                     out.push(name);
                 }
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) => {
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Div(a, b) | Expr::Prod(a, b) => {
                 a.collect_iterators(out);
                 b.collect_iterators(out);
             }
@@ -83,6 +131,8 @@ impl fmt::Display for Expr {
             Expr::Add(a, b) => write!(f, "({a} + {b})"),
             Expr::Sub(a, b) => write!(f, "({a} - {b})"),
             Expr::Mul(k, e) => write!(f, "{k}*{e}"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Prod(a, b) => write!(f, "({a} * {b})"),
         }
     }
 }
@@ -126,7 +176,8 @@ pub struct ArrayAccess {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Statement {
     /// `for (iter = lower; iter < upper; iter += stride) body` — `upper` is
-    /// exclusive and `stride` is a non-zero constant (1 for `iter++`).
+    /// exclusive and `stride` must fold to a non-zero constant by
+    /// elaboration time (1 for `iter++`; a parameter name for tiled sweeps).
     /// Decreasing loops (`iter--`, `iter -= k`) are normalised to the same
     /// `[lower, upper)` bounds with a negative stride; they start at
     /// `upper - 1` and walk downwards.
@@ -137,9 +188,10 @@ pub enum Statement {
         lower: Expr,
         /// Exclusive upper bound.
         upper: Expr,
-        /// Iterator increment per iteration (non-zero; negative for
-        /// decreasing loops).
-        stride: i64,
+        /// Iterator increment per iteration.  Must fold to a non-zero
+        /// constant (negative for decreasing loops) once parameters are
+        /// substituted.
+        stride: Expr,
         /// Loop body.
         body: Vec<Statement>,
     },
@@ -167,15 +219,19 @@ pub enum Statement {
 pub struct ArrayDecl {
     /// Array name.
     pub name: String,
-    /// Extent of each dimension (empty for scalars).
-    pub extents: Vec<u64>,
+    /// Extent of each dimension (empty for scalars).  Each extent must fold
+    /// to a positive constant once parameters are substituted.
+    pub extents: Vec<Expr>,
     /// Element size in bytes.
     pub elem_size: u64,
 }
 
-/// A whole affine program: array declarations followed by a loop nest.
+/// A whole affine program: parameter and array declarations followed by a
+/// loop nest.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Program {
+    /// Declared parameters (`param N;`), in declaration order.
+    pub params: Vec<String>,
     /// Declared arrays.
     pub arrays: Vec<ArrayDecl>,
     /// Top-level statements.
@@ -188,11 +244,18 @@ impl Program {
         Program::default()
     }
 
-    /// Declares an array and returns `self` for chaining.
+    /// Declares a parameter and returns `self` for chaining.
+    pub fn with_param(mut self, name: &str) -> Self {
+        self.params.push(name.to_owned());
+        self
+    }
+
+    /// Declares an array with constant extents and returns `self` for
+    /// chaining.
     pub fn with_array(mut self, name: &str, extents: &[u64], elem_size: u64) -> Self {
         self.arrays.push(ArrayDecl {
             name: name.to_owned(),
-            extents: extents.to_vec(),
+            extents: extents.iter().map(|&e| Expr::Const(e as i64)).collect(),
             elem_size,
         });
         self
@@ -229,7 +292,7 @@ pub fn for_loop_strided(
         iter: iter.to_owned(),
         lower,
         upper,
-        stride,
+        stride: Expr::Const(stride),
         body,
     }
 }
@@ -256,6 +319,21 @@ mod tests {
         let e = Expr::iter("i").scale(2).add(Expr::iter("j")).offset(-1);
         assert_eq!(e.iterators(), vec!["i", "j"]);
         assert_eq!(format!("{e}"), "((2*i + j) + -1)");
+    }
+
+    #[test]
+    fn constant_folding_uses_truncating_division() {
+        let e = Expr::Const(25).div(Expr::Const(8)).scale(8);
+        assert_eq!(e.eval_const(), Some(24));
+        let neg = Expr::Const(-7).div(Expr::Const(2));
+        assert_eq!(neg.eval_const(), Some(-3), "C truncates toward zero");
+        assert_eq!(Expr::Const(1).div(Expr::Const(0)).eval_const(), None);
+        assert_eq!(Expr::iter("N").prod(Expr::Const(2)).eval_const(), None);
+        assert_eq!(
+            Expr::Const(3).prod(Expr::Const(4)).eval_const(),
+            Some(12),
+            "constant products fold"
+        );
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!
 //! * **α-renaming** — arrays become `a0, a1, …` in declaration order
 //!   (declaration order is semantic: it determines the base addresses the
-//!   elaborator assigns), and loop iterators become `i0, i1, …` in binding
-//!   (pre-order traversal) order;
+//!   elaborator assigns), parameters become `p0, p1, …` in declaration
+//!   order (so a renamed parametric family shares its **family hash**),
+//!   and loop iterators become `i0, i1, …` in binding (pre-order
+//!   traversal) order;
 //! * **normalised affine expressions** — every expression is flattened
 //!   into a sum of `coefficient * iterator` terms plus a constant, with
 //!   zero coefficients dropped and terms ordered by iterator binding
@@ -35,18 +37,25 @@ use crate::ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statem
 use std::collections::BTreeMap;
 
 /// A term key of the canonical linear form: bound iterators order by
-/// binding index, free names after them by name.
+/// binding index, free names (canonicalised parameters included) after
+/// them by name, opaque non-linear atoms (`Div`/`Prod` subexpressions)
+/// last by their canonical rendering.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum TermKey {
     Bound(usize),
     Free(String),
+    Atom(String),
 }
 
-/// An expression flattened to `sum(coeff * iter) + constant`.
+/// An expression flattened to `sum(coeff * term) + constant`, where a term
+/// is an iterator, a free name, or an opaque atom.
 #[derive(Clone, PartialEq, Eq, Debug)]
 struct Linear {
     terms: BTreeMap<TermKey, i64>,
     constant: i64,
+    /// Atom key → the canonicalised subexpression it stands for, so
+    /// [`Linear::to_expr`] can reconstruct it.
+    atoms: BTreeMap<String, Expr>,
 }
 
 impl Linear {
@@ -54,12 +63,36 @@ impl Linear {
         Linear {
             terms: BTreeMap::new(),
             constant: c,
+            atoms: BTreeMap::new(),
         }
+    }
+
+    /// A linear form holding one opaque non-linear subexpression (already
+    /// canonicalised) with coefficient 1.
+    fn atom(expr: Expr) -> Self {
+        let key = format!("{expr:?}");
+        let mut terms = BTreeMap::new();
+        terms.insert(TermKey::Atom(key.clone()), 1);
+        let mut atoms = BTreeMap::new();
+        atoms.insert(key, expr);
+        Linear {
+            terms,
+            constant: 0,
+            atoms,
+        }
+    }
+
+    /// `Some(c)` iff the form is the constant `c` (no terms).
+    fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.constant)
     }
 
     fn add(mut self, other: &Linear) -> Self {
         for (k, v) in &other.terms {
             *self.terms.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.atoms {
+            self.atoms.entry(k.clone()).or_insert_with(|| v.clone());
         }
         self.constant += other.constant;
         self.prune()
@@ -99,7 +132,14 @@ impl Linear {
     fn to_expr(&self, names: &dyn Fn(&TermKey) -> String) -> Expr {
         let mut expr: Option<Expr> = None;
         for (key, &coeff) in &self.terms {
-            let var = Expr::Iter(names(key));
+            let var = match key {
+                TermKey::Atom(rendering) => self
+                    .atoms
+                    .get(rendering)
+                    .cloned()
+                    .expect("every atom term has its expression recorded"),
+                other => Expr::Iter(names(other)),
+            };
             let term = if coeff == 1 { var } else { var.scale(coeff) };
             expr = Some(match expr {
                 None => term,
@@ -118,6 +158,8 @@ impl Linear {
 struct Renamer {
     /// Declared array name → canonical name (`a0`, `a1`, …).
     arrays: BTreeMap<String, String>,
+    /// Declared parameter name → canonical name (`p0`, `p1`, …).
+    params: BTreeMap<String, String>,
     /// Stack of iterator bindings: original name → binding index.
     scope: Vec<(String, usize)>,
     /// Next fresh iterator binding index.
@@ -131,13 +173,21 @@ impl Renamer {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, idx)| TermKey::Bound(*idx))
-            .unwrap_or_else(|| TermKey::Free(name.to_string()))
+            .unwrap_or_else(|| {
+                // Parameters canonicalise by declaration index; genuinely
+                // free names (which fail elaboration) keep their spelling.
+                let canonical = self.params.get(name).cloned();
+                TermKey::Free(canonical.unwrap_or_else(|| name.to_string()))
+            })
     }
 
     fn term_name(&self, key: &TermKey) -> String {
         match key {
             TermKey::Bound(idx) => format!("i{idx}"),
             TermKey::Free(name) => name.clone(),
+            // Atoms are reconstructed from their recorded expression in
+            // `Linear::to_expr`; the rendering is only a sort key.
+            TermKey::Atom(rendering) => rendering.clone(),
         }
     }
 
@@ -156,11 +206,43 @@ fn linearize(expr: &Expr, renamer: &Renamer) -> Linear {
         Expr::Iter(name) => {
             let mut terms = BTreeMap::new();
             terms.insert(renamer.lookup(name), 1);
-            Linear { terms, constant: 0 }
+            Linear {
+                terms,
+                constant: 0,
+                atoms: BTreeMap::new(),
+            }
         }
         Expr::Add(a, b) => linearize(a, renamer).add(&linearize(b, renamer)),
         Expr::Sub(a, b) => linearize(a, renamer).add(&linearize(b, renamer).negate()),
         Expr::Mul(k, e) => linearize(e, renamer).scale(*k),
+        Expr::Div(a, b) => {
+            let la = linearize(a, renamer);
+            let lb = linearize(b, renamer);
+            match (la.as_const(), lb.as_const()) {
+                // Constant quotients fold (C truncation, never by zero).
+                (Some(x), Some(y)) if y != 0 => Linear::constant(x / y),
+                // Anything else stays an opaque atom over the *canonical*
+                // operands, so `N/T` and `(2*N - N)/T` share an atom key.
+                _ => Linear::atom(Expr::Div(
+                    Box::new(la.to_expr(&|key| renamer.term_name(key))),
+                    Box::new(lb.to_expr(&|key| renamer.term_name(key))),
+                )),
+            }
+        }
+        Expr::Prod(a, b) => {
+            let la = linearize(a, renamer);
+            let lb = linearize(b, renamer);
+            if let Some(k) = la.as_const() {
+                lb.scale(k)
+            } else if let Some(k) = lb.as_const() {
+                la.scale(k)
+            } else {
+                Linear::atom(Expr::Prod(
+                    Box::new(la.to_expr(&|key| renamer.term_name(key))),
+                    Box::new(lb.to_expr(&|key| renamer.term_name(key))),
+                ))
+            }
+        }
     }
 }
 
@@ -223,10 +305,11 @@ fn canon_statements(stmts: &[Statement], renamer: &mut Renamer) -> Vec<Statement
                 stride,
                 body,
             } => {
-                // Bounds are evaluated in the enclosing scope (a loop bound
-                // may not reference its own iterator).
+                // Bounds and the stride are evaluated in the enclosing
+                // scope (a loop bound may not reference its own iterator).
                 let lower = canon_expr(lower, renamer);
                 let upper = canon_expr(upper, renamer);
+                let stride = canon_expr(stride, renamer);
                 let idx = renamer.next_iter;
                 renamer.next_iter += 1;
                 renamer.scope.push((iter.clone(), idx));
@@ -236,7 +319,7 @@ fn canon_statements(stmts: &[Statement], renamer: &mut Renamer) -> Vec<Statement
                     iter: format!("i{idx}"),
                     lower,
                     upper,
-                    stride: *stride,
+                    stride,
                     body,
                 }
             }
@@ -278,6 +361,12 @@ pub fn canonicalize(program: &Program) -> Program {
             .enumerate()
             .map(|(idx, decl)| (decl.name.clone(), format!("a{idx}")))
             .collect(),
+        params: program
+            .params
+            .iter()
+            .enumerate()
+            .map(|(idx, name)| (name.clone(), format!("p{idx}")))
+            .collect(),
         scope: Vec::new(),
         next_iter: 0,
     };
@@ -287,12 +376,21 @@ pub fn canonicalize(program: &Program) -> Program {
         .enumerate()
         .map(|(idx, decl)| ArrayDecl {
             name: format!("a{idx}"),
-            extents: decl.extents.clone(),
+            extents: decl
+                .extents
+                .iter()
+                .map(|extent| canon_expr(extent, &renamer))
+                .collect(),
             elem_size: decl.elem_size,
         })
         .collect();
+    let params = (0..program.params.len()).map(|i| format!("p{i}")).collect();
     let stmts = canon_statements(&program.stmts, &mut renamer);
-    Program { arrays, stmts }
+    Program {
+        params,
+        arrays,
+        stmts,
+    }
 }
 
 /// A deterministic textual rendering of the canonical form of `program` —
@@ -374,6 +472,46 @@ mod tests {
             "double B[128]; double A[64];\n\
              for (i = 0; i < 64; i++) A[i] = B[i];",
         );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parametric_families_share_a_canonical_form() {
+        // Renaming parameters, arrays and iterators — and re-spelling the
+        // affine parts — leaves the family's canonical text unchanged.
+        let a = canon_src(
+            "param N, T;\n\
+             double A[N];\n\
+             for (ii = 0; ii < N / T * T; ii += T)\n\
+                 for (i = ii; i < ii + T; i++)\n\
+                     if (i < N) A[i] = A[i];",
+        );
+        let b = canon_src(
+            "param SIZE, TILE;\n\
+             double buf[SIZE];\n\
+             for (x = 0; x < SIZE / TILE * TILE; x += TILE)\n\
+                 for (y = x; y < TILE + x; y++)\n\
+                     if (y <= SIZE - 1) buf[y] = buf[y];",
+        );
+        assert_eq!(a, b);
+        // Different parameter structure is a different family.
+        let c = canon_src(
+            "param N, T;\n\
+             double A[N];\n\
+             for (ii = 0; ii < N; ii += T)\n\
+                 for (i = ii; i < ii + T; i++)\n\
+                     if (i < N) A[i] = A[i];",
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parameter_declaration_order_is_semantic() {
+        // `param N, T;` and `param T, N;` assign different canonical names,
+        // so the binding vectors (which are keyed positionally through the
+        // canonical names) stay distinguishable.
+        let a = canon_src("param N, T; double A[N]; for (i = 0; i < 8; i += T) A[i] = 0;");
+        let b = canon_src("param T, N; double A[N]; for (i = 0; i < 8; i += T) A[i] = 0;");
         assert_ne!(a, b);
     }
 

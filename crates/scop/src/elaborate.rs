@@ -68,6 +68,31 @@ pub enum ElaborateError {
     },
     /// The same iterator name is used by two nested loops.
     DuplicateIterator(String),
+    /// An array extent did not fold to a constant (an unbound parameter).
+    NonConstantExtent {
+        /// Array name.
+        array: String,
+        /// The offending extent expression.
+        expr: String,
+    },
+    /// An array extent folded to a non-positive value after substitution.
+    NonPositiveExtent {
+        /// Array name.
+        array: String,
+        /// The folded extent value.
+        value: i64,
+    },
+    /// A loop stride did not fold to a constant (an unbound parameter).
+    NonConstantStride {
+        /// Loop iterator name.
+        iter: String,
+        /// The offending stride expression.
+        expr: String,
+    },
+    /// A loop stride folded to zero after substitution.
+    ZeroStride(String),
+    /// A division or product did not fold to an affine expression.
+    NonAffine(String),
 }
 
 impl fmt::Display for ElaborateError {
@@ -86,6 +111,29 @@ impl fmt::Display for ElaborateError {
             ElaborateError::DuplicateIterator(n) => {
                 write!(f, "iterator `{n}` shadows an enclosing loop iterator")
             }
+            ElaborateError::NonConstantExtent { array, expr } => write!(
+                f,
+                "array `{array}` has non-constant extent `{expr}` (bind its parameters before \
+                 elaborating)"
+            ),
+            ElaborateError::NonPositiveExtent { array, value } => write!(
+                f,
+                "array `{array}` has non-positive extent {value} after parameter substitution"
+            ),
+            ElaborateError::NonConstantStride { iter, expr } => write!(
+                f,
+                "loop `{iter}` has non-constant stride `{expr}` (bind its parameters before \
+                 elaborating)"
+            ),
+            ElaborateError::ZeroStride(iter) => write!(
+                f,
+                "loop `{iter}` has zero stride after parameter substitution"
+            ),
+            ElaborateError::NonAffine(expr) => write!(
+                f,
+                "non-affine expression `{expr}` (divisions and symbolic products must fold to \
+                 constants after parameter substitution)"
+            ),
         }
     }
 }
@@ -99,7 +147,7 @@ impl std::error::Error for ElaborateError {}
 /// Returns an [`ElaborateError`] if the program refers to unknown iterators
 /// or arrays, or subscripts an array with the wrong number of indices.
 pub fn elaborate(program: &Program, options: &ElaborateOptions) -> Result<Scop, ElaborateError> {
-    let mut elab = Elaborator::new(program, options.clone());
+    let mut elab = Elaborator::new(program, options.clone())?;
     let mut roots = Vec::new();
     let empty_domain = Set::universe(0);
     for stmt in &program.stmts {
@@ -117,7 +165,7 @@ struct Elaborator {
 }
 
 impl Elaborator {
-    fn new(program: &Program, options: ElaborateOptions) -> Self {
+    fn new(program: &Program, options: ElaborateOptions) -> Result<Self, ElaborateError> {
         let mut elab = Elaborator {
             next_base: options.base_address,
             options,
@@ -126,9 +174,26 @@ impl Elaborator {
             next_access_id: 0,
         };
         for decl in &program.arrays {
-            elab.declare_array(&decl.name, decl.extents.clone(), decl.elem_size);
+            let mut extents = Vec::with_capacity(decl.extents.len());
+            for extent in &decl.extents {
+                let value =
+                    extent
+                        .eval_const()
+                        .ok_or_else(|| ElaborateError::NonConstantExtent {
+                            array: decl.name.clone(),
+                            expr: extent.to_string(),
+                        })?;
+                if value <= 0 {
+                    return Err(ElaborateError::NonPositiveExtent {
+                        array: decl.name.clone(),
+                        value,
+                    });
+                }
+                extents.push(value as u64);
+            }
+            elab.declare_array(&decl.name, extents, decl.elem_size);
         }
-        elab
+        Ok(elab)
     }
 
     fn declare_array(&mut self, name: &str, extents: Vec<u64>, elem_size: u64) -> usize {
@@ -169,6 +234,16 @@ impl Elaborator {
                 if iters.iter().any(|i| i == iter) {
                     return Err(ElaborateError::DuplicateIterator(iter.clone()));
                 }
+                let stride =
+                    stride
+                        .eval_const()
+                        .ok_or_else(|| ElaborateError::NonConstantStride {
+                            iter: iter.clone(),
+                            expr: stride.to_string(),
+                        })?;
+                if stride == 0 {
+                    return Err(ElaborateError::ZeroStride(iter.clone()));
+                }
                 let depth = iters.len() + 1;
                 iters.push(iter.clone());
                 let lower_aff = expr_to_aff(lower, iters, depth)?;
@@ -186,7 +261,7 @@ impl Elaborator {
                 out.push(Node::Loop(LoopNode {
                     depth,
                     domain: loop_domain,
-                    stride: *stride,
+                    stride,
                     children,
                 }));
                 Ok(())
@@ -285,6 +360,21 @@ fn expr_to_aff(expr: &Expr, iters: &[String], dims: usize) -> Result<Aff, Elabor
         Expr::Add(a, b) => expr_to_aff(a, iters, dims)?.add(&expr_to_aff(b, iters, dims)?),
         Expr::Sub(a, b) => expr_to_aff(a, iters, dims)?.sub(&expr_to_aff(b, iters, dims)?),
         Expr::Mul(k, e) => expr_to_aff(e, iters, dims)?.scale(*k),
+        Expr::Div(_, _) => match expr.eval_const() {
+            Some(c) => Aff::constant(dims, c),
+            None => return Err(ElaborateError::NonAffine(expr.to_string())),
+        },
+        Expr::Prod(a, b) => {
+            if let Some(c) = expr.eval_const() {
+                Aff::constant(dims, c)
+            } else if let Some(k) = a.eval_const() {
+                expr_to_aff(b, iters, dims)?.scale(k)
+            } else if let Some(k) = b.eval_const() {
+                expr_to_aff(a, iters, dims)?.scale(k)
+            } else {
+                return Err(ElaborateError::NonAffine(expr.to_string()));
+            }
+        }
     })
 }
 
@@ -416,6 +506,33 @@ mod tests {
         let with = elaborate(&p, &ElaborateOptions::with_scalars()).unwrap();
         assert_eq!(with.num_access_nodes(), 2);
         assert_eq!(with.arrays().len(), 2);
+    }
+
+    #[test]
+    fn unbound_parameters_are_reported() {
+        use crate::parser::parse_program;
+        let unbound_extent =
+            parse_program("param N; double A[N]; for (i = 0; i < 8; i++) A[i] = 0;").unwrap();
+        let err = elaborate(&unbound_extent, &ElaborateOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, ElaborateError::NonConstantExtent { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("bind its parameters"), "{err}");
+
+        let unbound_stride =
+            parse_program("param T; double A[8]; for (i = 0; i < 8; i += T) A[i] = 0;").unwrap();
+        assert!(matches!(
+            elaborate(&unbound_stride, &ElaborateOptions::default()),
+            Err(ElaborateError::NonConstantStride { .. })
+        ));
+
+        let unbound_bound =
+            parse_program("param N; double A[8]; for (i = 0; i < N; i++) A[i] = 0;").unwrap();
+        assert!(matches!(
+            elaborate(&unbound_bound, &ElaborateOptions::default()),
+            Err(ElaborateError::UnknownIterator(_))
+        ));
     }
 
     #[test]

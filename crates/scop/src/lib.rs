@@ -12,7 +12,11 @@
 //!   assigning array base addresses and linearising subscripts
 //!   ([`elaborate()`]),
 //! * a mini-C frontend ([`parser`]) that parses affine loop nests written in
-//!   a C-like syntax (the shape of the PolyBench kernels) into the AST.
+//!   a C-like syntax (the shape of the PolyBench kernels) into the AST,
+//! * parametric kernel **families** ([`param`]): sources may declare
+//!   symbolic parameters (`param N, T;`) used in extents, bounds and
+//!   strides; a [`ParametricScop`] parses the template once and stamps out
+//!   concrete instances per [`ParamBindings`] without re-parsing.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 pub mod ast;
 pub mod canon;
 pub mod elaborate;
+pub mod param;
 pub mod parser;
 pub mod tree;
 pub mod walk;
@@ -44,6 +49,7 @@ pub mod walk;
 pub use ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statement};
 pub use canon::{canonical_text, canonicalize};
 pub use elaborate::{elaborate, ElaborateError, ElaborateOptions};
+pub use param::{ParamBindings, ParamError, ParametricScop};
 pub use parser::{parse_program, ParseError};
 pub use tree::{AccessNode, ArrayInfo, LoopNode, Node, Scop};
 pub use walk::{count_accesses, for_each_access, DynamicAccess};

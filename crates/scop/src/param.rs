@@ -1,0 +1,624 @@
+//! Parametric kernel families: parse once, elaborate many.
+//!
+//! A mini-C kernel with `param` declarations is a **family** of concrete
+//! kernels, one per assignment of constants to its parameters.  A
+//! [`ParametricScop`] holds the parsed template together with its
+//! canonical **family text** (the canonical form with parameters left
+//! symbolic — see [`crate::canon`]); [`ParametricScop::instantiate`]
+//! substitutes a [`ParamBindings`] into the template and elaborates the
+//! result, in O(program size) per instance and without re-parsing.
+//!
+//! The family text is the identity a family-level cache keys on: two
+//! sources that differ only in parameter/array/iterator names or affine
+//! spelling share it, so a sweep over bindings of either source lands in
+//! the same family.  [`ParametricScop::cached`] additionally memoises
+//! templates by source text process-wide, which gives the engine's
+//! request path parse-once behaviour even when callers only hand it raw
+//! source strings.
+
+use crate::ast::{ArrayAccess, ArrayDecl, Condition, Expr, Program, Statement};
+use crate::canon::canonical_text;
+use crate::elaborate::{elaborate, ElaborateError, ElaborateOptions};
+use crate::parser::{parse_program, ParseError};
+use crate::tree::Scop;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An assignment of integer values to parameter names, ordered by name.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ParamBindings {
+    values: BTreeMap<String, i64>,
+}
+
+impl ParamBindings {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        ParamBindings::default()
+    }
+
+    /// Builds bindings from `(name, value)` pairs; later pairs win on
+    /// duplicate names.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, i64)>,
+        S: Into<String>,
+    {
+        ParamBindings {
+            values: pairs
+                .into_iter()
+                .map(|(name, value)| (name.into(), value))
+                .collect(),
+        }
+    }
+
+    /// Parses a comma-separated `NAME=value` list, e.g. `"N=1024,T=8"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut bindings = ParamBindings::new();
+        for entry in text.split(',').filter(|e| !e.trim().is_empty()) {
+            let (name, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("expected NAME=value, found `{entry}`"))?;
+            let value: i64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("`{}` is not an integer in `{entry}`", value.trim()))?;
+            bindings.set(name.trim(), value);
+        }
+        Ok(bindings)
+    }
+
+    /// Sets (or overwrites) one binding.
+    pub fn set(&mut self, name: &str, value: i64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Returns `self` with one extra binding (builder style).
+    pub fn with(mut self, name: &str, value: i64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values
+            .iter()
+            .map(|(name, &value)| (name.as_str(), value))
+    }
+
+    /// The number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A deterministic `NAME=value,...` rendering (name order), usable as
+    /// the bindings component of a cache key.
+    pub fn key(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.iter() {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&value.to_string());
+        }
+        out
+    }
+}
+
+/// Errors from instantiating a parametric kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParamError {
+    /// The template source failed to parse.
+    Parse(ParseError),
+    /// A declared parameter has no binding.
+    Unbound(String),
+    /// A binding names a parameter the template never declared.
+    UnknownParameter(String),
+    /// A division's divisor became zero after substitution.
+    DivisionByZero(String),
+    /// A loop stride became zero after substitution.
+    ZeroStride(String),
+    /// A loop stride's sign disagrees with the loop's direction after
+    /// substitution (e.g. `i += T` under an increasing bound with `T < 0`).
+    StrideDirection {
+        /// Loop iterator name.
+        iter: String,
+        /// The substituted stride value.
+        value: i64,
+    },
+    /// Elaboration of the substituted program failed (e.g. a negative or
+    /// zero array extent after substitution).
+    Elaborate(ElaborateError),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Parse(e) => write!(f, "{e}"),
+            ParamError::Unbound(name) => {
+                write!(f, "parameter `{name}` is declared but never bound")
+            }
+            ParamError::UnknownParameter(name) => {
+                write!(
+                    f,
+                    "binding for `{name}` does not match any declared parameter"
+                )
+            }
+            ParamError::DivisionByZero(expr) => {
+                write!(f, "division by zero after substitution in `{expr}`")
+            }
+            ParamError::ZeroStride(iter) => {
+                write!(f, "loop `{iter}` has zero stride after substitution")
+            }
+            ParamError::StrideDirection { iter, value } => write!(
+                f,
+                "loop `{iter}` has stride {value} after substitution, which contradicts the \
+                 loop's direction"
+            ),
+            ParamError::Elaborate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl From<ElaborateError> for ParamError {
+    fn from(e: ElaborateError) -> Self {
+        ParamError::Elaborate(e)
+    }
+}
+
+/// A parsed, canonicalised parametric kernel template.
+#[derive(Clone, Debug)]
+pub struct ParametricScop {
+    program: Program,
+    family: String,
+}
+
+impl ParametricScop {
+    /// Parses a mini-C source (with `param` declarations) into a template.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's error for sources outside the supported subset.
+    pub fn parse(source: &str) -> Result<Self, ParseError> {
+        Ok(Self::from_program(parse_program(source)?))
+    }
+
+    /// Wraps an already-built AST as a template.
+    pub fn from_program(program: Program) -> Self {
+        let family = canonical_text(&program);
+        ParametricScop { program, family }
+    }
+
+    /// The declared parameter names, in declaration order.
+    pub fn params(&self) -> &[String] {
+        &self.program.params
+    }
+
+    /// The parsed template AST.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The canonical family text: the canonical form of the template with
+    /// parameters left symbolic.  Renamed/re-spelled sources of the same
+    /// family share this string (hash it for a **family id**).
+    pub fn family_text(&self) -> &str {
+        &self.family
+    }
+
+    /// Substitutes `bindings` into the template, folding every parameter
+    /// expression to a constant, and returns the concrete (parameter-free)
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// Every declared parameter must be bound and every binding must name a
+    /// declared parameter; substitution also validates strides (non-zero,
+    /// direction-consistent) and divisions (non-zero divisors).
+    pub fn instantiate_program(&self, bindings: &ParamBindings) -> Result<Program, ParamError> {
+        for name in &self.program.params {
+            if bindings.get(name).is_none() {
+                return Err(ParamError::Unbound(name.clone()));
+            }
+        }
+        for (name, _) in bindings.iter() {
+            if !self.program.params.iter().any(|p| p == name) {
+                return Err(ParamError::UnknownParameter(name.to_string()));
+            }
+        }
+        let mut subst = Substituter {
+            bindings,
+            shadowed: Vec::new(),
+        };
+        let arrays = self
+            .program
+            .arrays
+            .iter()
+            .map(|decl| {
+                Ok(ArrayDecl {
+                    name: decl.name.clone(),
+                    extents: decl
+                        .extents
+                        .iter()
+                        .map(|extent| subst.expr(extent))
+                        .collect::<Result<_, _>>()?,
+                    elem_size: decl.elem_size,
+                })
+            })
+            .collect::<Result<_, ParamError>>()?;
+        let stmts = self
+            .program
+            .stmts
+            .iter()
+            .map(|stmt| subst.statement(stmt))
+            .collect::<Result<_, _>>()?;
+        Ok(Program {
+            params: Vec::new(),
+            arrays,
+            stmts,
+        })
+    }
+
+    /// Instantiates and elaborates with the given options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParametricScop::instantiate_program`]; elaboration errors of
+    /// the substituted program (negative extents, lingering free names) are
+    /// wrapped in [`ParamError::Elaborate`].
+    pub fn instantiate_with(
+        &self,
+        bindings: &ParamBindings,
+        options: &ElaborateOptions,
+    ) -> Result<Scop, ParamError> {
+        let program = self.instantiate_program(bindings)?;
+        Ok(elaborate(&program, options)?)
+    }
+
+    /// Instantiates and elaborates with [`ElaborateOptions::default`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParametricScop::instantiate_with`].
+    pub fn instantiate(&self, bindings: &ParamBindings) -> Result<Scop, ParamError> {
+        self.instantiate_with(bindings, &ElaborateOptions::default())
+    }
+
+    /// Returns the process-wide memoised template for `source`, parsing and
+    /// canonicalising it only on the first call.  This is what makes
+    /// repeated engine requests carrying the same parametric source
+    /// parse-once: the expensive template work is shared across requests,
+    /// threads and bindings.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures are returned (and not cached).
+    pub fn cached(source: &str) -> Result<Arc<Self>, ParseError> {
+        static TEMPLATES: OnceLock<Mutex<HashMap<String, Arc<ParametricScop>>>> = OnceLock::new();
+        let cache = TEMPLATES.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("template cache not poisoned");
+        if let Some(template) = map.get(source) {
+            return Ok(template.clone());
+        }
+        let template = Arc::new(Self::parse(source)?);
+        // Crude bound: the cache holds kernel *templates* (one per distinct
+        // source a process sweeps), so overflow means something is
+        // generating sources — start over rather than grow without bound.
+        if map.len() >= 256 {
+            map.clear();
+        }
+        map.insert(source.to_owned(), template.clone());
+        Ok(template)
+    }
+}
+
+/// Substitution state: the bindings plus the loop iterators currently in
+/// scope (which shadow identically-named parameters — the parser rejects
+/// such programs, but hand-built ASTs may contain them).
+struct Substituter<'a> {
+    bindings: &'a ParamBindings,
+    shadowed: Vec<String>,
+}
+
+impl Substituter<'_> {
+    fn expr(&self, expr: &Expr) -> Result<Expr, ParamError> {
+        let out = match expr {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Iter(name) => {
+                if !self.shadowed.contains(name) {
+                    if let Some(value) = self.bindings.get(name) {
+                        return Ok(Expr::Const(value));
+                    }
+                }
+                Expr::Iter(name.clone())
+            }
+            Expr::Add(a, b) => self.expr(a)?.add(self.expr(b)?),
+            Expr::Sub(a, b) => self.expr(a)?.sub(self.expr(b)?),
+            Expr::Mul(k, e) => self.expr(e)?.scale(*k),
+            Expr::Div(a, b) => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                if b.eval_const() == Some(0) {
+                    return Err(ParamError::DivisionByZero(format!("({a} / {b})")));
+                }
+                a.div(b)
+            }
+            Expr::Prod(a, b) => self.expr(a)?.prod(self.expr(b)?),
+        };
+        // Fold each constructed node so a fully-bound expression collapses
+        // to the same `Const` a hand-written constant source parses to.
+        Ok(match out.eval_const() {
+            Some(c) => Expr::Const(c),
+            None => out,
+        })
+    }
+
+    fn statement(&mut self, stmt: &Statement) -> Result<Statement, ParamError> {
+        match stmt {
+            Statement::For {
+                iter,
+                lower,
+                upper,
+                stride,
+                body,
+            } => {
+                let hint = direction_hint(stride);
+                let lower = self.expr(lower)?;
+                let upper = self.expr(upper)?;
+                let stride = self.expr(stride)?;
+                if let Some(value) = stride.eval_const() {
+                    if value == 0 {
+                        return Err(ParamError::ZeroStride(iter.clone()));
+                    }
+                    if let Some(expected) = hint {
+                        if expected != 0 && expected != value.signum() {
+                            return Err(ParamError::StrideDirection {
+                                iter: iter.clone(),
+                                value,
+                            });
+                        }
+                    }
+                }
+                self.shadowed.push(iter.clone());
+                let body = body
+                    .iter()
+                    .map(|s| self.statement(s))
+                    .collect::<Result<_, _>>();
+                self.shadowed.pop();
+                Ok(Statement::For {
+                    iter: iter.clone(),
+                    lower,
+                    upper,
+                    stride,
+                    body: body?,
+                })
+            }
+            Statement::If { conditions, body } => Ok(Statement::If {
+                conditions: conditions
+                    .iter()
+                    .map(|c| {
+                        Ok(Condition {
+                            lhs: self.expr(&c.lhs)?,
+                            op: c.op,
+                            rhs: self.expr(&c.rhs)?,
+                        })
+                    })
+                    .collect::<Result<_, ParamError>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.statement(s))
+                    .collect::<Result<_, _>>()?,
+            }),
+            Statement::Assign { write, reads } => Ok(Statement::Assign {
+                write: self.access(write)?,
+                reads: reads
+                    .iter()
+                    .map(|r| self.access(r))
+                    .collect::<Result<_, _>>()?,
+            }),
+        }
+    }
+
+    fn access(&self, access: &ArrayAccess) -> Result<ArrayAccess, ParamError> {
+        Ok(ArrayAccess {
+            array: access.array.clone(),
+            indices: access
+                .indices
+                .iter()
+                .map(|index| self.expr(index))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// The sign the loop's normalised bounds assume of its stride, recovered
+/// by evaluating the stride template with every parameter set to `+1`
+/// (the parser's symbolic stride forms are `P` for increasing loops and
+/// `-1 * P` for decreasing ones).  `None` when the template doesn't
+/// determine a sign.
+fn direction_hint(stride: &Expr) -> Option<i64> {
+    fn eval(expr: &Expr) -> Option<i64> {
+        match expr {
+            Expr::Const(c) => Some(*c),
+            Expr::Iter(_) => Some(1),
+            Expr::Add(a, b) => Some(eval(a)?.checked_add(eval(b)?)?),
+            Expr::Sub(a, b) => Some(eval(a)?.checked_sub(eval(b)?)?),
+            Expr::Mul(k, e) => k.checked_mul(eval(e)?),
+            Expr::Div(a, b) => match eval(b)? {
+                0 => None,
+                d => eval(a)?.checked_div(d),
+            },
+            Expr::Prod(a, b) => eval(a)?.checked_mul(eval(b)?),
+        }
+    }
+    eval(stride).map(i64::signum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TILED: &str = "\
+        param N, T;\n\
+        double A[N];\n\
+        for (ii = 0; ii < N; ii += T)\n\
+            for (i = ii; i < ii + T; i++)\n\
+                if (i < N) A[i] = A[i];\n";
+
+    #[test]
+    fn instantiation_matches_a_hand_written_constant_kernel() {
+        let template = ParametricScop::parse(TILED).unwrap();
+        let bindings = ParamBindings::new().with("N", 25).with("T", 8);
+        let instance = template.instantiate_program(&bindings).unwrap();
+        let by_hand = parse_program(
+            "double A[25];\n\
+             for (ii = 0; ii < 25; ii += 8)\n\
+                 for (i = ii; i < ii + 8; i++)\n\
+                     if (i < 25) A[i] = A[i];\n",
+        )
+        .unwrap();
+        assert_eq!(canonical_text(&instance), canonical_text(&by_hand));
+        // ... and it elaborates.
+        let scop = template.instantiate(&bindings).unwrap();
+        assert_eq!(scop.arrays().len(), 1);
+    }
+
+    #[test]
+    fn division_expressions_fold_on_instantiation() {
+        let template = ParametricScop::parse(
+            "param N, T; double A[N]; for (i = 0; i < N / T * T; i++) A[i] = 0;",
+        )
+        .unwrap();
+        let instance = template
+            .instantiate_program(&ParamBindings::new().with("N", 25).with("T", 8))
+            .unwrap();
+        let by_hand = parse_program("double A[25]; for (i = 0; i < 24; i++) A[i] = 0;").unwrap();
+        assert_eq!(canonical_text(&instance), canonical_text(&by_hand));
+    }
+
+    #[test]
+    fn binding_errors_are_specific() {
+        let template = ParametricScop::parse(TILED).unwrap();
+        let err = template
+            .instantiate(&ParamBindings::new().with("N", 16))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ParamError::Unbound(name) if name == "T"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("never bound"), "{err}");
+
+        let err = template
+            .instantiate(&ParamBindings::new().with("N", 16).with("T", 4).with("X", 1))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ParamError::UnknownParameter(name) if name == "X"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_substitutions_are_rejected() {
+        let template = ParametricScop::parse(TILED).unwrap();
+        // Zero stride.
+        let err = template
+            .instantiate(&ParamBindings::new().with("N", 16).with("T", 0))
+            .unwrap_err();
+        assert!(matches!(err, ParamError::ZeroStride(_)), "{err}");
+        // Wrong stride direction for an increasing loop.
+        let err = template
+            .instantiate(&ParamBindings::new().with("N", 16).with("T", -4))
+            .unwrap_err();
+        assert!(
+            matches!(err, ParamError::StrideDirection { value: -4, .. }),
+            "{err}"
+        );
+        // Non-positive extent after substitution.
+        let err = template
+            .instantiate(&ParamBindings::new().with("N", 0).with("T", 4))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParamError::Elaborate(ElaborateError::NonPositiveExtent { .. })
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("non-positive extent"), "{err}");
+        // Division by zero after substitution.
+        let div =
+            ParametricScop::parse("param N, T; double A[8]; for (i = 0; i < N / T; i++) A[i] = 0;")
+                .unwrap();
+        let err = div
+            .instantiate(&ParamBindings::new().with("N", 8).with("T", 0))
+            .unwrap_err();
+        assert!(matches!(err, ParamError::DivisionByZero(_)), "{err}");
+    }
+
+    #[test]
+    fn family_text_is_invariant_under_renaming() {
+        let renamed = "\
+            param SIZE, TILE;\n\
+            double buf[SIZE];\n\
+            for (a = 0; a < SIZE; a += TILE)\n\
+                for (b = a; b < a + TILE; b++)\n\
+                    if (b < SIZE) buf[b] = buf[b];\n";
+        let a = ParametricScop::parse(TILED).unwrap();
+        let b = ParametricScop::parse(renamed).unwrap();
+        assert_eq!(a.family_text(), b.family_text());
+    }
+
+    #[test]
+    fn cached_templates_are_shared() {
+        let a = ParametricScop::cached(TILED).unwrap();
+        let b = ParametricScop::cached(TILED).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the parse");
+        assert!(ParametricScop::cached("not a kernel [").is_err());
+    }
+
+    #[test]
+    fn bindings_parse_and_render_deterministically() {
+        let bindings = ParamBindings::parse("T=8, N=25").unwrap();
+        assert_eq!(bindings.key(), "N=25,T=8", "name order, not input order");
+        assert_eq!(bindings.get("T"), Some(8));
+        assert!(ParamBindings::parse("N").is_err());
+        assert!(ParamBindings::parse("N=x").is_err());
+    }
+
+    #[test]
+    fn decreasing_parametric_strides_instantiate() {
+        let template =
+            ParametricScop::parse("param T; double A[100]; for (i = 99; i >= 0; i -= T) A[i] = 0;")
+                .unwrap();
+        let program = template
+            .instantiate_program(&ParamBindings::new().with("T", 3))
+            .unwrap();
+        let Statement::For { stride, .. } = &program.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(stride, &Expr::Const(-3));
+        // Binding a negative value flips the direction: rejected.
+        let err = template
+            .instantiate(&ParamBindings::new().with("T", -3))
+            .unwrap_err();
+        assert!(matches!(err, ParamError::StrideDirection { .. }), "{err}");
+    }
+}

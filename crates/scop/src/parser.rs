@@ -3,14 +3,25 @@
 //! The parser accepts the subset of C that PolyBench-style kernels are
 //! written in:
 //!
-//! * array declarations `double A[1000][1200];`
+//! * parameter declarations `param N;` / `param N, T;` — named symbolic
+//!   constants usable in extents, bounds, strides and subscripts, bound to
+//!   values later (see [`crate::param::ParametricScop`]),
+//! * array declarations `double A[1000][1200];` (extents may be parameter
+//!   expressions, e.g. `double A[N][N];`),
 //! * `for` loops with affine bounds and any non-zero constant stride —
 //!   increasing (`i++`, `i += k`, `i = i + k` with a `<`/`<=` bound) or
-//!   decreasing (`i--`, `i -= k`, `i = i - k` with a `>`/`>=` bound),
+//!   decreasing (`i--`, `i -= k`, `i = i - k` with a `>`/`>=` bound) — or a
+//!   declared parameter as the stride (`i += T`),
 //! * `if` guards that are conjunctions of affine comparisons,
 //! * assignment statements (including the compound assignments `+=`, `-=`,
 //!   `*=`, `/=`) whose array subscripts are affine expressions of the loop
 //!   iterators.
+//!
+//! Products and truncating divisions are allowed when they stay affine
+//! after parameter substitution: `N / T * T` is accepted (both operands of
+//! `/` are parameter expressions), `i * T` is accepted (one symbolic-affine
+//! side times a parameter expression), but `i * i` and `i / 2` are
+//! rejected as non-affine.
 //!
 //! Right-hand sides may contain arbitrary arithmetic, floating-point
 //! literals and function calls; the parser only extracts the array (and
@@ -45,7 +56,11 @@ impl std::error::Error for ParseError {}
 /// (non-affine subscripts, unsupported loop forms, unbalanced brackets, ...).
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     let tokens = tokenize(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: Vec::new(),
+    };
     parser.program()
 }
 
@@ -169,6 +184,8 @@ fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Parameters declared so far (`param N;`), in declaration order.
+    params: Vec<String>,
 }
 
 impl Parser {
@@ -236,10 +253,22 @@ impl Parser {
         }
     }
 
+    /// Whether every name in `expr` is a declared parameter, i.e. the
+    /// expression folds to a constant once parameters are bound.
+    fn is_param_expr(&self, expr: &Expr) -> bool {
+        expr.iterators()
+            .iter()
+            .all(|name| self.params.iter().any(|p| p == name))
+    }
+
     fn program(&mut self) -> Result<Program, ParseError> {
         let mut program = Program::new();
         while self.peek().is_some() {
             if let Some(Tok::Ident(name)) = self.peek() {
+                if name == "param" {
+                    self.param_declaration(&mut program)?;
+                    continue;
+                }
                 if Self::is_type_name(name) {
                     self.declaration(&mut program)?;
                     continue;
@@ -251,6 +280,27 @@ impl Parser {
         Ok(program)
     }
 
+    fn param_declaration(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        self.expect_ident()?; // "param"
+        loop {
+            let name = self.expect_ident()?;
+            if Self::is_type_name(&name) || name == "param" {
+                return Err(self.error(format!("`{name}` cannot be used as a parameter name")));
+            }
+            if self.params.contains(&name) {
+                return Err(self.error(format!("parameter `{name}` declared twice")));
+            }
+            self.params.push(name.clone());
+            program.params.push(name);
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(";")?;
+            break;
+        }
+        Ok(())
+    }
+
     fn declaration(&mut self, program: &mut Program) -> Result<(), ParseError> {
         let type_name = self.expect_ident()?;
         let elem_size = Self::elem_size(&type_name);
@@ -258,11 +308,22 @@ impl Parser {
             let name = self.expect_ident()?;
             let mut extents = Vec::new();
             while self.eat_punct("[") {
-                match self.advance() {
-                    Some(Tok::Int(n)) if n > 0 => extents.push(n as u64),
-                    other => {
-                        return Err(self
-                            .error(format!("expected a positive array extent, found {other:?}")))
+                let extent = self.affine_expr()?;
+                match extent.eval_const() {
+                    Some(n) if n > 0 => extents.push(Expr::Const(n)),
+                    Some(_) => {
+                        return Err(self.error(format!(
+                            "expected a positive array extent, found `{extent}`"
+                        )))
+                    }
+                    None => {
+                        if !self.is_param_expr(&extent) {
+                            return Err(self.error(format!(
+                                "array extent `{extent}` must be a constant or parameter \
+                                 expression"
+                            )));
+                        }
+                        extents.push(extent);
                     }
                 }
                 self.expect_punct("]")?;
@@ -328,6 +389,11 @@ impl Parser {
             }
         }
         let iter = self.expect_ident()?;
+        if self.params.contains(&iter) {
+            return Err(self.error(format!(
+                "loop iterator `{iter}` shadows the parameter of the same name"
+            )));
+        }
         self.expect_punct("=")?;
         let init = self.affine_expr()?;
         self.expect_punct(";")?;
@@ -378,26 +444,28 @@ impl Parser {
     }
 
     /// Parses the increment of a `for` loop after its iterator name:
-    /// `++`/`--` (stride ±1), `+= k`/`-= k`, or `= i ± k` / `= k + i` for a
-    /// positive integer constant `k`.  The stride's direction must agree
-    /// with the loop condition (`decreasing` is true for `>`/`>=` bounds).
-    fn loop_stride(&mut self, iter: &str, decreasing: bool) -> Result<i64, ParseError> {
+    /// `++`/`--` (stride ±1), `+= k`/`-= k`, or `= i ± k` / `= k + i` where
+    /// `k` is a positive integer constant or a declared parameter.  The
+    /// direction of a constant stride must agree with the loop condition
+    /// (`decreasing` is true for `>`/`>=` bounds); a parametric stride's
+    /// direction is validated after substitution.
+    fn loop_stride(&mut self, iter: &str, decreasing: bool) -> Result<Expr, ParseError> {
         let stride = if self.eat_punct("++") {
-            1
+            Expr::Const(1)
         } else if self.eat_punct("--") {
-            -1
+            Expr::Const(-1)
         } else if self.eat_punct("+=") {
-            self.stride_constant()?
+            self.stride_amount(false)?
         } else if self.eat_punct("-=") {
-            -self.stride_constant()?
+            self.stride_amount(true)?
         } else if self.eat_punct("=") {
             // `i = i + k`, `i = i - k` or `i = k + i`.
             match self.advance() {
                 Some(Tok::Ident(name)) if name == iter => {
                     if self.eat_punct("+") {
-                        self.stride_constant()?
+                        self.stride_amount(false)?
                     } else if self.eat_punct("-") {
-                        -self.stride_constant()?
+                        self.stride_amount(true)?
                     } else {
                         return Err(self.error(format!(
                             "loop increment must have the form `{iter} = {iter} + k`"
@@ -412,7 +480,7 @@ impl Parser {
                             "loop increment must add a constant to the iterator `{iter}`"
                         )));
                     }
-                    k
+                    Expr::Const(k)
                 }
                 other => {
                     return Err(self.error(format!(
@@ -426,21 +494,42 @@ impl Parser {
                  supported",
             ));
         };
-        if stride == 0 {
+        let Some(constant) = stride.eval_const() else {
+            // A parametric stride: its magnitude (and hence direction
+            // validity) is only known after substitution.
+            return Ok(stride);
+        };
+        if constant == 0 {
             return Err(self.error("loop stride must be a non-zero integer constant"));
         }
-        if decreasing && stride > 0 {
+        if decreasing && constant > 0 {
             return Err(self.error(format!(
-                "a loop bounded by `>`/`>=` must decrease its iterator, got stride {stride}"
+                "a loop bounded by `>`/`>=` must decrease its iterator, got stride {constant}"
             )));
         }
-        if !decreasing && stride < 0 {
+        if !decreasing && constant < 0 {
             return Err(self.error(format!(
-                "a loop bounded by `<`/`<=` must increase its iterator, got stride {stride} \
+                "a loop bounded by `<`/`<=` must increase its iterator, got stride {constant} \
                  (use `>`/`>=` for decreasing loops)"
             )));
         }
         Ok(stride)
+    }
+
+    /// Parses the amount of a `+=`/`-=`-style stride: a (possibly negated)
+    /// positive integer constant, or a declared parameter name.  `negate`
+    /// is true for the `-=` / `i = i - k` forms.
+    fn stride_amount(&mut self, negate: bool) -> Result<Expr, ParseError> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if self.params.iter().any(|p| p == name) {
+                let name = name.clone();
+                self.advance();
+                let amount = Expr::Iter(name);
+                return Ok(if negate { amount.scale(-1) } else { amount });
+            }
+        }
+        let constant = self.stride_constant()?;
+        Ok(Expr::Const(if negate { -constant } else { constant }))
     }
 
     /// Parses the (possibly negated) integer constant of a loop stride.
@@ -449,7 +538,7 @@ impl Parser {
         match self.advance() {
             Some(Tok::Int(k)) => Ok(if negative { -k } else { k }),
             other => Err(self.error(format!(
-                "loop stride must be a positive integer constant, found {other:?}"
+                "loop stride must be a positive integer constant or parameter, found {other:?}"
             ))),
         }
     }
@@ -576,30 +665,54 @@ impl Parser {
     }
 
     fn affine_term(&mut self) -> Result<Expr, ParseError> {
-        let mut factors = vec![self.affine_factor()?];
-        while self.eat_punct("*") {
-            factors.push(self.affine_factor()?);
-        }
-        // At most one factor may be non-constant for the product to stay
-        // affine.
-        let mut constant = 1i64;
-        let mut symbolic: Option<Expr> = None;
-        for f in factors {
-            match f {
-                Expr::Const(c) => constant *= c,
-                other => {
-                    if symbolic.is_some() {
-                        return Err(self.error("non-affine product of two iterators"));
-                    }
-                    symbolic = Some(other);
-                }
+        let mut expr = self.affine_factor()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.affine_factor()?;
+                expr = self.affine_product(expr, rhs)?;
+            } else if self.eat_punct("/") {
+                let rhs = self.affine_factor()?;
+                expr = self.affine_quotient(expr, rhs)?;
+            } else {
+                return Ok(expr);
             }
         }
-        Ok(match symbolic {
-            None => Expr::Const(constant),
-            Some(e) if constant == 1 => e,
-            Some(e) => e.scale(constant),
-        })
+    }
+
+    /// Builds `lhs * rhs`, folding constants and rejecting products that
+    /// cannot become affine: at least one side must be a constant or a
+    /// parameter expression (which substitution turns into a constant).
+    fn affine_product(&mut self, lhs: Expr, rhs: Expr) -> Result<Expr, ParseError> {
+        if let (Some(a), Some(b)) = (lhs.eval_const(), rhs.eval_const()) {
+            return Ok(Expr::Const(a.wrapping_mul(b)));
+        }
+        if let Some(k) = lhs.eval_const() {
+            return Ok(rhs.scale(k));
+        }
+        if let Some(k) = rhs.eval_const() {
+            return Ok(lhs.scale(k));
+        }
+        if self.is_param_expr(&lhs) || self.is_param_expr(&rhs) {
+            return Ok(lhs.prod(rhs));
+        }
+        Err(self.error("non-affine product of two iterators"))
+    }
+
+    /// Builds `lhs / rhs` (truncating), folding constants.  Both operands
+    /// must be constants or parameter expressions — a quotient involving a
+    /// loop iterator is non-affine even after substitution.
+    fn affine_quotient(&mut self, lhs: Expr, rhs: Expr) -> Result<Expr, ParseError> {
+        if let Some(0) = rhs.eval_const() {
+            return Err(self.error("division by zero"));
+        }
+        if let (Some(a), Some(b)) = (lhs.eval_const(), rhs.eval_const()) {
+            return Ok(Expr::Const(a / b));
+        }
+        if self.is_param_expr(&lhs) && self.is_param_expr(&rhs) {
+            return Ok(lhs.div(rhs));
+        }
+        Err(self
+            .error("non-affine division: `/` operands must be constants or parameter expressions"))
     }
 
     fn affine_factor(&mut self) -> Result<Expr, ParseError> {
@@ -769,7 +882,7 @@ mod tests {
             let Statement::For { stride, .. } = &p.stmts[0] else {
                 panic!()
             };
-            assert_eq!(*stride, expected, "`{increment}`");
+            assert_eq!(stride.eval_const(), Some(expected), "`{increment}`");
         }
     }
 
@@ -809,7 +922,7 @@ mod tests {
             else {
                 panic!()
             };
-            assert_eq!(*stride, expected, "`{increment}`");
+            assert_eq!(stride.eval_const(), Some(expected), "`{increment}`");
             assert_eq!(lower, &Expr::Const(0), "`{increment}`");
             assert_eq!(upper, &Expr::Const(99).offset(1), "`{increment}`");
         }
@@ -838,6 +951,60 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn parses_parameter_declarations_and_uses() {
+        let src = r#"
+            param N, T;
+            double A[N][N];
+            for (ii = 0; ii < N / T * T; ii += T)
+                for (i = ii; i < ii + T; i++)
+                    if (i < N)
+                        A[i][i] = 0;
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.params, vec!["N", "T"]);
+        assert_eq!(p.arrays[0].extents, vec![Expr::iter("N"), Expr::iter("N")]);
+        let Statement::For { upper, stride, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            upper,
+            &Expr::iter("N").div(Expr::iter("T")).prod(Expr::iter("T"))
+        );
+        assert_eq!(stride, &Expr::iter("T"), "parametric stride");
+        // A decreasing parametric stride records the negation structurally.
+        let p = parse_program("param T; double A[100]; for (i = 99; i >= 0; i -= T) A[i] = 0;")
+            .unwrap();
+        let Statement::For { stride, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(stride, &Expr::iter("T").scale(-1));
+    }
+
+    #[test]
+    fn rejects_malformed_parameter_programs() {
+        // An undeclared name in a stride is not a parameter.
+        assert!(parse_program("double A[100]; for (i = 0; i < 100; i += n) A[i] = 0;").is_err());
+        // Duplicate parameter declarations.
+        let err = parse_program("param N; param N;").expect_err("duplicate param");
+        assert!(err.message.contains("declared twice"), "{}", err.message);
+        // A loop iterator may not shadow a parameter.
+        let err = parse_program("param N; double A[8]; for (N = 0; N < 8; N++) A[N] = 0;")
+            .expect_err("shadowing iterator");
+        assert!(err.message.contains("shadows"), "{}", err.message);
+        // Extents must be constant or parametric, not iterator-dependent.
+        let err = parse_program("double A[n]; for (i = 0; i < 4; i++) A[i] = 0;")
+            .expect_err("free extent");
+        assert!(err.message.contains("extent"), "{}", err.message);
+        // Divisions by an iterator (or of an iterator) stay rejected.
+        assert!(parse_program("double A[8]; for (i = 0; i < 8; i++) A[i / 2] = 0;").is_err());
+        // Literal division by zero is caught eagerly.
+        let err = parse_program("param N; double A[N / 0];").expect_err("div by zero");
+        assert!(err.message.contains("division by zero"), "{}", err.message);
+        // `param` itself cannot be a type-like name.
+        assert!(parse_program("param double;").is_err());
     }
 
     #[test]

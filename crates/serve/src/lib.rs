@@ -45,15 +45,19 @@
 
 pub mod cache;
 pub mod dedup;
+pub mod family;
 pub mod pool;
 pub mod wire;
 
 pub use cache::{CacheCounters, ReportCache};
 pub use dedup::{Claim, Follower, LeaderToken, PendingMap};
+pub use family::FamilyStats;
 pub use pool::{PoolCounters, WorkerPool};
-pub use wire::serve_lines;
+pub use wire::{serve_lines, serve_lines_with, WireOptions};
 
-use engine::{Engine, EngineError, SimReport, SimRequest};
+use family::{FamilyEntry, FamilyRegistry};
+
+use engine::{Engine, EngineError, KernelSpec, SimReport, SimRequest};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -114,6 +118,33 @@ impl ServeConfig {
         }
         config
     }
+
+    /// Validates operator-supplied values for a *server* deployment: both
+    /// the worker pool and the report cache must be non-degenerate.
+    /// (Embedders may still construct a `cache_capacity: 0` config directly
+    /// to disable caching; a server with no cache or no workers is a
+    /// misconfiguration, not a mode.)
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field and a working range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err(
+                "workers must be at least 1: a pool with zero workers would accept \
+                 requests but never run them"
+                    .to_string(),
+            );
+        }
+        if self.cache_capacity == 0 {
+            return Err(
+                "cache capacity must be at least 1 entry: capacity 0 disables the \
+                 content-addressed report cache, so every request would re-simulate"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -147,6 +178,13 @@ pub struct ServeStats {
     pub workers: u64,
     /// Jobs a worker stole from another worker's deque.
     pub steals: u64,
+    /// Kernel families registered (explicitly or on first parametric
+    /// submission).
+    pub families: u64,
+    /// Submissions routed through the family tier.
+    pub family_requests: u64,
+    /// Family-tier submissions answered from the report cache.
+    pub family_hits: u64,
 }
 
 type Runner = Box<dyn Fn(&SimRequest) -> Result<SimReport, EngineError> + Send + Sync>;
@@ -166,6 +204,7 @@ pub struct SimService {
     cache: ReportCache,
     pending: PendingMap,
     pool: WorkerPool,
+    families: FamilyRegistry,
     runner: Option<Runner>,
     requests: AtomicU64,
     simulated: AtomicU64,
@@ -190,6 +229,7 @@ impl SimService {
             cache: ReportCache::new(config.cache_capacity),
             pending: PendingMap::new(),
             pool: WorkerPool::new(config.workers),
+            families: FamilyRegistry::new(),
             runner: None,
             requests: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
@@ -237,9 +277,12 @@ impl SimService {
         queue_ns: Option<u64>,
     ) -> Result<(SimReport, Served), EngineError> {
         self.requests.fetch_add(1, Ordering::SeqCst);
-        let key = request.canonical_hash().as_u128();
+        let (key, family) = self.address(request);
         // Fast path: one shard-local read lock.
         if let Some(report) = self.cache.get(key) {
+            if let Some(entry) = &family {
+                entry.count_hit();
+            }
             return Ok((report, Served::CacheHit));
         }
         match self.pending.claim(key) {
@@ -249,6 +292,9 @@ impl SimService {
                 // between our probe and our claim; quiet so the common
                 // path does not double-count misses.
                 if let Some(report) = self.cache.get_quiet(key) {
+                    if let Some(entry) = &family {
+                        entry.count_hit();
+                    }
                     self.pending.complete(token, Ok(report.clone()));
                     return Ok((report, Served::CacheHit));
                 }
@@ -272,6 +318,109 @@ impl SimService {
                 outcome.map(|report| (report, Served::Simulated))
             }
         }
+    }
+
+    /// Resolves a request to its cache address, routing parametric kernels
+    /// through the family tier: the family is auto-registered on first
+    /// sight, and the canonical instance address of every `(config,
+    /// bindings)` pair is memoised, so repeat exploration submissions skip
+    /// substitution and canonicalisation (the expensive half of
+    /// [`SimRequest::canonical_hash`]) and go straight to the report cache.
+    fn address(&self, request: &SimRequest) -> (u128, Option<Arc<FamilyEntry>>) {
+        let (Some(family), KernelSpec::Parametric { name, code, .. }) =
+            (request.family_hash(), &request.kernel)
+        else {
+            return (request.canonical_hash().as_u128(), None);
+        };
+        let params = scop::ParametricScop::cached(code)
+            .map(|template| template.params().to_vec())
+            .unwrap_or_default();
+        let (entry, _) = self.families.ensure(family.as_u128(), name, code, &params);
+        entry.count_request();
+        let instance_key = format!(
+            "{}|{}",
+            request.config_text(),
+            request.kernel.param_bindings().key()
+        );
+        let key = match entry.instance(&instance_key) {
+            Some(hash) => hash,
+            None => {
+                let hash = request.canonical_hash().as_u128();
+                entry.record_instance(instance_key, hash);
+                hash
+            }
+        };
+        (key, Some(entry))
+    }
+
+    /// Registers a parametric kernel family ahead of time, so later
+    /// submissions can reference it by its 128-bit family address plus a
+    /// bindings object ([`SimService::family_kernel`]) instead of
+    /// re-sending the template source on every request line.
+    ///
+    /// Registration is idempotent: re-registering the same family (under
+    /// any α-renaming of its parameters, arrays and iterators) returns the
+    /// same address and keeps the existing counters.
+    ///
+    /// # Errors
+    ///
+    /// If the template does not parse, or declares no parameters (a
+    /// constant kernel is an instance, not a family — submit it as a plain
+    /// `source` request).
+    pub fn register_family(&self, name: &str, code: &str) -> Result<FamilyStats, String> {
+        let template = scop::ParametricScop::cached(code)
+            .map_err(|e| format!("family `{name}` failed to parse: {e}"))?;
+        if template.params().is_empty() {
+            return Err(format!(
+                "family `{name}` declares no parameters; submit it as a plain `source` kernel"
+            ));
+        }
+        let kernel = KernelSpec::parametric(name, code, [] as [(String, i64); 0]);
+        let family = kernel
+            .family_hash()
+            .expect("parametric kernels always have a family address");
+        self.families
+            .ensure(family.as_u128(), name, code, template.params());
+        let stats = self
+            .families
+            .snapshot()
+            .into_iter()
+            .find(|stats| stats.family == family.to_string())
+            .expect("the family was just registered");
+        Ok(stats)
+    }
+
+    /// Builds the kernel spec for a request that references a registered
+    /// family by hex address plus bindings (the wire protocol's
+    /// `{"family": …, "bindings": {…}}` form).
+    ///
+    /// # Errors
+    ///
+    /// If the address is not valid hex or names no registered family.
+    pub fn family_kernel(
+        &self,
+        family: &str,
+        bindings: &[(String, i64)],
+    ) -> Result<KernelSpec, String> {
+        let raw = u128::from_str_radix(family, 16)
+            .map_err(|_| format!("`{family}` is not a 128-bit hex family address"))?;
+        let entry = self.families.get(raw).ok_or_else(|| {
+            format!(
+                "unknown family `{family}`; register it first with \
+                 {{\"cmd\": \"register_family\", \"name\": …, \"code\": …}}"
+            )
+        })?;
+        Ok(KernelSpec::parametric(
+            entry.name(),
+            entry.code(),
+            bindings.iter().cloned(),
+        ))
+    }
+
+    /// Per-family counters (requests, report-cache hits, distinct
+    /// instances), sorted by family address.
+    pub fn family_stats(&self) -> Vec<FamilyStats> {
+        self.families.snapshot()
     }
 
     /// Serves a batch through the work-stealing pool: requests are placed
@@ -350,6 +499,7 @@ impl SimService {
     pub fn stats(&self) -> ServeStats {
         let cache = self.cache.counters();
         let pool = self.pool.counters();
+        let (family_requests, family_hits) = self.families.totals();
         ServeStats {
             requests: self.requests.load(Ordering::SeqCst),
             simulated: self.simulated.load(Ordering::SeqCst),
@@ -362,6 +512,9 @@ impl SimService {
             errors: self.errors.load(Ordering::SeqCst),
             workers: pool.workers,
             steals: pool.steals,
+            families: self.families.len(),
+            family_requests,
+            family_hits,
         }
     }
 }

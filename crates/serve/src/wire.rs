@@ -6,28 +6,61 @@
 //! clients can reorder.
 //!
 //! Input lines are either a bare [`SimRequest`] JSON object (the id defaults
-//! to the 1-based line number), an `{"id": …, "request": {…}}` wrapper, or a
-//! control line:
+//! to the 1-based line number), an `{"id": …, "request": {…}}` wrapper, a
+//! **family request** — `{"family": "<hex>", "bindings": {…}, "memory": …,
+//! "backend": …}` referencing a registered kernel family instead of
+//! re-sending its source — or a control line:
 //!
 //! * `{"cmd": "stats"}` — emit a `{"serve_stats": {…}}` line immediately;
+//! * `{"cmd": "register_family", "name": …, "code": …}` — register a
+//!   parametric kernel family; replies `{"registered": {…}}` with the
+//!   family's hex address and parameter names;
+//! * `{"cmd": "families"}` — emit a `{"families": […]}` line with
+//!   per-family counters;
 //! * `{"cmd": "shutdown"}` — drain in-flight work and stop reading.
 //!
 //! Output lines are `{"id", "served", "cached", "serve_ns", "report"}` on
 //! success (`served` is a [`Served::label`], `cached` is true for cache hits,
 //! `serve_ns` is this submission's wall time including queueing) or
-//! `{"id", "error"}` on parse/simulation failure.  End of input (or a
-//! shutdown line) flushes a final `{"serve_stats": {…}}` summary.
+//! `{"id", "error"}` on parse/simulation failure.  With
+//! [`WireOptions::debug_hash`] enabled, success envelopes also carry the
+//! request's `canonical_hash` (hex), so clients can verify that two
+//! spellings of one kernel really share a cache address.  End of input (or
+//! a shutdown line) flushes a final `{"serve_stats": {…}}` summary.
 
 use crate::{ServeStats, Served, SimService};
-use engine::SimRequest;
+use engine::{Backend, MemoryConfig, SimRequest};
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+/// Knobs of [`serve_lines_with`] that shape the output stream without
+/// changing what is simulated.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireOptions {
+    /// Include each request's canonical hash (hex) in success envelopes.
+    pub debug_hash: bool,
+}
+
 /// What one input line asked for.
 enum Line {
-    Request { id: Value, request: SimRequest },
+    Request {
+        id: Value,
+        request: SimRequest,
+    },
+    FamilyRequest {
+        id: Value,
+        family: String,
+        bindings: Vec<(String, i64)>,
+        memory: MemoryConfig,
+        backend: Backend,
+    },
+    RegisterFamily {
+        name: String,
+        code: String,
+    },
+    Families,
     Stats,
     Shutdown,
 }
@@ -41,6 +74,25 @@ fn parse_line(line: &str, number: u64) -> Result<Line, (Value, String)> {
     if let Some(cmd) = value.get("cmd").and_then(Value::as_str) {
         return match cmd {
             "stats" => Ok(Line::Stats),
+            "families" => Ok(Line::Families),
+            "register_family" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("family")
+                    .to_string();
+                let code = value
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| {
+                        (
+                            default_id.clone(),
+                            "register_family is missing `code`".to_string(),
+                        )
+                    })?
+                    .to_string();
+                Ok(Line::RegisterFamily { name, code })
+            }
             "shutdown" => Ok(Line::Shutdown),
             other => Err((default_id, format!("unknown command `{other}`"))),
         };
@@ -49,10 +101,59 @@ fn parse_line(line: &str, number: u64) -> Result<Line, (Value, String)> {
         Some(request) => (value.get("id").cloned().unwrap_or(default_id), request),
         None => (default_id, &value),
     };
+    if request_value.get("family").is_some() {
+        return parse_family_request(id, request_value);
+    }
     match SimRequest::deserialize_value(request_value) {
         Ok(request) => Ok(Line::Request { id, request }),
         Err(error) => Err((id, error)),
     }
+}
+
+fn parse_family_request(id: Value, value: &Value) -> Result<Line, (Value, String)> {
+    let fail = |message: String, id: &Value| (id.clone(), message);
+    let family = value
+        .get("family")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("`family` must be a hex family address".to_string(), &id))?
+        .to_string();
+    let bindings = match value.get("bindings") {
+        Some(Value::Object(entries)) => {
+            let mut bindings = Vec::with_capacity(entries.len());
+            for (param, bound) in entries {
+                let bound = bound.as_i64().ok_or_else(|| {
+                    fail(
+                        format!("binding for parameter `{param}` must be an integer"),
+                        &id,
+                    )
+                })?;
+                bindings.push((param.clone(), bound));
+            }
+            bindings
+        }
+        Some(other) => {
+            return Err(fail(
+                format!("`bindings` must be an object, got {other:?}"),
+                &id,
+            ))
+        }
+        None => Vec::new(),
+    };
+    let memory = value
+        .get("memory")
+        .ok_or_else(|| fail("family request is missing `memory`".to_string(), &id))
+        .and_then(|memory| MemoryConfig::deserialize_value(memory).map_err(|e| fail(e, &id)))?;
+    let backend = value
+        .get("backend")
+        .ok_or_else(|| fail("family request is missing `backend`".to_string(), &id))
+        .and_then(|backend| Backend::deserialize_value(backend).map_err(|e| fail(e, &id)))?;
+    Ok(Line::FamilyRequest {
+        id,
+        family,
+        bindings,
+        memory,
+        backend,
+    })
 }
 
 fn write_line<W: Write>(writer: &Mutex<W>, value: &Value) {
@@ -108,6 +209,72 @@ impl WaitGroup {
     }
 }
 
+/// Enqueues one request on the pool; its envelope streams out when it
+/// finishes.
+fn spawn_request<W>(
+    service: &Arc<SimService>,
+    writer: &Arc<Mutex<W>>,
+    jobs: &Arc<WaitGroup>,
+    options: WireOptions,
+    id: Value,
+    request: SimRequest,
+) where
+    W: Write + Send + 'static,
+{
+    let service = service.clone();
+    let writer = writer.clone();
+    let jobs = jobs.clone();
+    let arrived = Instant::now();
+    jobs.add();
+    service.clone().pool().spawn(move || {
+        let queue_ns = arrived.elapsed().as_nanos() as u64;
+        let envelope = match service.submit_queued(&request, Some(queue_ns)) {
+            Ok((report, served)) => {
+                let mut fields = vec![
+                    ("id".to_string(), id),
+                    ("served".to_string(), Value::Str(served.label().to_string())),
+                    (
+                        "cached".to_string(),
+                        Value::Bool(served == Served::CacheHit),
+                    ),
+                    (
+                        "serve_ns".to_string(),
+                        Value::UInt(arrived.elapsed().as_nanos() as u64),
+                    ),
+                ];
+                if options.debug_hash {
+                    fields.push((
+                        "canonical_hash".to_string(),
+                        Value::Str(request.canonical_hash().to_string()),
+                    ));
+                }
+                fields.push(("report".to_string(), report.serialize_value()));
+                Value::Object(fields)
+            }
+            Err(error) => error_envelope(id, error.to_string()),
+        };
+        write_line(&writer, &envelope);
+        jobs.done();
+    });
+}
+
+/// [`serve_lines_with`] using the default [`WireOptions`].
+///
+/// # Errors
+///
+/// Propagates read errors on the input stream; output errors are ignored
+/// (a client that hangs up mid-stream does not kill the server).
+pub fn serve_lines<W>(
+    service: &Arc<SimService>,
+    reader: impl BufRead,
+    writer: W,
+) -> std::io::Result<(ServeStats, bool)>
+where
+    W: Write + Send + 'static,
+{
+    serve_lines_with(service, reader, writer, WireOptions::default())
+}
+
 /// Serves JSON-lines requests from `reader`, streaming envelopes to
 /// `writer` as they finish, until end of input or a shutdown line.  Returns
 /// the final stats snapshot (also written as the last output line) and
@@ -119,10 +286,11 @@ impl WaitGroup {
 ///
 /// Propagates read errors on the input stream; output errors are ignored
 /// (a client that hangs up mid-stream does not kill the server).
-pub fn serve_lines<W>(
+pub fn serve_lines_with<W>(
     service: &Arc<SimService>,
     reader: impl BufRead,
     writer: W,
+    options: WireOptions,
 ) -> std::io::Result<(ServeStats, bool)>
 where
     W: Write + Send + 'static,
@@ -137,32 +305,40 @@ where
         }
         match parse_line(&line, index as u64 + 1) {
             Ok(Line::Request { id, request }) => {
-                let service = service.clone();
-                let writer = writer.clone();
-                let jobs = jobs.clone();
-                let arrived = Instant::now();
-                jobs.add();
-                service.clone().pool().spawn(move || {
-                    let queue_ns = arrived.elapsed().as_nanos() as u64;
-                    let envelope = match service.submit_queued(&request, Some(queue_ns)) {
-                        Ok((report, served)) => Value::Object(vec![
-                            ("id".to_string(), id),
-                            ("served".to_string(), Value::Str(served.label().to_string())),
-                            (
-                                "cached".to_string(),
-                                Value::Bool(served == Served::CacheHit),
-                            ),
-                            (
-                                "serve_ns".to_string(),
-                                Value::UInt(arrived.elapsed().as_nanos() as u64),
-                            ),
-                            ("report".to_string(), report.serialize_value()),
-                        ]),
-                        Err(error) => error_envelope(id, error.to_string()),
-                    };
-                    write_line(&writer, &envelope);
-                    jobs.done();
-                });
+                spawn_request(service, &writer, &jobs, options, id, request);
+            }
+            Ok(Line::FamilyRequest {
+                id,
+                family,
+                bindings,
+                memory,
+                backend,
+            }) => match service.family_kernel(&family, &bindings) {
+                Ok(kernel) => {
+                    let request = SimRequest::new(kernel, memory, backend);
+                    spawn_request(service, &writer, &jobs, options, id, request);
+                }
+                Err(message) => write_line(&writer, &error_envelope(id, message)),
+            },
+            Ok(Line::RegisterFamily { name, code }) => {
+                let envelope = match service.register_family(&name, &code) {
+                    Ok(stats) => {
+                        Value::Object(vec![("registered".to_string(), stats.serialize_value())])
+                    }
+                    Err(message) => error_envelope(Value::UInt(index as u64 + 1), message),
+                };
+                write_line(&writer, &envelope);
+            }
+            Ok(Line::Families) => {
+                let families = service
+                    .family_stats()
+                    .iter()
+                    .map(Serialize::serialize_value)
+                    .collect();
+                write_line(
+                    &writer,
+                    &Value::Object(vec![("families".to_string(), Value::Array(families))]),
+                );
             }
             Ok(Line::Stats) => {
                 write_line(&writer, &stats_line(&service.stats()));
@@ -246,6 +422,10 @@ mod tests {
         for envelope in &lines[..3] {
             let id = envelope.get("id").and_then(Value::as_u64).expect("id");
             assert!((1..=3).contains(&id));
+            assert!(
+                envelope.get("canonical_hash").is_none(),
+                "hashes are debug-only"
+            );
             let report = envelope.get("report").expect("success envelope");
             reports.push(serde_json::to_string(report).expect("renders"));
         }
@@ -285,5 +465,138 @@ mod tests {
         assert_eq!(lines[0].get("id").and_then(Value::as_u64), Some(1));
         assert!(lines[1].get("serve_stats").is_some());
         assert!(lines[2].get("serve_stats").is_some());
+    }
+
+    #[test]
+    fn families_register_resolve_and_report_debug_hashes() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+        }));
+        let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
+        let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
+
+        // Register, then read back the family address from the reply.
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(&service, Cursor::new(format!("{register}\n")), sink.clone())
+            .expect("registration succeeds");
+        let registered = lines_of(&sink)[0]
+            .get("registered")
+            .cloned()
+            .expect("registration envelope");
+        let family = registered
+            .get("family")
+            .and_then(Value::as_str)
+            .expect("family address")
+            .to_string();
+        assert_eq!(family.len(), 32);
+
+        // A family request and the equivalent constant-source request share
+        // one cache address, proven by the debug-hash envelopes.
+        let memory = r#"{"levels":[{"sets":1,"assoc":8,"line_size":8,"policy":"lru"}]}"#;
+        let by_family = format!(
+            r#"{{"id":1,"request":{{"family":"{family}","bindings":{{"N":32}},"memory":{memory},"backend":"warping"}}}}"#
+        );
+        let input = format!("{}\n{by_family}\n", request_line(7));
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let (stats, _) = serve_lines_with(
+            &service,
+            Cursor::new(input),
+            sink.clone(),
+            WireOptions { debug_hash: true },
+        )
+        .expect("serving succeeds");
+        let lines = lines_of(&sink);
+        let hashes: Vec<&str> = lines[..2]
+            .iter()
+            .map(|envelope| {
+                envelope
+                    .get("canonical_hash")
+                    .and_then(Value::as_str)
+                    .expect("debug hash present")
+            })
+            .collect();
+        assert_eq!(hashes[0], hashes[1], "one instance, one address");
+        assert_eq!(stats.family_requests, 1);
+        assert_eq!(stats.families, 1);
+
+        // Unknown family addresses get a clear error envelope.
+        let bad = format!(
+            r#"{{"id":9,"request":{{"family":"{0:032x}","bindings":{{}},"memory":{memory},"backend":"warping"}}}}"#,
+            0xdead_beefu128
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(&service, Cursor::new(format!("{bad}\n")), sink.clone())
+            .expect("serving succeeds");
+        assert!(lines_of(&sink)[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("error envelope")
+            .contains("unknown family"));
+    }
+
+    #[test]
+    fn families_command_reports_per_family_counters() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 1,
+            cache_capacity: 16,
+        }));
+        let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
+        let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
+        let memory = r#"{"levels":[{"sets":1,"assoc":8,"line_size":8,"policy":"lru"}]}"#;
+        let request = |id: u64, n: u64| {
+            format!(
+                r#"{{"id":{id},"request":{{"family":"FAMILY","bindings":{{"N":{n}}},"memory":{memory},"backend":"warping"}}}}"#
+            )
+        };
+
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(&service, Cursor::new(format!("{register}\n")), sink.clone())
+            .expect("registration succeeds");
+        let family = lines_of(&sink)[0]
+            .get("registered")
+            .and_then(|r| r.get("family"))
+            .and_then(Value::as_str)
+            .expect("family address")
+            .to_string();
+
+        // Two instances, the second submitted twice: one family hit.
+        let input = format!(
+            "{}\n{}\n{}\n",
+            request(1, 16).replace("FAMILY", &family),
+            request(2, 32).replace("FAMILY", &family),
+            request(3, 32).replace("FAMILY", &family),
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let (stats, _) =
+            serve_lines(&service, Cursor::new(input), sink.clone()).expect("serving succeeds");
+        assert_eq!(stats.family_requests, 3);
+        assert_eq!(
+            stats.family_hits + stats.coalesced,
+            1,
+            "the repeat either hit the cache or coalesced"
+        );
+        // The per-family counters are drained by now; ask for them on a
+        // fresh connection.
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(
+            &service,
+            Cursor::new("{\"cmd\":\"families\"}\n"),
+            sink.clone(),
+        )
+        .expect("serving succeeds");
+        let families = lines_of(&sink)
+            .iter()
+            .find_map(|line| line.get("families").cloned())
+            .expect("families line");
+        match families {
+            Value::Array(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].get("name").and_then(Value::as_str), Some("scan"));
+                assert_eq!(entries[0].get("requests").and_then(Value::as_u64), Some(3));
+                assert_eq!(entries[0].get("instances").and_then(Value::as_u64), Some(2));
+            }
+            other => panic!("families must be an array, got {other:?}"),
+        }
     }
 }

@@ -206,3 +206,117 @@ fn expected_extent(request: &SimRequest) -> u64 {
         _ => unreachable!("batch test uses source kernels"),
     }
 }
+
+/// The family tier: parametric submissions are auto-registered, repeat
+/// `(bindings, config)` instances memoise their canonical address, and a
+/// parametric instance shares its report — byte for byte — with the
+/// hand-written constant kernel it denotes.
+#[test]
+fn family_tier_memoises_instances_and_shares_reports() {
+    let template = "param N, T;\n\
+        double A[N];\n\
+        for (ii = 0; ii < N; ii += T)\n\
+            for (i = ii; i < ii + T; i++)\n\
+                if (i < N) A[i] = A[i - 1] + A[i];";
+    let service = SimService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 32,
+    });
+    let parametric = |n: i64, t: i64| {
+        SimRequest::new(
+            KernelSpec::parametric("tiled", template, [("N", n), ("T", t)]),
+            memory(),
+            Backend::warping(),
+        )
+    };
+
+    // Cold: simulated, family auto-registered.
+    let (cold, how) = service.submit(&parametric(64, 8)).expect("cold instance");
+    assert_eq!(how, Served::Simulated);
+    // Same instance again: a family-tier report-cache hit.
+    let (warm, how) = service.submit(&parametric(64, 8)).expect("warm instance");
+    assert_eq!(how, Served::CacheHit);
+    assert_eq!(warm.to_json(), cold.to_json());
+    // A different binding is a different instance (fresh simulation).
+    let (_, how) = service.submit(&parametric(64, 16)).expect("new instance");
+    assert_eq!(how, Served::Simulated);
+
+    // The hand-written constant kernel hits the parametric instance's
+    // cached report.
+    let constant = request(
+        "double A[64];\n\
+         for (ii = 0; ii < 64; ii += 8)\n\
+             for (i = ii; i < ii + 8; i++)\n\
+                 if (i < 64) A[i] = A[i - 1] + A[i];",
+    );
+    let (from_cache, how) = service.submit(&constant).expect("constant spelling");
+    assert_eq!(how, Served::CacheHit);
+    assert_eq!(from_cache.result, cold.result);
+
+    let stats = service.stats();
+    assert_eq!(stats.families, 1);
+    assert_eq!(stats.family_requests, 3);
+    assert_eq!(stats.family_hits, 1, "the repeat instance hit via the memo");
+    let families = service.family_stats();
+    assert_eq!(families.len(), 1);
+    assert_eq!(families[0].name, "tiled");
+    assert_eq!(families[0].params, vec!["N".to_string(), "T".to_string()]);
+    assert_eq!(families[0].instances, 2);
+}
+
+/// Explicit registration is idempotent across α-renamings and rejects
+/// degenerate templates with actionable errors.
+#[test]
+fn family_registration_is_idempotent_and_validated() {
+    let service = SimService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 8,
+    });
+    let a = service
+        .register_family(
+            "scan",
+            "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];",
+        )
+        .expect("valid family");
+    let b = service
+        .register_family(
+            "scan-renamed",
+            "param M; double buf[M]; for (t = 0; t < M; t++) buf[t] = buf[t];",
+        )
+        .expect("renamed family");
+    assert_eq!(a.family, b.family, "α-renaming does not fork the family");
+    assert_eq!(service.stats().families, 1);
+
+    let err = service
+        .register_family("broken", "param N; double A[N; for (i")
+        .expect_err("parse errors surface");
+    assert!(err.contains("failed to parse"), "{err}");
+    let err = service
+        .register_family(
+            "constant",
+            "double A[8]; for (i = 0; i < 8; i++) A[i] = A[i];",
+        )
+        .expect_err("parameterless templates are instances");
+    assert!(err.contains("declares no parameters"), "{err}");
+}
+
+/// `ServeConfig::validate` rejects the degenerate server configurations the
+/// CLI would otherwise silently clamp.
+#[test]
+fn degenerate_serve_configs_are_rejected_with_clear_errors() {
+    let err = ServeConfig {
+        workers: 0,
+        cache_capacity: 64,
+    }
+    .validate()
+    .expect_err("zero workers is a misconfiguration");
+    assert!(err.contains("workers"), "{err}");
+    let err = ServeConfig {
+        workers: 2,
+        cache_capacity: 0,
+    }
+    .validate()
+    .expect_err("zero cache capacity is a misconfiguration");
+    assert!(err.contains("cache capacity"), "{err}");
+    assert!(ServeConfig::default().validate().is_ok());
+}
