@@ -91,6 +91,7 @@ fn warm_service(grid: &[(i64, i64)]) -> SimService {
     let service = SimService::new(ServeConfig {
         workers: 1,
         cache_capacity: 128,
+        exact_budget: None,
     });
     service
         .register_family("tiled-gemm", TILED_GEMM)

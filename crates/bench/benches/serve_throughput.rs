@@ -66,6 +66,7 @@ fn bench_warm_vs_cold(criterion: &mut Criterion) {
             let service = SimService::new(ServeConfig {
                 workers: 1,
                 cache_capacity: 16,
+                exact_budget: None,
             });
             black_box(service.submit(&request).expect("request served"))
         })
@@ -76,6 +77,7 @@ fn bench_warm_vs_cold(criterion: &mut Criterion) {
         let service = SimService::new(ServeConfig {
             workers: 1,
             cache_capacity: 16,
+            exact_budget: None,
         });
         let request = request(0);
         service.submit(&request).expect("priming run succeeds");
@@ -103,6 +105,7 @@ fn bench_batch_workers(criterion: &mut Criterion) {
                     let service = Arc::new(SimService::new(ServeConfig {
                         workers,
                         cache_capacity: 64,
+                        exact_budget: None,
                     }));
                     black_box(service.run_batch(&duplicate_heavy_batch()))
                 })

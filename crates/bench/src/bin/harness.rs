@@ -20,10 +20,12 @@
 //!   grid    fan a kernel × policy × backend grid out through the engine:
 //!           harness grid [--size S] [--kernels k1,k2,...]
 //!                        [--policies lru,fifo,plru,qlru]
-//!                        [--backends classic,warping,haystack,polycache,trace]
+//!                        [--backends classic,warping,haystack,polycache,
+//!                                    trace,sampled]
 //!                        [--levels SPEC] [--threads N]
 //!                        [--fingerprint-filter on|off]
-//!                        [--label-renorm on|off] [--json]
+//!                        [--label-renorm on|off]
+//!                        [--sample-rate F] [--warmup N] [--json]
 //!
 //!           --levels describes the memory system as a comma-separated list
 //!           of cache levels, innermost first.  Each level is
@@ -63,6 +65,17 @@
 //!           `on` finds that `off` cannot (CI asserts both facts on an
 //!           L1-resident grid over a 64 MiB L3).
 //!
+//!           --sample-rate F and --warmup N tune the `sampled` backend
+//!           (`SamplingOptions`): F is the target fraction of outer-loop
+//!           intervals to simulate, in (0, 1] (default 0.1; 1.0 is
+//!           bit-identical to `classic`), and N is the number of warm-up
+//!           intervals simulated-but-discarded per live cache level before
+//!           each measured interval (default 1).  Both are validated up
+//!           front: a rate outside (0, 1] or a negative warm-up dies with
+//!           an explanation before anything simulates.  Sampled rows
+//!           report approximation stats in `--json` output (`approx`:
+//!           sampled fraction, per-level error bounds, interval counts).
+//!
 //!   explore sweep a parametric kernel family across tile-size bindings ×
 //!           memory hierarchies × replacement policies:
 //!           harness explore [--sweep TI=4,8,16,32;TJ=4,8,16,32]
@@ -89,7 +102,7 @@
 //!
 //!   serve   run the JSON-lines simulation service:
 //!           harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N]
-//!                         [--debug-hash]
+//!                         [--exact-budget N] [--debug-hash]
 //!
 //!           `--debug-hash` adds the 128-bit canonical address of every
 //!           request (`"canonical_hash"`, hex) to its reply envelope, so
@@ -97,6 +110,16 @@
 //!           collide.  `--workers 0` and `--cache-cap 0` are rejected up
 //!           front with an explanation (a zero-worker pool would never run
 //!           anything; a zero-entry cache would re-simulate every request).
+//!
+//!           `--exact-budget N` puts the service in degraded-capable mode:
+//!           an exact request (classic/warping/trace) whose kernel exceeds
+//!           N dynamic accesses is rewritten onto the `sampled` backend
+//!           and its envelope is marked `"approx": true` (the report's
+//!           `approx` object carries the sampled fraction and per-level
+//!           error bounds).  Degraded reports are cached under the sampled
+//!           request's own canonical address, so they never displace a
+//!           cached exact report.  `--exact-budget 0` is rejected up front
+//!           (env default: WARPSIM_SERVE_EXACT_BUDGET).
 //!
 //!           Without `--addr` the service reads requests from stdin and
 //!           writes envelopes to stdout.  With `--addr` it listens on TCP
@@ -146,6 +169,8 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut fingerprint_filter: Option<bool> = None;
     let mut label_renorm: Option<bool> = None;
+    let mut sample_rate: Option<f64> = None;
+    let mut warmup: Option<u32> = None;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -218,6 +243,26 @@ fn main() {
                     _ => die("--label-renorm expects `on` or `off`"),
                 });
             }
+            "--sample-rate" => {
+                i += 1;
+                let rate: f64 = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| die("--sample-rate expects a number in (0, 1]"));
+                // Validated up front (not when the first sampled request
+                // runs), so a bad rate fails before any simulation starts.
+                if let Err(e) = engine::SamplingOptions::from_rate(rate) {
+                    die(&format!("--sample-rate: {e}"));
+                }
+                sample_rate = Some(rate);
+            }
+            "--warmup" => {
+                i += 1;
+                warmup =
+                    Some(args.get(i).and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+                        die("--warmup expects a non-negative number of intervals")
+                    }));
+            }
             "--levels" => {
                 i += 1;
                 levels = parse_levels(args.get(i).map(String::as_str).unwrap_or(""))
@@ -247,6 +292,23 @@ fn main() {
                     }
                     Backend::Warping(options)
                 }
+                other => other,
+            })
+            .collect();
+    }
+    if sample_rate.is_some() || warmup.is_some() {
+        // Applies to the sampled backend only, like the warping knobs
+        // above.
+        let mut options = sample_rate.map_or(engine::SamplingOptions::DEFAULT, |rate| {
+            engine::SamplingOptions::from_rate(rate).unwrap_or_else(|e| die(&e))
+        });
+        if let Some(warmup) = warmup {
+            options = options.with_warmup(warmup);
+        }
+        backends = backends
+            .into_iter()
+            .map(|backend| match backend {
+                Backend::Sampled(_) => Backend::Sampled(options),
                 other => other,
             })
             .collect();
@@ -986,6 +1048,14 @@ fn serve_command(args: &[String]) {
                     .and_then(|n| n.parse::<usize>().ok())
                     .unwrap_or_else(|| die("--workers expects a number"));
             }
+            "--exact-budget" => {
+                i += 1;
+                config.exact_budget = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse::<u64>().ok())
+                        .unwrap_or_else(|| die("--exact-budget expects an access count")),
+                );
+            }
             "--debug-hash" => options.debug_hash = true,
             other => die(&format!("unknown serve argument `{other}`")),
         }
@@ -1234,12 +1304,12 @@ fn print_usage() {
         "usage: harness <fig6|fig7|fig8|fig9|fig10|fig11|fig12|verify|grid|all> \
          [--size mini|small|medium|large|extralarge] [--kernels a,b,c] \
          [--policies lru,fifo,plru,qlru] \
-         [--backends classic,warping,haystack,polycache,trace] \
+         [--backends classic,warping,haystack,polycache,trace,sampled] \
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
          [--threads N] [--fingerprint-filter on|off] [--label-renorm on|off] \
-         [--json]\n\
+         [--sample-rate F] [--warmup N] [--json]\n\
          \x20      harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N] \
-         [--debug-hash]\n\
+         [--exact-budget N] [--debug-hash]\n\
          \x20      harness explore [--sweep TI=4,8;TJ=4,8] [--bind NI=32,...] \
          [--hierarchies l1;l1l2] [--policies lru,plru] [--backend warping] \
          [--workers N] [--template FILE] [--name NAME] [--json]"

@@ -55,6 +55,6 @@ pub use block::{Access, AccessKind, MemBlock};
 pub use cache::{CacheConfig, CacheState, LevelStats};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyState, HierarchyStats, WritePolicy};
 pub use memory::{MemoryConfig, MemoryConfigError};
-pub use multilevel::{MultiAccessOutcome, MultiLevelState};
+pub use multilevel::{MultiAccessOutcome, MultiLevelState, StateSnapshot};
 pub use policy::{PolicyState, ReplacementPolicy};
 pub use set::SetState;

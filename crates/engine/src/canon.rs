@@ -204,6 +204,11 @@ impl SimRequest {
             // change the telemetry block even when miss counts agree), so
             // the whole option record is part of the address.
             Backend::Warping(options) => format!("warping:{options:?}"),
+            // The sampling knobs change the extrapolated counts and the
+            // error bound, so approximate reports at different rates never
+            // share an address — and, crucially, never share one with an
+            // exact report of the same kernel.
+            Backend::Sampled(options) => format!("sampled:{options:?}"),
             other => other.label().to_string(),
         };
         format!("memory:{memory};backend:{backend}")

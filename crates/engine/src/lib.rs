@@ -48,11 +48,13 @@
 mod canon;
 mod report;
 mod request;
+mod sampling;
 
 pub use cache_model::{MemoryConfig, MemoryConfigError};
 pub use canon::CanonicalHash;
-pub use report::{SimReport, WarpingStats};
+pub use report::{ApproxStats, SimReport, WarpingStats};
 pub use request::{dataset_by_name, Backend, KernelSpec, SimRequest};
+pub use sampling::SamplingOptions;
 
 use analytical::{HaystackModel, PolyCacheModel};
 use cache_model::{LevelStats, ReplacementPolicy, WritePolicy};
@@ -81,7 +83,7 @@ pub enum EngineError {
         /// What is unsupported.
         message: String,
     },
-    /// The warping options fail validation.
+    /// The backend's tuning options (warping or sampling) fail validation.
     InvalidOptions(String),
 }
 
@@ -98,7 +100,7 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidOptions(message) => {
-                write!(f, "invalid warping options: {message}")
+                write!(f, "invalid backend options: {message}")
             }
         }
     }
@@ -182,11 +184,11 @@ impl Engine {
 
         let memory = &request.memory;
         let sim_start = Instant::now();
-        let (result, warping, exact) = match &request.backend {
+        let (result, warping, exact, approx) = match &request.backend {
             Backend::Classic => {
                 let mut system = MultiLevelSystem::new(memory.clone());
                 let result = simulate(&scop, &mut system);
-                (result, None, true)
+                (result, None, true, None)
             }
             Backend::Warping(options) => {
                 options
@@ -201,7 +203,7 @@ impl Engine {
                     .with_threads(backend_threads);
                 let outcome = simulator.run(&scop);
                 let stats = WarpingStats::from(&outcome);
-                (outcome.result, Some(stats), true)
+                (outcome.result, Some(stats), true, None)
             }
             Backend::Haystack => {
                 let single = memory
@@ -227,7 +229,7 @@ impl Engine {
                     accesses: profile.accesses,
                     levels: vec![l1],
                 };
-                (result, None, exact)
+                (result, None, exact, None)
             }
             Backend::PolyCache => {
                 let hierarchy =
@@ -264,7 +266,16 @@ impl Engine {
                     accesses: analysis.accesses,
                     levels: vec![l1, l2],
                 };
-                (result, None, exact)
+                (result, None, exact, None)
+            }
+            Backend::Sampled(options) => {
+                options.validate().map_err(EngineError::InvalidOptions)?;
+                let (result, approx) = sampling::run_sampled(&scop, memory, options);
+                // Sampling that covered the whole iteration space (rate
+                // 1.0, or a kernel too small to sample) is exact;
+                // anything extrapolated is not, however tight the bound.
+                let exact = approx.is_exact();
+                (result, None, exact, Some(approx))
             }
             Backend::Trace => {
                 let trace = generate_trace(&scop);
@@ -273,7 +284,7 @@ impl Engine {
                     accesses: trace.len() as u64,
                     levels,
                 };
-                (result, None, true)
+                (result, None, true, None)
             }
         };
         let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
@@ -292,6 +303,7 @@ impl Engine {
             // Stamped by schedulers that queue requests (the serving
             // layer's worker pool); a direct `run` never queues.
             queue_ns: None,
+            approx,
         })
     }
 

@@ -76,6 +76,76 @@ impl From<WarpingOutcome> for WarpingStats {
     }
 }
 
+/// Approximation statistics reported by the sampling backend
+/// ([`Backend::Sampled`](crate::Backend::Sampled)): how much of the
+/// iteration space was actually simulated and how far the extrapolated
+/// counts can be from exact simulation.
+///
+/// The error bound is *empirical*, derived from the spread of the measured
+/// intervals (bracketing difference plus worst observed interval-to-interval
+/// jitter): it is exact — zero — for kernels whose cache behaviour is
+/// periodic in the detected interval, and a good-faith envelope otherwise.
+/// A report whose [`is_exact`](ApproxStats::is_exact) is `true` simulated
+/// everything and its counts are bit-identical to the classic backend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApproxStats {
+    /// Share of dynamic accesses actually simulated, in `[0, 1]`
+    /// (`1.0` means nothing was extrapolated).
+    pub sampled_fraction: f64,
+    /// Per-level upper bound on the absolute miss-count error of
+    /// [`SimReport::result`], L1 first.
+    pub per_level_error_bound: Vec<u64>,
+    /// Intervals in the sampling schedule (0 when the kernel was too small
+    /// to sample and was simulated exactly).
+    pub intervals: u64,
+    /// Intervals simulated and counted (the rest were extrapolated).
+    pub measured_intervals: u64,
+    /// Detected outer-loop period, in outer iterations per interval
+    /// (largest across sampled loops; 0 when nothing was sampled).
+    pub period: u64,
+}
+
+impl ApproxStats {
+    /// The statistics of a run that simulated everything: full coverage,
+    /// zero error.
+    pub fn exact(depth: usize) -> Self {
+        ApproxStats {
+            sampled_fraction: 1.0,
+            per_level_error_bound: vec![0; depth],
+            intervals: 0,
+            measured_intervals: 0,
+            period: 0,
+        }
+    }
+
+    /// Whether the run covered the whole iteration space (no extrapolation,
+    /// counts bit-identical to exact simulation).
+    pub fn is_exact(&self) -> bool {
+        self.sampled_fraction >= 1.0 && self.per_level_error_bound.iter().all(|&b| b == 0)
+    }
+}
+
+impl Serialize for ApproxStats {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "sampled_fraction".to_string(),
+                self.sampled_fraction.serialize_value(),
+            ),
+            (
+                "per_level_error_bound".to_string(),
+                self.per_level_error_bound.serialize_value(),
+            ),
+            ("intervals".to_string(), self.intervals.serialize_value()),
+            (
+                "measured_intervals".to_string(),
+                self.measured_intervals.serialize_value(),
+            ),
+            ("period".to_string(), self.period.serialize_value()),
+        ])
+    }
+}
+
 /// The result of one [`SimRequest`](crate::SimRequest): every backend —
 /// simulators, analytical models and the trace replayer — reports through
 /// this one serializable shape.
@@ -123,6 +193,10 @@ pub struct SimReport {
     /// (`crates/serve`); `None` for requests that never queued; omitted
     /// from JSON when unset.
     pub queue_ns: Option<u64>,
+    /// Approximation statistics, for the sampling backend.  `None` for
+    /// every exact backend; omitted from JSON when unset, so consumers of
+    /// exact reports keep seeing the shape they always did.
+    pub approx: Option<ApproxStats>,
 }
 
 impl SimReport {
@@ -149,6 +223,7 @@ impl SimReport {
             && self.levels == other.levels
             && self.warping == other.warping
             && self.exact == other.exact
+            && self.approx == other.approx
     }
 
     /// The report as a JSON string.
@@ -178,6 +253,9 @@ impl Serialize for SimReport {
         }
         if let Some(queue_ns) = self.queue_ns {
             fields.push(("queue_ns".to_string(), queue_ns.serialize_value()));
+        }
+        if let Some(approx) = &self.approx {
+            fields.push(("approx".to_string(), approx.serialize_value()));
         }
         Value::Object(fields)
     }

@@ -1,6 +1,7 @@
 //! Simulation requests: what to simulate ([`KernelSpec`]), on which memory
 //! system ([`MemoryConfig`]) and with which simulator ([`Backend`]).
 
+use crate::sampling::SamplingOptions;
 use cache_model::MemoryConfig;
 use polybench::{Dataset, Kernel};
 use scop::{parse_scop, ParamBindings, ParametricScop, Scop};
@@ -154,11 +155,19 @@ pub enum Backend {
     /// Dinero-IV-style trace simulation: materialise the full access trace,
     /// then replay it; exact for any memory depth.
     Trace,
+    /// Interval sampling: simulates only representative intervals of the
+    /// outer iteration space and extrapolates per-level counts, reporting
+    /// a per-level error bound in
+    /// [`SimReport::approx`](crate::SimReport::approx).  Approximate (fast
+    /// path for kernels warping cannot accelerate); exact at a sampling
+    /// rate of 1.0.
+    Sampled(SamplingOptions),
 }
 
 impl Backend {
-    /// Every backend, warping with default options (the order of the
-    /// paper's evaluation).
+    /// The paper's five evaluated backends, warping with default options
+    /// (in the order of the paper's evaluation).  The approximate
+    /// [`Backend::Sampled`] is deliberately not part of this list.
     pub const ALL: [Backend; 5] = [
         Backend::Classic,
         Backend::Warping(WarpingOptions::DEFAULT),
@@ -172,6 +181,12 @@ impl Backend {
         Backend::Warping(WarpingOptions::default())
     }
 
+    /// The sampling backend with default tuning options (~10% rate, one
+    /// warm-up interval per live level).
+    pub fn sampled() -> Self {
+        Backend::Sampled(SamplingOptions::default())
+    }
+
     /// A short stable identifier, usable in JSON and on the command line.
     pub fn label(&self) -> &'static str {
         match self {
@@ -180,11 +195,12 @@ impl Backend {
             Backend::Haystack => "haystack",
             Backend::PolyCache => "polycache",
             Backend::Trace => "trace",
+            Backend::Sampled(_) => "sampled",
         }
     }
 
-    /// Parses a backend from its [`label`](Backend::label) (warping gets
-    /// the default options).
+    /// Parses a backend from its [`label`](Backend::label) (warping and
+    /// sampled get their default options).
     pub fn by_name(name: &str) -> Option<Backend> {
         match name {
             "classic" => Some(Backend::Classic),
@@ -192,6 +208,7 @@ impl Backend {
             "haystack" => Some(Backend::Haystack),
             "polycache" => Some(Backend::PolyCache),
             "trace" => Some(Backend::Trace),
+            "sampled" => Some(Backend::sampled()),
             _ => None,
         }
     }

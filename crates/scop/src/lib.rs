@@ -52,7 +52,9 @@ pub use elaborate::{elaborate, ElaborateError, ElaborateOptions};
 pub use param::{ParamBindings, ParamError, ParametricScop};
 pub use parser::{parse_program, ParseError};
 pub use tree::{AccessNode, ArrayInfo, LoopNode, Node, Scop};
-pub use walk::{count_accesses, for_each_access, DynamicAccess};
+pub use walk::{
+    count_accesses, exceeds_access_count, for_each_access, for_each_access_at, DynamicAccess,
+};
 
 /// Parses a mini-C source text and elaborates it into a [`Scop`], using the
 /// default elaboration options (array accesses only, 64-byte alignment).

@@ -91,9 +91,95 @@ fn walk_node<'a>(
     }
 }
 
+/// Walks the dynamic accesses of a single node at a fixed outer-iteration
+/// vector, invoking `visit` for each.  Returns the number of accesses
+/// visited.
+///
+/// This is the per-subtree slice of [`for_each_access`]: interval samplers
+/// use it to replay one outer-loop iteration at a time (pass the loop node's
+/// child and the outer vector for that iteration) instead of the whole SCoP.
+pub fn for_each_access_at<'a>(
+    node: &'a Node,
+    outer: &[i64],
+    mut visit: impl FnMut(DynamicAccess<'a>),
+) -> u64 {
+    let mut count = 0;
+    walk_node(node, outer, &mut visit, &mut count);
+    count
+}
+
 /// Counts the dynamic accesses of a SCoP without doing anything else.
 pub fn count_accesses(scop: &Scop) -> u64 {
     for_each_access(scop, |_| {})
+}
+
+/// Whether the SCoP performs strictly more than `cap` dynamic accesses.
+///
+/// Unlike [`count_accesses`] this stops as soon as the answer is known, so
+/// probing a trillion-access kernel against a small budget costs O(cap)
+/// instead of O(total).  Serving layers use it to decide when to degrade a
+/// request to approximate simulation.
+pub fn exceeds_access_count(scop: &Scop, cap: u64) -> bool {
+    let mut count = 0;
+    for root in scop.roots() {
+        if walk_node_capped(root, &[], cap, &mut count) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Walks `node` counting accesses into `count`; returns `true` (abandoning
+/// the walk) as soon as the count exceeds `cap`.
+fn walk_node_capped(node: &Node, outer: &[i64], cap: u64, count: &mut u64) -> bool {
+    match node {
+        Node::Access(a) => {
+            if a.domain.contains(outer) {
+                *count += 1;
+            }
+            *count > cap
+        }
+        Node::Loop(l) => {
+            if l.stride < 0 {
+                let Some(mut i) = l.last(outer) else {
+                    return false;
+                };
+                let Some(lowest) = l.initial(outer) else {
+                    return false;
+                };
+                while i.as_slice() >= lowest.as_slice() {
+                    if l.domain.contains(&i) {
+                        for child in &l.children {
+                            if walk_node_capped(child, &i, cap, count) {
+                                return true;
+                            }
+                        }
+                    }
+                    *i.last_mut()
+                        .expect("loop domains have at least one dimension") += l.stride;
+                }
+                return false;
+            }
+            let Some(mut i) = l.initial(outer) else {
+                return false;
+            };
+            let Some(last) = l.last(outer) else {
+                return false;
+            };
+            while i.as_slice() <= last.as_slice() {
+                if l.domain.contains(&i) {
+                    for child in &l.children {
+                        if walk_node_capped(child, &i, cap, count) {
+                            return true;
+                        }
+                    }
+                }
+                *i.last_mut()
+                    .expect("loop domains have at least one dimension") += l.stride;
+            }
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +309,49 @@ mod tests {
             &[base + 24, base + 16, base + 8, base],
             "inner loop walks backwards"
         );
+    }
+
+    #[test]
+    fn capped_count_agrees_with_exact_count() {
+        let scop = scop_of(
+            "double A[100][100]; double x[100]; double c[100];\n\
+             for (i = 0; i < 100; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 100; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+        );
+        let total = count_accesses(&scop);
+        assert!(exceeds_access_count(&scop, total - 1));
+        assert!(!exceeds_access_count(&scop, total));
+        assert!(exceeds_access_count(&scop, 0));
+        let empty = scop_of("double A[10]; for (i = 5; i < 5; i++) A[i] = 0;");
+        assert!(!exceeds_access_count(&empty, 0));
+    }
+
+    #[test]
+    fn per_node_walk_slices_match_the_full_walk() {
+        let scop = scop_of(
+            "double A[200]; double B[200];\n\
+             for (i = 1; i < 99; i++) B[i] = A[i-1] + A[i+1];",
+        );
+        let mut full = Vec::new();
+        for_each_access(&scop, |acc| full.push((acc.node.id, acc.address, acc.kind)));
+        // Replaying each outer iteration through the loop's children must
+        // reproduce the full walk slice by slice.
+        let Node::Loop(l) = &scop.roots()[0] else {
+            panic!("root is a loop");
+        };
+        let mut replayed = Vec::new();
+        let mut count = 0;
+        for i in 1..99i64 {
+            for child in &l.children {
+                count += for_each_access_at(child, &[i], |acc| {
+                    replayed.push((acc.node.id, acc.address, acc.kind));
+                });
+            }
+        }
+        assert_eq!(count as usize, full.len());
+        assert_eq!(replayed, full);
     }
 
     #[test]

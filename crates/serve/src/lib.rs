@@ -16,7 +16,14 @@
 //!   `run_batch`'s static fan-out, recording per-request queue latency;
 //! * a **JSON-lines wire protocol** ([`wire::serve_lines`]) streaming
 //!   reports back out of order as they finish, with a GraphBrew-style
-//!   [`ServeStats`] JSON summary on shutdown.
+//!   [`ServeStats`] JSON summary on shutdown;
+//! * a **degraded mode** ([`ServeConfig::exact_budget`]) — exact requests
+//!   whose kernels exceed an operator-set access budget are rewritten onto
+//!   the interval-sampling backend ([`engine::Backend::Sampled`]) with a
+//!   reported error bound, so one oversized kernel cannot monopolise a
+//!   worker.  Degraded reports are cached under the sampled request's own
+//!   canonical address (cached exact reports are never silently replaced)
+//!   and their wire envelopes are marked `"approx": true`.
 //!
 //! # Example
 //!
@@ -57,7 +64,7 @@ pub use wire::{serve_lines, serve_lines_with, WireOptions};
 
 use family::{FamilyEntry, FamilyRegistry};
 
-use engine::{Engine, EngineError, KernelSpec, SimReport, SimRequest};
+use engine::{Backend, Engine, EngineError, KernelSpec, SamplingOptions, SimReport, SimRequest};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -92,6 +99,16 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Report-cache bound, in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Exact-simulation budget, in dynamic accesses.  When set, an exact
+    /// simulation request (classic, warping or trace) whose kernel exceeds
+    /// this many accesses is served **degraded**: the service rewrites it
+    /// onto [`Backend::Sampled`] with the default sampling options, so one
+    /// oversized kernel cannot monopolise a worker.  Degraded reports are
+    /// cached under the *sampled* request's canonical address — a cached
+    /// exact report is never silently replaced by an approximation — and
+    /// the wire protocol marks their envelopes `"approx": true`.  `None`
+    /// (the default) serves every request exactly as asked.
+    pub exact_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +116,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_capacity: 4096,
+            exact_budget: None,
         }
     }
 }
@@ -115,6 +133,9 @@ impl ServeConfig {
         }
         if let Some(capacity) = env_usize("WARPSIM_SERVE_CACHE_CAP") {
             config.cache_capacity = capacity;
+        }
+        if let Some(budget) = env_u64("WARPSIM_SERVE_EXACT_BUDGET") {
+            config.exact_budget = Some(budget);
         }
         config
     }
@@ -143,11 +164,22 @@ impl ServeConfig {
                     .to_string(),
             );
         }
+        if self.exact_budget == Some(0) {
+            return Err(
+                "exact budget must be at least 1 access: a budget of 0 would degrade \
+                 every request to sampling; omit the budget to serve everything exactly"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 }
 
 fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
@@ -174,6 +206,11 @@ pub struct ServeStats {
     pub cache_capacity: u64,
     /// Submissions that returned an error (errors are never cached).
     pub errors: u64,
+    /// Submissions rewritten onto the sampling backend because their kernel
+    /// exceeded the exact-simulation budget
+    /// ([`ServeConfig::exact_budget`]).  Counts every degraded submission,
+    /// including ones then answered from the report cache.
+    pub degraded: u64,
     /// Worker threads in the scheduling pool.
     pub workers: u64,
     /// Jobs a worker stole from another worker's deque.
@@ -206,9 +243,11 @@ pub struct SimService {
     pool: WorkerPool,
     families: FamilyRegistry,
     runner: Option<Runner>,
+    exact_budget: Option<u64>,
     requests: AtomicU64,
     simulated: AtomicU64,
     errors: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl SimService {
@@ -231,9 +270,11 @@ impl SimService {
             pool: WorkerPool::new(config.workers),
             families: FamilyRegistry::new(),
             runner: None,
+            exact_budget: config.exact_budget,
             requests: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -277,6 +318,14 @@ impl SimService {
         queue_ns: Option<u64>,
     ) -> Result<(SimReport, Served), EngineError> {
         self.requests.fetch_add(1, Ordering::SeqCst);
+        let degraded = self.degrade(request);
+        let request = match &degraded {
+            Some(rewritten) => {
+                self.degraded.fetch_add(1, Ordering::SeqCst);
+                rewritten
+            }
+            None => request,
+        };
         let (key, family) = self.address(request);
         // Fast path: one shard-local read lock.
         if let Some(report) = self.cache.get(key) {
@@ -318,6 +367,40 @@ impl SimService {
                 outcome.map(|report| (report, Served::Simulated))
             }
         }
+    }
+
+    /// Applies the exact-simulation budget ([`ServeConfig::exact_budget`]):
+    /// an exact simulation request whose kernel exceeds the budgeted access
+    /// count is rewritten onto [`Backend::Sampled`] with the default
+    /// options.  Returns the rewritten request, or `None` when the request
+    /// should run as submitted.
+    ///
+    /// The rewrite happens *before* the request is resolved to its cache
+    /// address, so a degraded report lives under the sampled request's
+    /// canonical hash: it can never overwrite — or be confused with — a
+    /// cached exact report for the same kernel.  Only the simulating exact
+    /// backends are degraded; the analytical backends are already cheap,
+    /// and an explicitly sampled request keeps the options it asked for.
+    /// The access count itself is computed symbolically per loop nest
+    /// ([`scop::exceeds_access_count`] short-circuits once the budget is
+    /// crossed), so the guard costs parsing, not simulation.
+    fn degrade(&self, request: &SimRequest) -> Option<SimRequest> {
+        let budget = self.exact_budget?;
+        if !matches!(
+            request.backend,
+            Backend::Classic | Backend::Warping(_) | Backend::Trace
+        ) {
+            return None;
+        }
+        // A kernel that fails to build is left to the engine, which owns
+        // the error message.
+        let scop = request.kernel.build().ok()?;
+        if !scop::exceeds_access_count(&scop, budget) {
+            return None;
+        }
+        let mut rewritten = request.clone();
+        rewritten.backend = Backend::Sampled(SamplingOptions::DEFAULT);
+        Some(rewritten)
     }
 
     /// Resolves a request to its cache address, routing parametric kernels
@@ -510,6 +593,7 @@ impl SimService {
             cache_entries: cache.entries,
             cache_capacity: cache.capacity,
             errors: self.errors.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
             workers: pool.workers,
             steals: pool.steals,
             families: self.families.len(),

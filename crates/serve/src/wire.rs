@@ -22,11 +22,18 @@
 //! Output lines are `{"id", "served", "cached", "serve_ns", "report"}` on
 //! success (`served` is a [`Served::label`], `cached` is true for cache hits,
 //! `serve_ns` is this submission's wall time including queueing) or
-//! `{"id", "error"}` on parse/simulation failure.  With
-//! [`WireOptions::debug_hash`] enabled, success envelopes also carry the
-//! request's `canonical_hash` (hex), so clients can verify that two
-//! spellings of one kernel really share a cache address.  End of input (or
-//! a shutdown line) flushes a final `{"serve_stats": {…}}` summary.
+//! `{"id", "error"}` on parse/simulation failure.  An envelope whose report
+//! was extrapolated rather than fully simulated — an explicitly sampled
+//! request, or an exact request degraded by the server's access budget
+//! ([`crate::ServeConfig::exact_budget`]) — additionally carries
+//! `"approx": true`, and the report's `approx` object holds the sampled
+//! fraction and per-level error bounds.  With [`WireOptions::debug_hash`]
+//! enabled, success envelopes also carry the request's `canonical_hash`
+//! (hex), so clients can verify that two spellings of one kernel really
+//! share a cache address.  End of input (or a shutdown line) flushes a
+//! final `{"serve_stats": {…}}` summary whose `per_family` array surfaces
+//! the per-family counters (requests, hits, instances) without a separate
+//! `{"cmd": "families"}` round trip.
 
 use crate::{ServeStats, Served, SimService};
 use engine::{Backend, MemoryConfig, SimRequest};
@@ -171,8 +178,21 @@ fn error_envelope(id: Value, message: String) -> Value {
     ])
 }
 
-fn stats_line(stats: &ServeStats) -> Value {
-    Value::Object(vec![("serve_stats".to_string(), stats.serialize_value())])
+/// The `{"serve_stats": …}` summary line: the flat [`ServeStats`] counters
+/// plus a `per_family` array, so shutdown trailers surface the family-tier
+/// counters without a separate `{"cmd": "families"}` round trip.
+fn stats_line(service: &SimService, stats: &ServeStats) -> Value {
+    let mut fields = match stats.serialize_value() {
+        Value::Object(fields) => fields,
+        other => return Value::Object(vec![("serve_stats".to_string(), other)]),
+    };
+    let families = service
+        .family_stats()
+        .iter()
+        .map(Serialize::serialize_value)
+        .collect();
+    fields.push(("per_family".to_string(), Value::Array(families)));
+    Value::Object(vec![("serve_stats".to_string(), Value::Object(fields))])
 }
 
 /// Tracks in-flight line jobs so end-of-input can drain them.
@@ -242,6 +262,13 @@ fn spawn_request<W>(
                         Value::UInt(arrived.elapsed().as_nanos() as u64),
                     ),
                 ];
+                // Extrapolated counts are flagged at the envelope level so
+                // clients need not dig into the report to notice a
+                // degraded (or explicitly sampled) answer.  A sampled run
+                // that covered everything is exact and is not flagged.
+                if report.approx.as_ref().is_some_and(|a| !a.is_exact()) {
+                    fields.push(("approx".to_string(), Value::Bool(true)));
+                }
                 if options.debug_hash {
                     fields.push((
                         "canonical_hash".to_string(),
@@ -341,7 +368,7 @@ where
                 );
             }
             Ok(Line::Stats) => {
-                write_line(&writer, &stats_line(&service.stats()));
+                write_line(&writer, &stats_line(service, &service.stats()));
             }
             Ok(Line::Shutdown) => {
                 shutdown = true;
@@ -354,7 +381,7 @@ where
     }
     jobs.wait();
     let stats = service.stats();
-    write_line(&writer, &stats_line(&stats));
+    write_line(&writer, &stats_line(service, &stats));
     Ok((stats, shutdown))
 }
 
@@ -400,6 +427,7 @@ mod tests {
         let service = Arc::new(SimService::new(ServeConfig {
             workers: 2,
             cache_capacity: 64,
+            exact_budget: None,
         }));
         let input = format!(
             "{}\n{}\n{}\n",
@@ -440,6 +468,7 @@ mod tests {
         let service = Arc::new(SimService::new(ServeConfig {
             workers: 1,
             cache_capacity: 4,
+            exact_budget: None,
         }));
         let input = format!(
             "not json\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\n{}\n",
@@ -472,6 +501,7 @@ mod tests {
         let service = Arc::new(SimService::new(ServeConfig {
             workers: 2,
             cache_capacity: 64,
+            exact_budget: None,
         }));
         let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
         let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
@@ -540,6 +570,7 @@ mod tests {
         let service = Arc::new(SimService::new(ServeConfig {
             workers: 1,
             cache_capacity: 16,
+            exact_budget: None,
         }));
         let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
         let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
@@ -598,5 +629,105 @@ mod tests {
             }
             other => panic!("families must be an array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_trailer_surfaces_per_family_counters() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 1,
+            cache_capacity: 16,
+            exact_budget: None,
+        }));
+        let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
+        let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
+        let memory = r#"{"levels":[{"sets":1,"assoc":8,"line_size":8,"policy":"lru"}]}"#;
+
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(&service, Cursor::new(format!("{register}\n")), sink.clone())
+            .expect("registration succeeds");
+        let family = lines_of(&sink)[0]
+            .get("registered")
+            .and_then(|r| r.get("family"))
+            .and_then(Value::as_str)
+            .expect("family address")
+            .to_string();
+
+        let input = format!(
+            r#"{{"id":1,"request":{{"family":"{family}","bindings":{{"N":24}},"memory":{memory},"backend":"warping"}}}}"#
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        serve_lines(&service, Cursor::new(format!("{input}\n")), sink.clone())
+            .expect("serving succeeds");
+        let lines = lines_of(&sink);
+        let trailer = lines
+            .last()
+            .and_then(|line| line.get("serve_stats").cloned())
+            .expect("stats trailer");
+        // The flat counters are still there...
+        assert_eq!(
+            trailer.get("family_requests").and_then(Value::as_u64),
+            Some(1)
+        );
+        // ...and the per-family breakdown rides along, no `families`
+        // command needed.
+        match trailer
+            .get("per_family")
+            .expect("per_family in the trailer")
+        {
+            Value::Array(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].get("name").and_then(Value::as_str), Some("scan"));
+                assert_eq!(entries[0].get("requests").and_then(Value::as_u64), Some(1));
+            }
+            other => panic!("per_family must be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_budget_requests_are_served_degraded_and_marked_approx() {
+        let service = Arc::new(SimService::new(ServeConfig {
+            workers: 1,
+            cache_capacity: 16,
+            exact_budget: Some(100),
+        }));
+        let big = "double A[4096]; for (i = 0; i < 4096; i++) A[i] = A[i];";
+        let line = format!(
+            r#"{{"id":1,"request":{{"kernel":{{"type":"source","name":"big","code":"{big}"}},"memory":{{"levels":[{{"sets":1,"assoc":8,"line_size":8,"policy":"lru"}}]}},"backend":"classic"}}}}"#
+        );
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let (stats, _) = serve_lines(&service, Cursor::new(format!("{line}\n")), sink.clone())
+            .expect("serving succeeds");
+        assert_eq!(stats.degraded, 1);
+
+        let lines = lines_of(&sink);
+        let envelope = &lines[0];
+        assert_eq!(
+            envelope.get("approx").and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(true),
+            "degraded envelopes are flagged at the top level"
+        );
+        let report = envelope.get("report").expect("success envelope");
+        assert_eq!(
+            report.get("backend").and_then(Value::as_str),
+            Some("sampled"),
+            "the oversized classic request ran on the sampling backend"
+        );
+        let approx = report
+            .get("approx")
+            .expect("sampled reports carry approx stats");
+        assert!(approx.get("sampled_fraction").is_some());
+        assert!(approx.get("per_level_error_bound").is_some());
+        // The trailer counts the degradation.
+        assert_eq!(
+            lines
+                .last()
+                .and_then(|line| line.get("serve_stats"))
+                .and_then(|stats| stats.get("degraded"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
     }
 }

@@ -38,6 +38,7 @@ fn thundering_herd_coalesces_onto_one_simulation() {
             SimService::new(ServeConfig {
                 workers: 2,
                 cache_capacity: 16,
+                exact_budget: None,
             })
             .with_runner(move |request| {
                 runs.fetch_add(1, Ordering::SeqCst);
@@ -102,6 +103,7 @@ fn renamed_resubmission_hits_the_cache_bit_identically() {
     let service = SimService::new(ServeConfig {
         workers: 1,
         cache_capacity: 8,
+        exact_budget: None,
     });
     let (cold, how) = service.submit(&request(KERNEL)).expect("cold run succeeds");
     assert_eq!(how, Served::Simulated);
@@ -124,6 +126,7 @@ fn errors_are_not_cached() {
         SimService::new(ServeConfig {
             workers: 1,
             cache_capacity: 8,
+            exact_budget: None,
         })
         .with_runner(move |request| {
             if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
@@ -147,6 +150,7 @@ fn batch_results_are_ordered_deduped_and_queue_stamped() {
     let service = Arc::new(SimService::new(ServeConfig {
         workers: 4,
         cache_capacity: 32,
+        exact_budget: None,
     }));
     let distinct = [
         "double A[16]; for (i = 0; i < 16; i++) A[i] = A[i];",
@@ -221,6 +225,7 @@ fn family_tier_memoises_instances_and_shares_reports() {
     let service = SimService::new(ServeConfig {
         workers: 1,
         cache_capacity: 32,
+        exact_budget: None,
     });
     let parametric = |n: i64, t: i64| {
         SimRequest::new(
@@ -271,6 +276,7 @@ fn family_registration_is_idempotent_and_validated() {
     let service = SimService::new(ServeConfig {
         workers: 1,
         cache_capacity: 8,
+        exact_budget: None,
     });
     let a = service
         .register_family(
@@ -307,6 +313,7 @@ fn degenerate_serve_configs_are_rejected_with_clear_errors() {
     let err = ServeConfig {
         workers: 0,
         cache_capacity: 64,
+        exact_budget: None,
     }
     .validate()
     .expect_err("zero workers is a misconfiguration");
@@ -314,9 +321,92 @@ fn degenerate_serve_configs_are_rejected_with_clear_errors() {
     let err = ServeConfig {
         workers: 2,
         cache_capacity: 0,
+        exact_budget: None,
     }
     .validate()
     .expect_err("zero cache capacity is a misconfiguration");
     assert!(err.contains("cache capacity"), "{err}");
+    let err = ServeConfig {
+        workers: 2,
+        cache_capacity: 64,
+        exact_budget: Some(0),
+    }
+    .validate()
+    .expect_err("a zero access budget would degrade everything");
+    assert!(err.contains("exact budget"), "{err}");
     assert!(ServeConfig::default().validate().is_ok());
+}
+
+/// Degraded mode: with an exact-simulation budget set, an oversized exact
+/// request is rewritten onto the sampling backend, its report is cached
+/// under the *sampled* request's canonical address (never the exact one),
+/// and requests within the budget run exactly as asked.
+#[test]
+fn exact_budget_degrades_oversized_requests_onto_sampling() {
+    let big = "double A[4096]; for (i = 0; i < 4096; i++) A[i] = A[i];";
+    let small = "double A[32]; for (i = 0; i < 32; i++) A[i] = A[i];";
+    let service = SimService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 16,
+        exact_budget: Some(1000),
+    });
+
+    // 8192 dynamic accesses blow the 1000-access budget: the classic
+    // request comes back from the sampling backend, approximation stats
+    // attached.
+    let classic_big = SimRequest::new(KernelSpec::source("big", big), memory(), Backend::Classic);
+    let (report, how) = service.submit(&classic_big).expect("degraded run succeeds");
+    assert_eq!(how, Served::Simulated);
+    assert_eq!(report.backend, "sampled", "the request was degraded");
+    let approx = report
+        .approx
+        .as_ref()
+        .expect("degraded reports carry approx stats");
+    assert!(approx.sampled_fraction < 1.0, "something was extrapolated");
+    assert_eq!(service.stats().degraded, 1);
+
+    // The degraded report lives at the sampled request's cache address: an
+    // explicitly sampled submission of the same kernel is a cache hit...
+    let sampled_big = SimRequest::new(KernelSpec::source("big", big), memory(), Backend::sampled());
+    let (warm, how) = service.submit(&sampled_big).expect("sampled run succeeds");
+    assert_eq!(how, Served::CacheHit);
+    assert_eq!(warm.to_json(), report.to_json());
+    // ...which is only sound because the degraded address can never collide
+    // with the exact request's own address.
+    assert_ne!(
+        classic_big.canonical_hash(),
+        sampled_big.canonical_hash(),
+        "a degraded report must never shadow a cached exact report"
+    );
+
+    // A kernel within the budget is served exactly as submitted.
+    let classic_small = SimRequest::new(
+        KernelSpec::source("small", small),
+        memory(),
+        Backend::Classic,
+    );
+    let (report, _) = service.submit(&classic_small).expect("exact run succeeds");
+    assert_eq!(report.backend, "classic");
+    assert!(report.approx.is_none());
+    assert_eq!(
+        service.stats().degraded,
+        1,
+        "the small kernel was not degraded"
+    );
+
+    // Analytical backends are already cheap and are never degraded.
+    let haystack_big = SimRequest::new(
+        KernelSpec::source("big", big),
+        MemoryConfig::single(CacheConfig::fully_associative(
+            64,
+            8,
+            ReplacementPolicy::Lru,
+        )),
+        Backend::Haystack,
+    );
+    let (report, _) = service
+        .submit(&haystack_big)
+        .expect("analytical run succeeds");
+    assert_eq!(report.backend, "haystack");
+    assert_eq!(service.stats().degraded, 1);
 }

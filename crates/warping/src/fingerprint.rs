@@ -75,7 +75,7 @@
 //! sets of an 8 MiB L3.
 
 use crate::symstate::SymLine;
-use cache_model::{CacheState, PolicyState, SetState};
+use cache_model::{CacheState, MemBlock, PolicyState, SetState};
 use std::collections::{HashMap, HashSet};
 
 /// Number of candidate warped dimensions a digest covers.  Loops nested
@@ -195,6 +195,70 @@ pub fn digest_set(set: &SetState<SymLine>) -> SetDigest {
         *w = finalize(*w);
     }
     SetDigest(words)
+}
+
+/// Digests one set of a *concrete* cache state (payload = memory blocks
+/// instead of symbolic lines).  The encoding mirrors [`digest_set`]'s
+/// shift-invariant core: the occupancy pattern, the pairwise differences of
+/// consecutive occupied blocks (invariant under a uniform block shift) and
+/// the replacement-policy metadata verbatim.  Absolute block numbers are
+/// deliberately dropped, so a streaming kernel that advances through memory
+/// at a constant rate digests identically from one period to the next.
+pub fn digest_concrete_set(set: &SetState<MemBlock>) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut prev_block: Option<u64> = None;
+    for line in set.lines() {
+        match line {
+            None => h = mix(h, TAG_EMPTY_LINE),
+            Some(block) => {
+                h = mix(h, TAG_LINE);
+                if let Some(prev) = prev_block {
+                    h = mix(h, block.0.wrapping_sub(prev));
+                }
+                prev_block = Some(block.0);
+            }
+        }
+    }
+    match set.policy_state() {
+        PolicyState::None => h = mix(h, TAG_POLICY[0]),
+        PolicyState::PlruBits(bits) => {
+            h = mix(h, TAG_POLICY[1]);
+            for b in bits {
+                h = mix(h, u64::from(*b));
+            }
+        }
+        PolicyState::Ages(ages) => {
+            h = mix(h, TAG_POLICY[2]);
+            for a in ages {
+                h = mix(h, u64::from(*a));
+            }
+        }
+    }
+    finalize(h)
+}
+
+/// A shift- and rotation-invariant fingerprint of a whole concrete
+/// hierarchy (per-level states, L1 first).  Per level the occupied-set
+/// digests are combined by wrapping sum — invariant under any permutation
+/// of the sets, a superset of the rotations a moving working set induces —
+/// plus the occupied-set count; levels are then mixed in order.
+///
+/// Interval samplers use this as the boundary detector: when the
+/// fingerprint at the end of outer iteration `t` equals the one at
+/// `t - p`, the cache is plausibly `p`-periodic and `p` outer iterations
+/// make a representative interval.  Collisions merely pick a poorer
+/// interval; counts are still measured, so accuracy is unaffected.
+pub fn concrete_fingerprint(levels: &[CacheState<MemBlock>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for state in levels {
+        let mut sum = 0u64;
+        for (_, set) in state.occupied_entries() {
+            sum = sum.wrapping_add(digest_concrete_set(set));
+        }
+        h = mix(h, sum);
+        h = mix(h, state.occupied_len() as u64);
+    }
+    finalize(h)
 }
 
 /// Rebuilds the level fingerprint words from scratch — the reference the
@@ -382,5 +446,45 @@ mod tests {
         let once = digest_set(&qlru);
         qlru.on_hit(ReplacementPolicy::Qlru, 0); // age 2 -> 0
         assert_ne!(once.word(0), digest_set(&qlru).word(0));
+    }
+
+    #[test]
+    fn concrete_fingerprint_is_shift_invariant_and_discriminating() {
+        use cache_model::CacheConfig;
+        let config = CacheConfig::with_sets(8, 2, 64, ReplacementPolicy::Lru);
+        let touch = |blocks: &[u64]| {
+            let mut state = CacheState::new(&config);
+            for &b in blocks {
+                state.access_block(&config, MemBlock(b));
+            }
+            state
+        };
+        // A streaming working set and the same set shifted uniformly by a
+        // whole number of blocks digest identically: the set indices rotate
+        // (the sum is permutation-invariant) and the in-set block diffs are
+        // unchanged.
+        let a = touch(&[0, 1, 2, 3]);
+        let shifted = touch(&[16, 17, 18, 19]);
+        assert_eq!(
+            concrete_fingerprint(std::slice::from_ref(&a)),
+            concrete_fingerprint(std::slice::from_ref(&shifted))
+        );
+        // A different occupancy pattern or a different access order
+        // (policy order differs) changes the fingerprint.
+        let fewer = touch(&[0, 1, 2]);
+        assert_ne!(
+            concrete_fingerprint(std::slice::from_ref(&a)),
+            concrete_fingerprint(std::slice::from_ref(&fewer))
+        );
+        let reordered = touch(&[8, 1, 2, 3, 0, 8]);
+        assert_ne!(
+            concrete_fingerprint(std::slice::from_ref(&a)),
+            concrete_fingerprint(std::slice::from_ref(&reordered))
+        );
+        // Levels are order-sensitive: (a, fewer) != (fewer, a).
+        assert_ne!(
+            concrete_fingerprint(&[a.clone(), fewer.clone()]),
+            concrete_fingerprint(&[fewer, a])
+        );
     }
 }
