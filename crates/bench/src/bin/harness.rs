@@ -630,9 +630,37 @@ fn explore_command(args: &[String]) {
     let mut template_path: Option<String> = None;
     let mut family_name = "tiled-gemm".to_string();
     let mut json = false;
+    let mut plan = true;
+    let mut max_error: Option<u64> = None;
+    let mut latencies_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--plan" => {
+                i += 1;
+                plan = match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("--plan expects `on` or `off`"),
+                };
+            }
+            "--max-error" => {
+                i += 1;
+                max_error = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse::<u64>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--max-error expects a positive miss count")),
+                );
+            }
+            "--latencies" => {
+                i += 1;
+                latencies_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--latencies expects L1:4,L2:14,MEM:100")),
+                );
+            }
             "--sweep" => {
                 i += 1;
                 sweep_spec = args
@@ -723,6 +751,29 @@ fn explore_command(args: &[String]) {
     if hierarchies.is_empty() || policies.is_empty() {
         die("explore needs at least one hierarchy and one policy");
     }
+    if let Some(target) = max_error {
+        backend = match backend {
+            Backend::Sampled(options) => Backend::Sampled(options.with_max_error(target)),
+            _ => die("--max-error only applies to `--backend sampled`"),
+        };
+    }
+    let latencies = latencies_spec
+        .as_deref()
+        .map(|spec| parse_latencies(spec).unwrap_or_else(|e| die(&e)));
+    if let Some(model) = &latencies {
+        let deepest = hierarchies
+            .iter()
+            .map(|(_, spec)| spec.memory(policies[0]).depth())
+            .max()
+            .unwrap_or(0);
+        if model.levels.len() < deepest {
+            die(&format!(
+                "--latencies names {} cache levels but the deepest hierarchy has {}",
+                model.levels.len(),
+                deepest
+            ));
+        }
+    }
 
     let mut config = serve::ServeConfig::from_env();
     if let Some(workers) = workers {
@@ -781,12 +832,76 @@ fn explore_command(args: &[String]) {
         }
     }
 
-    // Stream every point through the service's work-stealing pool; rows
-    // print as points finish, not in grid order.
+    // Visit order: the sweep planner arranges the grid so consecutive
+    // submissions share a warm-state coordinate and differ by one tile
+    // step, maximising cross-instance calibration/warp-hint reuse
+    // (`--plan off` keeps naive grid order for A/B comparison).
+    let order: Vec<usize> = if plan {
+        let plan_points: Vec<serve::PlanPoint> = points
+            .iter()
+            .map(|point| {
+                serve::PlanPoint::new(
+                    format!("{}|{}", point.hierarchy, point.policy.label()),
+                    point
+                        .request
+                        .kernel
+                        .param_bindings()
+                        .iter()
+                        .map(|(_, value)| value)
+                        .collect(),
+                )
+            })
+            .collect();
+        serve::plan_order(&plan_points)
+    } else {
+        (0..points.len()).collect()
+    };
+
+    if !json {
+        println!(
+            "{:<20} {:<24} {:<14} {:>10} {:<20} {:>12} {:>10}",
+            "tiles", "hierarchy", "policy", "sim[ms]", "misses/level", "est[cyc]", "served"
+        );
+    }
+
+    // Per-point validation: an unsatisfiable binding (zero/negative value,
+    // a template that fails to instantiate, an empty iteration domain)
+    // becomes a streamed error row for that grid point; the rest of the
+    // sweep proceeds.
+    let mut point_errors: Vec<Option<String>> = points.iter().map(|_| None).collect();
+    let mut submitted = Vec::with_capacity(order.len());
+    for &index in &order {
+        match validate_point(&points[index].request) {
+            Ok(()) => submitted.push(index),
+            Err(reason) => point_errors[index] = Some(reason),
+        }
+    }
+    for (index, reason) in point_errors.iter().enumerate() {
+        let Some(reason) = reason else { continue };
+        let point = &points[index];
+        if json {
+            eprintln!(
+                "{} on {}/{}: {reason}",
+                point.sweep_key,
+                point.hierarchy,
+                point.policy.label()
+            );
+        } else {
+            println!(
+                "{:<20} {:<24} {:<14} error: {reason}",
+                point.sweep_key,
+                point.hierarchy,
+                point.policy.label()
+            );
+        }
+    }
+
+    // Stream the valid points through the service's work-stealing pool in
+    // planned order; rows print as points finish, not in grid order.
     let (tx, rx) = mpsc::channel();
-    for (index, point) in points.iter().enumerate() {
+    for &index in &submitted {
         let service = service.clone();
-        let request = point.request.clone();
+        let request = points[index].request.clone();
         let tx = tx.clone();
         let enqueued = Instant::now();
         service.clone().pool().spawn(move || {
@@ -796,13 +911,6 @@ fn explore_command(args: &[String]) {
         });
     }
     drop(tx);
-
-    if !json {
-        println!(
-            "{:<20} {:<24} {:<14} {:>10} {:<20} {:>10}",
-            "tiles", "hierarchy", "policy", "sim[ms]", "misses/level", "served"
-        );
-    }
     let mut results: Vec<Option<engine::SimReport>> = points.iter().map(|_| None).collect();
     for (index, outcome) in rx {
         let point = &points[index];
@@ -815,13 +923,17 @@ fn explore_command(args: &[String]) {
                         .map(|level| level.misses.to_string())
                         .collect::<Vec<_>>()
                         .join("/");
+                    let cycles = latencies.as_ref().map_or(String::from("-"), |model| {
+                        estimated_cycles(&report, model).to_string()
+                    });
                     println!(
-                        "{:<20} {:<24} {:<14} {:>10.2} {:<20} {:>10}",
+                        "{:<20} {:<24} {:<14} {:>10.2} {:<20} {:>12} {:>10}",
                         point.sweep_key,
                         point.hierarchy,
                         point.policy.label(),
                         report.sim_ms,
                         misses,
+                        cycles,
                         served.label()
                     );
                 }
@@ -852,6 +964,7 @@ fn explore_command(args: &[String]) {
     // most equal on every level and strictly better on one).
     let mut json_points = Vec::new();
     let mut json_fronts = Vec::new();
+    let mut json_time_fronts = Vec::new();
     for (hierarchy, _) in &hierarchies {
         for &policy in &policies {
             let group: Vec<(usize, Vec<u64>)> = points
@@ -869,9 +982,29 @@ fn explore_command(args: &[String]) {
                 .filter(|(_, misses)| !group.iter().any(|(_, other)| dominates(other, misses)))
                 .map(|entry| (entry.0, &entry.1))
                 .collect();
+            // The front that actually matters for picking a tiling: the
+            // cheapest configurations under the cycle-cost model, not just
+            // the per-level miss trade-off.
+            let time_front: Vec<(usize, u64)> = latencies
+                .as_ref()
+                .map(|model| {
+                    let costed: Vec<(usize, u64)> = group
+                        .iter()
+                        .map(|(index, _)| {
+                            let report = results[*index].as_ref().expect("grouped on Some");
+                            (*index, estimated_cycles(report, model))
+                        })
+                        .collect();
+                    let best = costed.iter().map(|(_, c)| *c).min();
+                    costed
+                        .into_iter()
+                        .filter(|(_, cycles)| Some(*cycles) == best)
+                        .collect()
+                })
+                .unwrap_or_default();
             if json {
                 for (index, misses) in &group {
-                    json_points.push(serde::Value::Object(vec![
+                    let mut fields = vec![
                         (
                             "tiles".to_string(),
                             serde::Value::Str(points[*index].sweep_key.clone()),
@@ -890,7 +1023,30 @@ fn explore_command(args: &[String]) {
                                 misses.iter().map(|&m| serde::Value::UInt(m)).collect(),
                             ),
                         ),
-                    ]));
+                    ];
+                    if let Some(model) = &latencies {
+                        let report = results[*index].as_ref().expect("grouped on Some");
+                        fields.push((
+                            "est_cycles".to_string(),
+                            serde::Value::UInt(estimated_cycles(report, model)),
+                        ));
+                    }
+                    if let Some(approx) = results[*index]
+                        .as_ref()
+                        .and_then(|report| report.approx.as_ref())
+                    {
+                        fields.push((
+                            "error_bound".to_string(),
+                            serde::Value::Array(
+                                approx
+                                    .per_level_error_bound
+                                    .iter()
+                                    .map(|&b| serde::Value::UInt(b))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    json_points.push(serde::Value::Object(fields));
                 }
                 json_fronts.push(serde::Value::Object(vec![
                     (
@@ -913,6 +1069,29 @@ fn explore_command(args: &[String]) {
                         ),
                     ),
                 ]));
+                if latencies.is_some() {
+                    json_time_fronts.push(serde::Value::Object(vec![
+                        (
+                            "hierarchy".to_string(),
+                            serde::Value::Str(hierarchy.clone()),
+                        ),
+                        (
+                            "policy".to_string(),
+                            serde::Value::Str(policy.label().to_string()),
+                        ),
+                        (
+                            "front".to_string(),
+                            serde::Value::Array(
+                                time_front
+                                    .iter()
+                                    .map(|(index, _)| {
+                                        serde::Value::Str(points[*index].sweep_key.clone())
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]));
+                }
             } else {
                 println!(
                     "\npareto front ({hierarchy}, {}): {} of {} tile configs",
@@ -931,24 +1110,76 @@ fn explore_command(args: &[String]) {
                             .join("/")
                     );
                 }
+                if !time_front.is_empty() {
+                    println!(
+                        "time front ({hierarchy}, {}): {} of {} tile configs",
+                        policy.label(),
+                        time_front.len(),
+                        group.len()
+                    );
+                    for (index, cycles) in &time_front {
+                        println!("  {:<20} est {} cycles", points[*index].sweep_key, cycles);
+                    }
+                }
             }
         }
     }
 
     let stats = service.stats();
     if json {
-        let output = serde::Value::Object(vec![
+        let json_errors: Vec<serde::Value> = point_errors
+            .iter()
+            .enumerate()
+            .filter_map(|(index, reason)| reason.as_ref().map(|reason| (index, reason)))
+            .map(|(index, reason)| {
+                serde::Value::Object(vec![
+                    (
+                        "tiles".to_string(),
+                        serde::Value::Str(points[index].sweep_key.clone()),
+                    ),
+                    (
+                        "hierarchy".to_string(),
+                        serde::Value::Str(points[index].hierarchy.clone()),
+                    ),
+                    (
+                        "policy".to_string(),
+                        serde::Value::Str(points[index].policy.label().to_string()),
+                    ),
+                    ("error".to_string(), serde::Value::Str(reason.clone())),
+                ])
+            })
+            .collect();
+        let mut output = vec![
             ("family".to_string(), serde::Value::Str(registered.family)),
+            ("planned".to_string(), serde::Value::Bool(plan)),
             ("points".to_string(), serde::Value::Array(json_points)),
+            ("errors".to_string(), serde::Value::Array(json_errors)),
             ("pareto".to_string(), serde::Value::Array(json_fronts)),
-            (
-                "serve_stats".to_string(),
-                serde::Serialize::serialize_value(&stats),
+        ];
+        if latencies.is_some() {
+            output.push((
+                "pareto_time".to_string(),
+                serde::Value::Array(json_time_fronts),
+            ));
+        }
+        output.push((
+            "calibration".to_string(),
+            serde::Value::Array(
+                service
+                    .calibration_stats()
+                    .iter()
+                    .map(serde::Serialize::serialize_value)
+                    .collect(),
             ),
-        ]);
+        ));
+        output.push((
+            "serve_stats".to_string(),
+            serde::Serialize::serialize_value(&stats),
+        ));
         println!(
             "{}",
-            serde_json::to_string_pretty(&output).expect("explore output serialises")
+            serde_json::to_string_pretty(&serde::Value::Object(output))
+                .expect("explore output serialises")
         );
     } else {
         println!(
@@ -958,6 +1189,101 @@ fn explore_command(args: &[String]) {
             stats.family_hits,
             stats.simulated
         );
+        println!(
+            "warm paths: calibration hits {}, misses {}, fallbacks {}; warp donations {}",
+            stats.calibration_hits,
+            stats.calibration_misses,
+            stats.calibration_fallbacks,
+            stats.warp_donations
+        );
+    }
+}
+
+/// Cycle weights for the estimated-wall-time front: one latency per cache
+/// level (in hierarchy order) plus the memory latency behind the last
+/// level.
+struct LatencyModel {
+    levels: Vec<u64>,
+    memory: u64,
+}
+
+/// Parses a `--latencies` spec: comma-separated `L<n>:cycles` entries plus
+/// an optional `MEM:cycles` (default 100), e.g. `L1:4,L2:14,MEM:120`.
+fn parse_latencies(spec: &str) -> Result<LatencyModel, String> {
+    let mut levels: Vec<Option<u64>> = Vec::new();
+    let mut memory = 100u64;
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let (label, cycles) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("latency entry `{entry}` must be LABEL:cycles"))?;
+        let cycles: u64 = cycles
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid cycle count `{cycles}` for `{label}`"))?;
+        let label = label.trim().to_ascii_uppercase();
+        if label == "MEM" {
+            memory = cycles;
+            continue;
+        }
+        let level: usize = label
+            .strip_prefix('L')
+            .and_then(|n| n.parse().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("latency label `{label}` must be L1, L2, ... or MEM"))?;
+        if levels.len() < level {
+            levels.resize(level, None);
+        }
+        levels[level - 1] = Some(cycles);
+    }
+    let levels = levels
+        .iter()
+        .enumerate()
+        .map(|(index, cycles)| {
+            cycles.ok_or_else(|| format!("missing latency for L{} in `{spec}`", index + 1))
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if levels.is_empty() {
+        return Err("--latencies needs at least L1:cycles".to_string());
+    }
+    Ok(LatencyModel { levels, memory })
+}
+
+/// Estimated wall time of a report under the cycle-cost model: every hit
+/// at level *i* costs that level's latency, and misses out of the last
+/// level cost the memory latency.
+fn estimated_cycles(report: &engine::SimReport, model: &LatencyModel) -> u64 {
+    let mut cycles = 0u64;
+    let mut upstream = report.result.accesses;
+    for (level, stats) in report.levels.iter().enumerate() {
+        let latency = model.levels.get(level).copied().unwrap_or(model.memory);
+        let hits = upstream.saturating_sub(stats.misses);
+        cycles = cycles.saturating_add(hits.saturating_mul(latency));
+        upstream = stats.misses;
+    }
+    cycles.saturating_add(upstream.saturating_mul(model.memory))
+}
+
+/// Pre-validates one sweep point: bindings must be positive, the template
+/// must instantiate, and the instance must have a non-empty iteration
+/// domain.  A failure is that point's streamed error row, not a sweep
+/// abort.
+fn validate_point(request: &SimRequest) -> Result<(), String> {
+    for (name, value) in request.kernel.param_bindings().iter() {
+        if value <= 0 {
+            return Err(format!(
+                "unsatisfiable binding {name}={value}: tile and problem sizes must be positive"
+            ));
+        }
+    }
+    let scop = request
+        .kernel
+        .build()
+        .map_err(|e| format!("binding rejected: {e}"))?;
+    if scop::exceeds_access_count(&scop, 0) {
+        Ok(())
+    } else {
+        Err("unsatisfiable bindings: the instance performs no memory accesses".to_string())
     }
 }
 
@@ -1312,7 +1638,8 @@ fn print_usage() {
          [--exact-budget N] [--debug-hash]\n\
          \x20      harness explore [--sweep TI=4,8;TJ=4,8] [--bind NI=32,...] \
          [--hierarchies l1;l1l2] [--policies lru,plru] [--backend warping] \
-         [--workers N] [--template FILE] [--name NAME] [--json]"
+         [--workers N] [--template FILE] [--name NAME] [--plan on|off] \
+         [--max-error N] [--latencies L1:4,L2:14,MEM:100] [--json]"
     );
 }
 

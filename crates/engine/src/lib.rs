@@ -54,7 +54,8 @@ pub use cache_model::{MemoryConfig, MemoryConfigError};
 pub use canon::CanonicalHash;
 pub use report::{ApproxStats, SimReport, WarpingStats};
 pub use request::{dataset_by_name, Backend, KernelSpec, SimRequest};
-pub use sampling::SamplingOptions;
+pub use sampling::{Calibration, SamplingOptions, PPM};
+pub use warping::WarpHints;
 
 use analytical::{HaystackModel, PolyCacheModel};
 use cache_model::{LevelStats, ReplacementPolicy, WritePolicy};
@@ -107,6 +108,52 @@ impl fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Cross-instance warm-start state for [`Engine::run_warm`]: what a
+/// *similar* earlier request (typically a neighbouring instance of the
+/// same kernel family) already learned.  Both slots are optional and both
+/// are validated before being trusted — a stale or foreign context can
+/// cost time, never correctness:
+///
+/// * a [`Calibration`] seeds the sampling backend's schedule (period,
+///   stabilisation depth, audit bias), with every seeded quantity
+///   validated in-run and demoted work falling back to the cold path on
+///   mismatch;
+/// * [`WarpHints`] reschedule the warping backend's match attempts, which
+///   cannot change any simulation count by construction.
+#[derive(Clone, Debug, Default)]
+pub struct WarmContext {
+    /// Sampling calibration from a neighbouring instance.
+    pub calibration: Option<Calibration>,
+    /// Warp-plan hints from a neighbouring instance.
+    pub warp_hints: Option<WarpHints>,
+}
+
+impl WarmContext {
+    /// Whether the context carries anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.calibration.is_none() && self.warp_hints.is_none()
+    }
+}
+
+/// What a [`Engine::run_warm`] call learned, ready to donate to the next
+/// similar request, plus how it interacted with the provided context.
+#[derive(Clone, Debug, Default)]
+pub struct WarmOutcome {
+    /// Calibration measured by this run (sampled backend only).
+    pub calibration: Option<Calibration>,
+    /// Warp-plan hints exported by this run (warping backend only).
+    pub warp_hints: Option<WarpHints>,
+    /// Whether a calibration prior was consulted.
+    pub calibration_seeded: bool,
+    /// Whether some seeded quantity failed validation and fell back to
+    /// the full cold path.
+    pub calibration_fallback: bool,
+    /// Sampled runs the adaptive rate selection made (`0` for
+    /// non-sampled backends, `1` when the first rate already met the
+    /// target or no target was set, `2` when the bound overshot once).
+    pub sampled_attempts: u32,
+}
 
 /// The backend-polymorphic simulation engine.
 ///
@@ -163,6 +210,23 @@ impl Engine {
         self.run_inner(request, self.threads)
     }
 
+    /// [`Engine::run`] with cross-instance warm-start state: the context's
+    /// calibration seeds a sampled request's schedule and its warp hints
+    /// reschedule a warping request's match attempts; the returned
+    /// [`WarmOutcome`] carries what this run learned for the next one.
+    /// With an empty context the report is identical to [`Engine::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Engine::run`].
+    pub fn run_warm(
+        &self,
+        request: &SimRequest,
+        ctx: &WarmContext,
+    ) -> Result<(SimReport, WarmOutcome), EngineError> {
+        self.run_warm_inner(request, self.threads, ctx)
+    }
+
     /// [`Engine::run`] with an explicit thread budget for the backend
     /// (used by [`Engine::run_batch`] to avoid oversubscription).
     fn run_inner(
@@ -170,6 +234,18 @@ impl Engine {
         request: &SimRequest,
         backend_threads: usize,
     ) -> Result<SimReport, EngineError> {
+        self.run_warm_inner(request, backend_threads, &WarmContext::default())
+            .map(|(report, _)| report)
+    }
+
+    /// The full dispatch: one request, one backend, an optional warm
+    /// context in, a [`WarmOutcome`] out.
+    fn run_warm_inner(
+        &self,
+        request: &SimRequest,
+        backend_threads: usize,
+        ctx: &WarmContext,
+    ) -> Result<(SimReport, WarmOutcome), EngineError> {
         let kernel = request.kernel.name();
         let serve_start = Instant::now();
         let build_start = Instant::now();
@@ -184,6 +260,7 @@ impl Engine {
 
         let memory = &request.memory;
         let sim_start = Instant::now();
+        let mut warm = WarmOutcome::default();
         let (result, warping, exact, approx) = match &request.backend {
             Backend::Classic => {
                 let mut system = MultiLevelSystem::new(memory.clone());
@@ -201,7 +278,11 @@ impl Engine {
                     })?
                     .with_options(*options)
                     .with_threads(backend_threads);
+                if let Some(hints) = &ctx.warp_hints {
+                    simulator = simulator.with_hints(hints.clone());
+                }
                 let outcome = simulator.run(&scop);
+                warm.warp_hints = Some(simulator.export_hints());
                 let stats = WarpingStats::from(&outcome);
                 (outcome.result, Some(stats), true, None)
             }
@@ -270,7 +351,49 @@ impl Engine {
             }
             Backend::Sampled(options) => {
                 options.validate().map_err(EngineError::InvalidOptions)?;
-                let (result, approx) = sampling::run_sampled(&scop, memory, options);
+                let prior = ctx.calibration.as_ref();
+                let mut opts = *options;
+                // Adaptive rate selection: with a positive target, a
+                // calibration prior picks the starting rate from its
+                // jitter; an overshooting bound gets one boosted re-run
+                // (straight to exact when the overshoot is hopeless).
+                if let Some(rate) = sampling::suggest_rate(prior, &opts) {
+                    opts.rate_ppm = rate;
+                }
+                let (result, approx, cal) = loop {
+                    warm.sampled_attempts += 1;
+                    let (result, approx, cal) =
+                        sampling::run_sampled_with(&scop, memory, &opts, prior);
+                    let worst = approx
+                        .per_level_error_bound
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0);
+                    if opts.max_error == 0
+                        || worst <= opts.max_error
+                        || warm.sampled_attempts >= 2
+                        || opts.rate_ppm >= PPM
+                    {
+                        break (result, approx, cal);
+                    }
+                    // Bounds scale roughly with the skipped share; boost
+                    // proportionally to the overshoot (at least 2×), and
+                    // give up into the exact path when even a 10× boost
+                    // could not close the gap.
+                    let ratio = (worst / opts.max_error + 1).max(2);
+                    opts.rate_ppm = if ratio > 10 {
+                        PPM
+                    } else {
+                        (u64::from(opts.rate_ppm) * ratio)
+                            .min(u64::from(PPM))
+                            .try_into()
+                            .expect("clamped to PPM")
+                    };
+                };
+                warm.calibration = cal.measured;
+                warm.calibration_seeded = cal.seeded;
+                warm.calibration_fallback = cal.fallback;
                 // Sampling that covered the whole iteration space (rate
                 // 1.0, or a kernel too small to sample) is exact;
                 // anything extrapolated is not, however tight the bound.
@@ -289,22 +412,25 @@ impl Engine {
         };
         let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
 
-        Ok(SimReport {
-            kernel,
-            backend: request.backend.label().to_string(),
-            memory: memory.clone(),
-            levels: result.levels.clone(),
-            result,
-            warping,
-            exact,
-            build_ms,
-            sim_ms,
-            wall_ns: Some(serve_start.elapsed().as_nanos() as u64),
-            // Stamped by schedulers that queue requests (the serving
-            // layer's worker pool); a direct `run` never queues.
-            queue_ns: None,
-            approx,
-        })
+        Ok((
+            SimReport {
+                kernel,
+                backend: request.backend.label().to_string(),
+                memory: memory.clone(),
+                levels: result.levels.clone(),
+                result,
+                warping,
+                exact,
+                build_ms,
+                sim_ms,
+                wall_ns: Some(serve_start.elapsed().as_nanos() as u64),
+                // Stamped by schedulers that queue requests (the serving
+                // layer's worker pool); a direct `run` never queues.
+                queue_ns: None,
+                approx,
+            },
+            warm,
+        ))
     }
 
     /// Serves a batch of requests, fanning them out across

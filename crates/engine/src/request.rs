@@ -401,16 +401,67 @@ pub fn dataset_by_name(name: &str) -> Option<Dataset> {
 
 impl Serialize for Backend {
     fn serialize_value(&self) -> Value {
+        // Backends at their default options stay bare name strings (the
+        // historical wire form); only non-default sampling options need
+        // the object form.
+        if let Backend::Sampled(options) = self {
+            if *options != SamplingOptions::DEFAULT {
+                return Value::Object(vec![
+                    ("name".to_string(), Value::Str(self.label().to_string())),
+                    (
+                        "rate_ppm".to_string(),
+                        Value::Int(i64::from(options.rate_ppm)),
+                    ),
+                    ("warmup".to_string(), Value::Int(i64::from(options.warmup))),
+                    (
+                        "max_error".to_string(),
+                        Value::Int(options.max_error.min(i64::MAX as u64) as i64),
+                    ),
+                ]);
+            }
+        }
         Value::Str(self.label().to_string())
     }
 }
 
 impl Deserialize for Backend {
     fn deserialize_value(value: &Value) -> Result<Self, String> {
+        if let Some(name) = value.as_str() {
+            return Backend::by_name(name).ok_or_else(|| format!("unknown backend `{name}`"));
+        }
+        // Object form: `{"name":"sampled","rate_ppm":…,"warmup":…,
+        // "max_error":…}` — every field beyond `name` optional, defaulted.
         let name = value
-            .as_str()
-            .ok_or_else(|| format!("expected a backend name, got {value:?}"))?;
-        Backend::by_name(name).ok_or_else(|| format!("unknown backend `{name}`"))
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("expected a backend name or object, got {value:?}"))?;
+        let backend = Backend::by_name(name).ok_or_else(|| format!("unknown backend `{name}`"))?;
+        let Backend::Sampled(mut options) = backend else {
+            return Ok(backend);
+        };
+        if let Some(rate) = value.get("rate_ppm") {
+            let rate = rate
+                .as_i64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "backend `rate_ppm` must be a non-negative integer".to_string())?;
+            options.rate_ppm = rate;
+        }
+        if let Some(warmup) = value.get("warmup") {
+            let warmup = warmup
+                .as_i64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "backend `warmup` must be a non-negative integer".to_string())?;
+            options.warmup = warmup;
+        }
+        if let Some(max_error) = value.get("max_error") {
+            let max_error = max_error
+                .as_i64()
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| "backend `max_error` must be a non-negative integer".to_string())?;
+            options.max_error = max_error;
+        }
+        options.validate()?;
+        Ok(Backend::Sampled(options))
     }
 }
 
@@ -472,6 +523,48 @@ mod tests {
             other => panic!("roundtripped into {other:?}"),
         }
         assert_eq!(request.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn backends_with_default_options_stay_bare_strings() {
+        for backend in Backend::ALL.iter().chain([Backend::sampled()].iter()) {
+            let value = backend.serialize_value();
+            assert_eq!(value.as_str(), Some(backend.label()), "{backend:?}");
+            let back = Backend::deserialize_value(&value).expect("bare names deserialize");
+            assert_eq!(&back, backend);
+        }
+    }
+
+    #[test]
+    fn sampled_backend_roundtrips_max_error_in_object_form() {
+        let backend = Backend::Sampled(
+            SamplingOptions::from_rate(0.05)
+                .expect("0.05 is a valid rate")
+                .with_max_error(1_000),
+        );
+        let value = backend.serialize_value();
+        assert!(
+            value.as_str().is_none(),
+            "non-default options need the object form"
+        );
+        let back = Backend::deserialize_value(&value).expect("object form deserializes");
+        assert_eq!(back, backend);
+        // Partial objects default the missing fields.
+        let text = r#"{"name":"sampled","max_error":42}"#;
+        let partial = Backend::deserialize_value(
+            &serde_json::from_str::<serde::Value>(text).expect("valid JSON"),
+        )
+        .expect("partial object deserializes");
+        assert_eq!(
+            partial,
+            Backend::Sampled(SamplingOptions::DEFAULT.with_max_error(42))
+        );
+        // Invalid rates are rejected at the wire boundary.
+        let text = r#"{"name":"sampled","rate_ppm":0}"#;
+        Backend::deserialize_value(
+            &serde_json::from_str::<serde::Value>(text).expect("valid JSON"),
+        )
+        .expect_err("zero rate must be rejected");
     }
 
     #[test]

@@ -128,14 +128,22 @@ pub struct SamplingOptions {
     /// *live* cache level before each measured interval.  `0` trusts
     /// carried state unconditionally — cheapest, widest cold-state bias.
     pub warmup: u32,
+    /// Target per-level miss-count error bound; `0` means no target.  A
+    /// positive target makes the engine pick `rate_ppm` adaptively (from a
+    /// calibration prior when one is available), re-running at a boosted
+    /// rate at most once when the reported bound overshoots.  The reported
+    /// bound is always honest either way; the target steers effort, it
+    /// does not clip the report.
+    pub max_error: u64,
 }
 
 impl SamplingOptions {
     /// The defaults: simulate ~10% of the accesses, one warm-up interval
-    /// per live level.
+    /// per live level, no error-bound target.
     pub const DEFAULT: SamplingOptions = SamplingOptions {
         rate_ppm: 100_000,
         warmup: 1,
+        max_error: 0,
     };
 
     /// Options targeting the given sampling rate (a fraction in
@@ -168,6 +176,13 @@ impl SamplingOptions {
         self
     }
 
+    /// These options with a per-level miss-count error-bound target
+    /// (`0` disables adaptive rate selection).
+    pub fn with_max_error(mut self, max_error: u64) -> Self {
+        self.max_error = max_error;
+        self
+    }
+
     /// Checks the options for validity.
     ///
     /// # Errors
@@ -190,23 +205,96 @@ impl Default for SamplingOptions {
     }
 }
 
+/// What one calibrated sampling run learned about a kernel family's
+/// behaviour — the facts a *neighbouring* instance (same family, same
+/// hierarchy and policy, nearby bindings) can seed its schedule from
+/// instead of re-deriving them with the exact prefix, the stride-spaced
+/// stabilisation scan and the shadow/truth audit.
+///
+/// Every seeded quantity is validated against the new instance before it
+/// is trusted (period by a short exact trace, stabilisation by flat
+/// occupancy checkpoints, the audit by a measured spot check); any
+/// mismatch falls back to the full cold path, so a stale or foreign prior
+/// costs time, never soundness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Calibration {
+    /// Detected behaviour period, in outer iterations.
+    pub period: usize,
+    /// Leading prefix iterations whose behaviour signature had not yet
+    /// turned periodic on the donor (cold-start fills live here).  A
+    /// donee's shortened prefix must reach past this depth, or its
+    /// validation window would sit inside the fill and reject every
+    /// period.
+    pub prefix_settle: usize,
+    /// Intervals simulated exactly before per-level occupancy flattened
+    /// (the growth phase only, excluding flat confirmation checkpoints).
+    pub stable_depth: usize,
+    /// Whole intervals the calibrated loop spanned.
+    pub intervals: u64,
+    /// Per-level `(accesses, misses)` of the first steady measured
+    /// interval — the unit other quantities are scaled by.
+    pub interval_stats: Vec<(u64, u64)>,
+    /// Per-level largest miss-count difference between adjacent measured
+    /// intervals.
+    pub jitter: Vec<u64>,
+    /// Per-level signed `(accesses, misses)` audit discrepancy summed over
+    /// [`audit_units`](Calibration::audit_units) intervals, in the units
+    /// of [`interval_stats`](Calibration::interval_stats).
+    pub bias: Vec<(i64, i64)>,
+    /// Intervals the audit covered; `0` when no audit ever ran along the
+    /// donor chain.
+    pub audit_units: u64,
+}
+
+/// How a sampling run interacted with its calibration prior, plus the
+/// calibration it measured for future donees.
+#[derive(Clone, Debug, Default)]
+pub struct CalibrationOutcome {
+    /// The calibration this run measured (from its largest sampled loop),
+    /// ready to donate; `None` when no loop was actually sampled.
+    pub measured: Option<Calibration>,
+    /// Whether a usable prior was consulted.
+    pub seeded: bool,
+    /// Whether any seeded quantity failed validation and fell back to the
+    /// full cold path (the run is still sound — just slower).
+    pub fallback: bool,
+}
+
 /// Runs the sampling backend: simulates representative intervals and
-/// extrapolates the rest.  `options` must already be validated.
-pub(crate) fn run_sampled(
+/// extrapolates the rest, optionally seeding the schedule from a
+/// calibration prior donated by a neighbouring family instance; returns
+/// what this run measured alongside the report.  `options` must already
+/// be validated.
+pub(crate) fn run_sampled_with(
     scop: &Scop,
     memory: &MemoryConfig,
     options: &SamplingOptions,
-) -> (SimulationResult, ApproxStats) {
+    prior: Option<&Calibration>,
+) -> (SimulationResult, ApproxStats, CalibrationOutcome) {
     let depth = memory.depth();
     if options.rate_ppm >= PPM {
         // Full rate: run the classic path verbatim so the counts are
         // bit-identical by construction, not merely by argument.
         let result = simulate(scop, &mut MultiLevelSystem::new(memory.clone()));
-        return (result, ApproxStats::exact(depth));
+        return (
+            result,
+            ApproxStats::exact(depth),
+            CalibrationOutcome::default(),
+        );
     }
     let mut sampler = Sampler {
         config: memory,
         options: *options,
+        // A prior is only usable when it describes the same hierarchy
+        // depth and a representable period; anything else is ignored
+        // outright rather than half-trusted.
+        prior: prior.filter(|c| {
+            c.interval_stats.len() == depth
+                && c.jitter.len() == depth
+                && c.bias.len() == depth
+                && c.period >= 1
+                && c.period <= MAX_PERIOD
+        }),
         state: MultiLevelState::new(memory),
         totals: vec![LevelStats::default(); depth],
         bounds: vec![0; depth],
@@ -216,6 +304,9 @@ pub(crate) fn run_sampled(
         measured_intervals: 0,
         estimated_intervals: 0,
         period: 0,
+        seeded: false,
+        fallback: false,
+        measured_cal: None,
     };
     for root in scop.roots() {
         match root {
@@ -229,6 +320,9 @@ pub(crate) fn run_sampled(
 struct Sampler<'a> {
     config: &'a MemoryConfig,
     options: SamplingOptions,
+    /// Calibration prior from a neighbouring family instance, already
+    /// depth-checked; `None` runs the cold path.
+    prior: Option<&'a Calibration>,
     state: MultiLevelState<MemBlock>,
     /// Extrapolated per-level totals (measured + estimated).
     totals: Vec<LevelStats>,
@@ -243,6 +337,12 @@ struct Sampler<'a> {
     measured_intervals: u64,
     estimated_intervals: u64,
     period: u64,
+    /// Whether any loop consulted the prior.
+    seeded: bool,
+    /// Whether any seeded quantity failed validation.
+    fallback: bool,
+    /// Calibration measured by the largest sampled loop so far.
+    measured_cal: Option<Calibration>,
 }
 
 impl Sampler<'_> {
@@ -334,6 +434,35 @@ impl Sampler<'_> {
             .unwrap_or(usize::MAX)
     }
 
+    /// Simulates outer iterations `range` exactly (counts trusted) and
+    /// appends each iteration's behaviour signature to `trace`.
+    ///
+    /// The period signature hashes each iteration's per-level counts, not
+    /// the cache state: behaviour is periodic from the very first
+    /// iteration (a streaming kernel misses every k-th iteration even
+    /// while occupancy is still growing), whereas the state only becomes
+    /// periodic once every level reaches steady state — far beyond any
+    /// affordable prefix.  The state fingerprint instead guards the
+    /// measured schedule.
+    fn trace_prefix(
+        &mut self,
+        l: &LoopNode,
+        iters: &OuterIters,
+        base: i64,
+        range: std::ops::Range<usize>,
+        trace: &mut Vec<u64>,
+    ) {
+        for idx in range {
+            let local = self.run_iters(l, iters, base, idx..idx + 1, true);
+            let mut signature = 0xcbf2_9ce4_8422_2325u64;
+            for stats in &local {
+                signature = (signature ^ stats.misses).wrapping_mul(0x0000_0100_0000_01b3);
+                signature = (signature ^ stats.accesses).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            trace.push(signature);
+        }
+    }
+
     /// Samples one top-level loop (or simulates it exactly when it is too
     /// small for sampling to pay off).
     fn run_loop(&mut self, l: &LoopNode) {
@@ -342,28 +471,44 @@ impl Sampler<'_> {
         let base = self.clock;
         self.clock = base + total as i64;
 
-        // Phase 1: exact prefix, fingerprinting the state after each
-        // outer iteration.
-        let prefix = total.min(MAX_PREFIX);
-        let mut trace = Vec::with_capacity(prefix);
-        for idx in 0..prefix {
-            let local = self.run_iters(l, &iters, base, idx..idx + 1, true);
-            // The period signature hashes each iteration's per-level
-            // counts, not the cache state: behaviour is periodic from the
-            // very first iteration (a streaming kernel misses every k-th
-            // iteration even while occupancy is still growing), whereas
-            // the state only becomes periodic once every level reaches
-            // steady state — far beyond any affordable prefix.  The state
-            // fingerprint instead guards the *schedule* below.
-            let mut signature = 0xcbf2_9ce4_8422_2325u64;
-            for stats in &local {
-                signature = (signature ^ stats.misses).wrapping_mul(0x0000_0100_0000_01b3);
-                signature = (signature ^ stats.accesses).wrapping_mul(0x0000_0100_0000_01b3);
+        // Phase 1: exact prefix.  A calibration prior shortens it to just
+        // enough iterations to *validate* the donor's period instead of
+        // re-detecting one from scratch; a failed validation extends the
+        // trace back to the full cold prefix and re-detects, so a foreign
+        // prior degrades speed, never the counts.
+        let full_prefix = total.min(MAX_PREFIX);
+        let mut prefix = match self.prior {
+            Some(c) => (c.prefix_settle + 2 * c.period + 2).max(4).min(full_prefix),
+            None => full_prefix,
+        };
+        let mut trace = Vec::with_capacity(full_prefix);
+        self.trace_prefix(l, &iters, base, 0..prefix, &mut trace);
+        let mut loop_seeded = false;
+        // Validation skips the donor's settle depth: those iterations are
+        // the cold-start fill, whose signatures are not periodic on any
+        // instance, donor included.
+        let p = match self.prior {
+            Some(c) if validates_period(&trace[c.prefix_settle.min(trace.len())..], c.period) => {
+                self.seeded = true;
+                loop_seeded = true;
+                c.period
             }
-            trace.push(signature);
-        }
-
-        let p = detect_period(&trace);
+            Some(_) => {
+                self.seeded = true;
+                self.fallback = true;
+                self.trace_prefix(l, &iters, base, prefix..full_prefix, &mut trace);
+                prefix = full_prefix;
+                detect_period(&trace)
+            }
+            None => detect_period(&trace),
+        };
+        // The settle depth this run will donate: its own trace's cold
+        // head, floored by the donor's so the depth never decays along a
+        // donation chain (a validated short trace can understate it).
+        let settle = match self.prior {
+            Some(c) if loop_seeded => settle_of(&trace, p).max(c.prefix_settle),
+            _ => settle_of(&trace, p),
+        };
         let remaining = total - prefix;
         let n = remaining / p;
         let stride = self.interval_stride();
@@ -396,6 +541,41 @@ impl Sampler<'_> {
         let mut stable = 0usize;
         let mut streak = 0u32;
         let mut occ_prev = occupancy(&self.state);
+        // End of the last growth evidence, exported as the calibration's
+        // stabilisation depth.
+        let mut growth_end = 0usize;
+        if loop_seeded {
+            // Seeded stabilisation: the donor's depth bounds the fill, so
+            // walk interval-by-interval — an occupancy scan is cheap next
+            // to simulating an interval at these working-set sizes — and
+            // stop at the first [`STABLE_STREAK`] flat intervals.  The
+            // donor's depth is usually a loose stride-granular bound, so
+            // the precise walk ends far earlier than `depth + 2`, and the
+            // exact depth observed here is what this run donates onward.
+            // The budget adds the prefix deficit (the donor measured its
+            // depth after a full cold prefix; this run's is shorter, so
+            // the same fill reaches deeper in interval terms).  Occupancy
+            // still growing past the budget says the prior does not
+            // describe this instance: fall back to the stride-spaced scan.
+            let c = self.prior.expect("loop_seeded implies a usable prior");
+            let deficit = (full_prefix - prefix) / p;
+            let budget = (c.stable_depth + deficit + STABLE_STREAK as usize).min(n);
+            while stable < budget && streak < STABLE_STREAK {
+                self.run_iters(l, &iters, base, grow_range(stable), true);
+                stable += 1;
+                let occ = occupancy(&self.state);
+                if occ == occ_prev {
+                    streak += 1;
+                } else {
+                    occ_prev = occ;
+                    streak = 0;
+                    growth_end = stable;
+                }
+            }
+            if streak < STABLE_STREAK && stable < n {
+                self.fallback = true;
+            }
+        }
         while stable < n && streak < STABLE_STREAK {
             let step = stride.min(n - stable);
             self.run_iters(
@@ -406,7 +586,12 @@ impl Sampler<'_> {
                 true,
             );
             let occ = occupancy(&self.state);
-            streak = if occ == occ_prev { streak + 1 } else { 0 };
+            if occ == occ_prev {
+                streak += 1;
+            } else {
+                streak = 0;
+                growth_end = stable + step;
+            }
             occ_prev = occ;
             stable += step;
         }
@@ -445,11 +630,20 @@ impl Sampler<'_> {
         let mut bias = vec![(0i64, 0i64); depth];
         let mut audit_units = 0u64;
         let mut audit_end = 0usize; // first interval after the audited region
+                                    // Audit demotion (seeded runs only): skip the shadow/truth double
+                                    // simulation and validate the prior instead — the first post-skip
+                                    // measurement must agree with the pre-skip one within the donor's
+                                    // jitter.  A failed spot check re-arms the full audit, which then
+                                    // fires at the next gap; a passed one adopts the donor's bias at
+                                    // the end of the loop (recentring + widening, like a live audit).
+        let mut demote = loop_seeded && streak >= STABLE_STREAK && !self.fallback;
+        let mut donor_audited = false;
+        let mut spot_checked = false;
         let mut si = 0usize;
         while si < schedule.len() {
             let j = schedule[si];
             let gap = j - prev_end;
-            if gap > 0 && audit_units == 0 {
+            if gap > 0 && audit_units == 0 && !demote {
                 // ---- Audit: calibrate the cold-state bias. ----
                 // Warm-started measurement after a skip can be
                 // systematically off in ways no spread or jitter term can
@@ -548,6 +742,27 @@ impl Sampler<'_> {
             measured.push(stats);
             gaps.push(gap);
             prev_end = j + 1;
+            if demote && gap > 0 && !spot_checked {
+                // The demoted audit's validation pass: the first measured
+                // interval after a skip must agree with the last pre-skip
+                // measurement within the donor's observed jitter.  Drift
+                // beyond it says the prior does not describe this
+                // instance; re-arm the full audit (it fires at the next
+                // gap) instead of trusting the donor's bias.
+                spot_checked = true;
+                let pre = &measured[measured.len() - 2];
+                let post = &measured[measured.len() - 1];
+                let c = self.prior.expect("demotion implies a usable prior");
+                let agrees = (0..depth).all(|level| {
+                    post[level].misses.abs_diff(pre[level].misses) <= c.jitter[level] + 1
+                });
+                if agrees {
+                    donor_audited = true;
+                } else {
+                    demote = false;
+                    self.fallback = true;
+                }
+            }
             si += 1;
         }
         self.measured_intervals += schedule.len() as u64;
@@ -618,10 +833,79 @@ impl Sampler<'_> {
                 t.hits = t.accesses - t.misses;
                 self.bounds[level] += (dm.unsigned_abs() * scale).div_ceil(audit_units);
             }
+        } else if donor_audited {
+            // Demoted audit: adopt the donor's per-interval bias, scaled
+            // to this instance's interval size (the donor's units are its
+            // own interval access counts).  The whole schedule follows the
+            // cadence the donor audited, so the bias recenters all of
+            // `n_rest` and its magnitude widens the bound the same way a
+            // live audit's would.
+            let c = self.prior.expect("a donor audit implies a usable prior");
+            if c.audit_units > 0 {
+                let scale = n_rest as u64;
+                for (level, &(da, dm)) in c.bias.iter().enumerate() {
+                    let (acc_donor, _) = c.interval_stats[level];
+                    let acc_here = measured[0][level].accesses;
+                    let den = c.audit_units as i128 * acc_donor.max(1) as i128;
+                    let rescale = |d: i64| -> i64 {
+                        (d as i128 * scale as i128 * acc_here as i128 / den) as i64
+                    };
+                    let (shift_a, shift_m) = (rescale(da), rescale(dm));
+                    let t = &mut self.totals[level];
+                    t.accesses = t.accesses.saturating_add_signed(shift_a);
+                    t.misses = t.misses.saturating_add_signed(shift_m).min(t.accesses);
+                    t.hits = t.accesses - t.misses;
+                    self.bounds[level] +=
+                        (dm.unsigned_abs() as u128 * scale as u128 * acc_here as u128)
+                            .div_ceil(den as u128) as u64;
+                }
+            }
+        }
+
+        // Export what this loop measured for future donees.  A live audit
+        // donates its own bias; a demoted one forwards the donor's,
+        // rescaled into this instance's interval units so chained
+        // donations stay dimensionally consistent.
+        let (out_bias, out_units) = if audit_units > 0 {
+            (bias.clone(), audit_units)
+        } else if donor_audited {
+            let c = self.prior.expect("a donor audit implies a usable prior");
+            let forwarded = c
+                .bias
+                .iter()
+                .enumerate()
+                .map(|(level, &(da, dm))| {
+                    let (acc_donor, _) = c.interval_stats[level];
+                    let acc_here = measured[0][level].accesses;
+                    let rescale =
+                        |d: i64| (d as i128 * acc_here as i128 / acc_donor.max(1) as i128) as i64;
+                    (rescale(da), rescale(dm))
+                })
+                .collect();
+            (forwarded, c.audit_units)
+        } else {
+            (vec![(0i64, 0i64); depth], 0)
+        };
+        let cal = Calibration {
+            period: p,
+            prefix_settle: settle,
+            stable_depth: growth_end,
+            intervals: n as u64,
+            interval_stats: measured[0].iter().map(|s| (s.accesses, s.misses)).collect(),
+            jitter: jitter.clone(),
+            bias: out_bias,
+            audit_units: out_units,
+        };
+        if self
+            .measured_cal
+            .as_ref()
+            .is_none_or(|prev| prev.intervals <= cal.intervals)
+        {
+            self.measured_cal = Some(cal);
         }
     }
 
-    fn finish(self) -> (SimulationResult, ApproxStats) {
+    fn finish(self) -> (SimulationResult, ApproxStats, CalibrationOutcome) {
         let accesses = self.totals.first().map_or(0, |l1| l1.accesses);
         let sampled_fraction = if accesses == 0 {
             1.0
@@ -645,6 +929,11 @@ impl Sampler<'_> {
                 levels: self.totals,
             },
             approx,
+            CalibrationOutcome {
+                measured: self.measured_cal,
+                seeded: self.seeded,
+                fallback: self.fallback,
+            },
         )
     }
 }
@@ -720,6 +1009,63 @@ fn outer_iterations(l: &LoopNode) -> OuterIters {
     iters
 }
 
+/// Whether the trace is `p`-periodic beyond its first (coldest)
+/// iteration — the cheap validation a calibration prior's period gets
+/// against a shortened prefix.  Stricter than [`detect_period`] in that
+/// the whole tail must repeat, looser in that `p` need not be minimal (a
+/// donor period that is a multiple of the true one still yields sound
+/// intervals, just coarser ones).
+fn validates_period(trace: &[u64], p: usize) -> bool {
+    if trace.len() < p + 2 {
+        return false;
+    }
+    (1..trace.len() - p).all(|i| trace[i] == trace[i + p])
+}
+
+/// The trace's cold head: the smallest index from which the remainder is
+/// `p`-periodic.  Donated as [`Calibration::prefix_settle`] so a donee
+/// knows how much of its shortened prefix to exclude from validation.
+fn settle_of(trace: &[u64], p: usize) -> usize {
+    let len = trace.len();
+    if len < p + 1 {
+        return len;
+    }
+    let mut s = len - p;
+    while s > 0 && trace[s - 1] == trace[s - 1 + p] {
+        s -= 1;
+    }
+    s
+}
+
+/// The `rate_ppm` a calibration prior suggests for a positive
+/// [`SamplingOptions::max_error`] target: the jitter term dominates the
+/// reported bound (each skipped interval charges the donor-observed
+/// jitter `J`), so the schedule may skip at most `target / (2·J)`
+/// intervals — the other half of the budget is left for spread and bias.
+/// Never below the requested rate; `None` when no usable prior or no
+/// target.
+pub(crate) fn suggest_rate(prior: Option<&Calibration>, options: &SamplingOptions) -> Option<u32> {
+    let c = prior?;
+    if options.max_error == 0 {
+        return None;
+    }
+    let jitter = c.jitter.iter().copied().max().unwrap_or(0);
+    if jitter == 0 {
+        // A jitter-free donor reports (near-)zero bounds at any rate.
+        return Some(options.rate_ppm);
+    }
+    let n = c.intervals.max(1);
+    let allowed_skipped = (options.max_error / 2) / jitter;
+    if allowed_skipped >= n {
+        return Some(options.rate_ppm);
+    }
+    let measured_needed = n - allowed_skipped;
+    let stride = (n / measured_needed).max(1);
+    // Invert `interval_stride()`: stride = ⌈(warmup+1)·PPM / rate⌉.
+    let rate = ((u64::from(options.warmup) + 1) * u64::from(PPM)).div_ceil(stride);
+    Some(rate.clamp(u64::from(options.rate_ppm), u64::from(PPM)) as u32)
+}
+
 /// The smallest period `p ≤ MAX_PERIOD` over which the fingerprint trace's
 /// suffix repeats, or 1 when nothing repeats.  The window is anchored at
 /// the end of the trace (skipping cold-start iterations) and always spans
@@ -771,7 +1117,7 @@ mod tests {
         }
         let zero = SamplingOptions {
             rate_ppm: 0,
-            warmup: 0,
+            ..SamplingOptions::DEFAULT
         };
         assert!(zero.validate().is_err());
     }
@@ -882,5 +1228,74 @@ mod tests {
         let ramp: Vec<u64> = (0..32).collect();
         assert_eq!(detect_period(&ramp), 1, "aperiodic traces fall back to 1");
         assert_eq!(detect_period(&[]), 1);
+    }
+
+    #[test]
+    fn calibration_prior_seeds_neighbours_within_bounds() {
+        let memory = memory();
+        let options = SamplingOptions::DEFAULT;
+        let donor = streaming().build().expect("donor builds");
+        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None);
+        assert!(!cold.seeded && !cold.fallback);
+        let cal = cold.measured.expect("a sampled run measures a calibration");
+        assert!(cal.period >= 1 && cal.intervals > 0);
+
+        // A neighbouring family instance: same shape, smaller footprint.
+        let neighbour = KernelSpec::source(
+            "streaming-n",
+            "double A[61440]; for (i = 0; i < 61440; i++) A[i] = A[i];",
+        )
+        .build()
+        .expect("neighbour builds");
+        let classic = simulate(&neighbour, &mut MultiLevelSystem::new(memory.clone()));
+        let (result, approx, out) = run_sampled_with(&neighbour, &memory, &options, Some(&cal));
+        assert!(out.seeded, "a usable prior must be consulted");
+        assert!(!out.fallback, "a same-shape neighbour validates cleanly");
+        for (level, bound) in approx.per_level_error_bound.iter().enumerate() {
+            let err = classic.levels[level]
+                .misses
+                .abs_diff(result.levels[level].misses);
+            assert!(err <= *bound, "level {level}: error {err} > bound {bound}");
+        }
+        assert_eq!(classic.accesses, result.accesses);
+        // The seeded schedule does strictly less exact work than a cold
+        // run of the same kernel — that is the whole point.
+        let (_, cold_approx, _) = run_sampled_with(&neighbour, &memory, &options, None);
+        assert!(
+            approx.measured_intervals < cold_approx.measured_intervals,
+            "seeded {} vs cold {}",
+            approx.measured_intervals,
+            cold_approx.measured_intervals
+        );
+        // The seeded run still measures a calibration for the next donee.
+        assert!(out.measured.is_some());
+    }
+
+    #[test]
+    fn foreign_priors_fall_back_to_the_cold_path_bit_exactly() {
+        let memory = memory();
+        let options = SamplingOptions::DEFAULT;
+        let donor = streaming().build().expect("donor builds");
+        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None);
+        let cal = cold.measured.expect("donor calibration");
+
+        // A triangular kernel has an aperiodic behaviour signature: the
+        // donor's period cannot validate, so the run must fall back to the
+        // full cold prefix — and from there the schedule is identical to a
+        // cold run, so the counts are bit-identical, not merely bounded.
+        let tri = KernelSpec::source(
+            "tri",
+            "double A[600]; double x[600];\n\
+             for (i = 0; i < 600; i++) for (j = 0; j <= i; j++) x[i] = x[i] + A[j];",
+        )
+        .build()
+        .expect("tri builds");
+        let (cold_result, cold_approx, cold_out) = run_sampled_with(&tri, &memory, &options, None);
+        assert!(!cold_out.seeded);
+        let (result, approx, out) = run_sampled_with(&tri, &memory, &options, Some(&cal));
+        assert!(out.seeded, "the prior was consulted");
+        assert!(out.fallback, "a foreign prior must fail validation");
+        assert_eq!(result, cold_result);
+        assert_eq!(approx, cold_approx);
     }
 }

@@ -123,7 +123,11 @@ fn arb_options() -> impl Strategy<Value = SamplingOptions> {
         prop::sample::select(vec![50_000u32, 100_000, 250_000, 500_000]),
         0u32..=2,
     )
-        .prop_map(|(rate_ppm, warmup)| SamplingOptions { rate_ppm, warmup })
+        .prop_map(|(rate_ppm, warmup)| SamplingOptions {
+            rate_ppm,
+            warmup,
+            max_error: 0,
+        })
 }
 
 fn run(scop: &Scop, memory: &MemoryConfig, backend: Backend) -> SimReport {

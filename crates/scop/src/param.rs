@@ -604,6 +604,30 @@ mod tests {
     }
 
     #[test]
+    fn bindings_parse_edge_cases() {
+        // Duplicate keys: the later entry wins, mirroring `from_pairs`.
+        let dup = ParamBindings::parse("N=8,N=16").unwrap();
+        assert_eq!(dup.get("N"), Some(16));
+        assert_eq!(dup.len(), 1);
+        // Stray whitespace around names, values and separators is ignored.
+        let spaced = ParamBindings::parse("  N = 25 ,\tT =\t8 ").unwrap();
+        assert_eq!(spaced.key(), "N=25,T=8");
+        // Empty entries (leading/trailing/doubled commas) are skipped, so a
+        // generated list with a trailing comma still parses.
+        let trailing = ParamBindings::parse("N=1,,T=2,").unwrap();
+        assert_eq!(trailing.key(), "N=1,T=2");
+        assert!(ParamBindings::parse("").unwrap().is_empty());
+        assert!(ParamBindings::parse(" , ").unwrap().is_empty());
+        // An empty value is not an integer; the error names the entry.
+        let err = ParamBindings::parse("N=").unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        let err = ParamBindings::parse("N=1,T=4.5").unwrap_err();
+        assert!(err.contains("4.5"), "{err}");
+        // Negative values are integers like any other.
+        assert_eq!(ParamBindings::parse("D=-3").unwrap().get("D"), Some(-3));
+    }
+
+    #[test]
     fn decreasing_parametric_strides_instantiate() {
         let template =
             ParametricScop::parse("param T; double A[100]; for (i = 99; i >= 0; i -= T) A[i] = 0;")

@@ -53,12 +53,14 @@
 pub mod cache;
 pub mod dedup;
 pub mod family;
+pub mod planner;
 pub mod pool;
 pub mod wire;
 
 pub use cache::{CacheCounters, ReportCache};
 pub use dedup::{Claim, Follower, LeaderToken, PendingMap};
-pub use family::FamilyStats;
+pub use family::{CalibrationCache, CalibrationStats, FamilyStats};
+pub use planner::{plan_order, PlanPoint};
 pub use pool::{PoolCounters, WorkerPool};
 pub use wire::{serve_lines, serve_lines_with, WireOptions};
 
@@ -109,6 +111,14 @@ pub struct ServeConfig {
     /// the wire protocol marks their envelopes `"approx": true`.  `None`
     /// (the default) serves every request exactly as asked.
     pub exact_budget: Option<u64>,
+    /// Cross-instance warm paths ([`CalibrationCache`]): parametric
+    /// submissions donate sampling calibrations and warp-attempt hints to
+    /// the next instance of their family under the same memory × backend
+    /// coordinate.  Donations never change exact counts (warp hints only
+    /// reschedule match attempts) and every seeded sampling quantity is
+    /// re-validated in-run, so this is on by default; turning it off
+    /// exists for A/B benchmarking the reuse itself.
+    pub warm_paths: bool,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +127,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_capacity: 4096,
             exact_budget: None,
+            warm_paths: true,
         }
     }
 }
@@ -136,6 +147,9 @@ impl ServeConfig {
         }
         if let Some(budget) = env_u64("WARPSIM_SERVE_EXACT_BUDGET") {
             config.exact_budget = Some(budget);
+        }
+        if let Some(warm) = env_usize("WARPSIM_SERVE_WARM_PATHS") {
+            config.warm_paths = warm != 0;
         }
         config
     }
@@ -222,6 +236,17 @@ pub struct ServeStats {
     pub family_requests: u64,
     /// Family-tier submissions answered from the report cache.
     pub family_hits: u64,
+    /// Sampled family submissions seeded from a stored calibration
+    /// ([`CalibrationCache`]).
+    pub calibration_hits: u64,
+    /// Sampled family submissions that found no stored calibration and
+    /// calibrated cold (the first instance per coordinate).
+    pub calibration_misses: u64,
+    /// Seeded submissions whose donated state failed validation and fell
+    /// back to full cold calibration (sound, just slower).
+    pub calibration_fallbacks: u64,
+    /// Warping family submissions that received donor warp-attempt hints.
+    pub warp_donations: u64,
 }
 
 type Runner = Box<dyn Fn(&SimRequest) -> Result<SimReport, EngineError> + Send + Sync>;
@@ -242,8 +267,10 @@ pub struct SimService {
     pending: PendingMap,
     pool: WorkerPool,
     families: FamilyRegistry,
+    calibrations: CalibrationCache,
     runner: Option<Runner>,
     exact_budget: Option<u64>,
+    warm_paths: bool,
     requests: AtomicU64,
     simulated: AtomicU64,
     errors: AtomicU64,
@@ -269,8 +296,10 @@ impl SimService {
             pending: PendingMap::new(),
             pool: WorkerPool::new(config.workers),
             families: FamilyRegistry::new(),
+            calibrations: CalibrationCache::new(),
             runner: None,
             exact_budget: config.exact_budget,
+            warm_paths: config.warm_paths,
             requests: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -349,7 +378,7 @@ impl SimService {
                 }
                 let mut outcome = match &self.runner {
                     Some(runner) => runner(request),
-                    None => self.engine.run(request),
+                    None => self.run_warm(request),
                 };
                 match &mut outcome {
                     Ok(report) => {
@@ -367,6 +396,34 @@ impl SimService {
                 outcome.map(|report| (report, Served::Simulated))
             }
         }
+    }
+
+    /// Runs a cold-cache request on the engine, threading cross-instance
+    /// warm state through the family tier's [`CalibrationCache`]: a
+    /// parametric request under a warm-capable backend looks up the
+    /// donation its `(family, config)` predecessor left behind, runs warm,
+    /// and stores what it measured for its own successor.  Requests outside
+    /// the family tier (or with warm paths disabled) run plain.
+    fn run_warm(&self, request: &SimRequest) -> Result<SimReport, EngineError> {
+        let family = match request.family_hash() {
+            Some(family) if self.warm_paths => family.as_u128(),
+            _ => return self.engine.run(request),
+        };
+        let wants_calibration = matches!(request.backend, Backend::Sampled(_));
+        if !wants_calibration && !matches!(request.backend, Backend::Warping(_)) {
+            return self.engine.run(request);
+        }
+        let config = request.config_text();
+        let ctx = self.calibrations.lookup(family, &config, wants_calibration);
+        let (report, warm) = self.engine.run_warm(request, &ctx)?;
+        self.calibrations.store(family, &config, &warm);
+        Ok(report)
+    }
+
+    /// Per-coordinate warm-state counters (calibration/hint slots, their
+    /// hits and fallbacks), sorted by (family, config).
+    pub fn calibration_stats(&self) -> Vec<CalibrationStats> {
+        self.calibrations.snapshot()
     }
 
     /// Applies the exact-simulation budget ([`ServeConfig::exact_budget`]):
@@ -583,6 +640,8 @@ impl SimService {
         let cache = self.cache.counters();
         let pool = self.pool.counters();
         let (family_requests, family_hits) = self.families.totals();
+        let (calibration_hits, calibration_misses, calibration_fallbacks, warp_donations) =
+            self.calibrations.totals();
         ServeStats {
             requests: self.requests.load(Ordering::SeqCst),
             simulated: self.simulated.load(Ordering::SeqCst),
@@ -599,6 +658,10 @@ impl SimService {
             families: self.families.len(),
             family_requests,
             family_hits,
+            calibration_hits,
+            calibration_misses,
+            calibration_fallbacks,
+            warp_donations,
         }
     }
 }

@@ -1,0 +1,188 @@
+//! The sweep planner: ordering a family sweep for cross-instance reuse.
+//!
+//! A `harness explore` grid visits every `(bindings, hierarchy, policy)`
+//! combination of a parametric family.  The *order* of those visits is
+//! free — results are keyed by content, not sequence — but it decides how
+//! warm the serving layer's cross-instance state
+//! ([`CalibrationCache`](crate::CalibrationCache)) is when each request
+//! arrives: instance *k+1* seeds its sampling schedule and warp-attempt
+//! cadence from whatever instance *k* left in its `(family, config)` slot,
+//! and the closer the two bindings are, the more of that donation
+//! validates.
+//!
+//! [`plan_order`] therefore arranges the points so that
+//!
+//! 1. all points sharing a memory × backend coordinate (the slot key) are
+//!    **contiguous** — a slot is never left to cool while the sweep visits
+//!    other hierarchies, and
+//! 2. within a coordinate, bindings follow a **boustrophedon** (snake)
+//!    walk of the grid: lexicographic over the parameter axes with every
+//!    axis reversing direction each time an outer axis steps, so
+//!    consecutive points differ in a single parameter by one grid step —
+//!    the nearest-neighbour order a mesh admits without solving TSP.
+//!
+//! The planner only permutes; it never drops or merges points, so a
+//! planned sweep produces exactly the same set of reports as a naive one.
+
+use std::collections::BTreeMap;
+
+/// One sweep point as the planner sees it: an opaque grouping key (the
+/// memory × backend coordinate — points in different groups share no warm
+/// state) and the parameter values that position the point on the grid,
+/// in a consistent axis order across all points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanPoint {
+    /// The warm-state coordinate: points with equal groups can donate to
+    /// each other (typically `config_text` or `hierarchy|policy`).
+    pub group: String,
+    /// Parameter values along each swept axis, same axis order for every
+    /// point.
+    pub values: Vec<i64>,
+}
+
+impl PlanPoint {
+    /// A point from any group key and value list.
+    pub fn new(group: impl Into<String>, values: Vec<i64>) -> Self {
+        PlanPoint {
+            group: group.into(),
+            values,
+        }
+    }
+}
+
+/// The warm visiting order for `points`, as a permutation of indices into
+/// the input slice (apply with `order.iter().map(|&i| &points[i])`).
+///
+/// Groups are visited in sorted order, each one contiguously; within a
+/// group the points follow the snake walk described in the module docs.
+/// Duplicate points keep their relative input order (the sort is stable),
+/// and ragged value lists are handled by treating missing axes as smaller
+/// than any value.
+pub fn plan_order(points: &[PlanPoint]) -> Vec<usize> {
+    // Per-axis rank tables, global across groups: the snake direction of
+    // an axis depends only on the ranks of the axes before it, so equal
+    // bindings land adjacently even when groups interleave in the input.
+    let axes = points.iter().map(|p| p.values.len()).max().unwrap_or(0);
+    let mut ranks: Vec<BTreeMap<i64, usize>> = vec![BTreeMap::new(); axes];
+    for point in points {
+        for (axis, value) in point.values.iter().enumerate() {
+            ranks[axis].insert(*value, 0);
+        }
+    }
+    for table in &mut ranks {
+        for (rank, (_, slot)) in table.iter_mut().enumerate() {
+            *slot = rank;
+        }
+    }
+
+    // The snake key of one point: axis i keeps its rank when the ranks of
+    // the axes before it sum even, and reverses (max − rank) when they sum
+    // odd, so stepping any outer axis flips every inner axis's direction.
+    let snake_key = |point: &PlanPoint| -> Vec<usize> {
+        let mut key = Vec::with_capacity(axes);
+        let mut parity = 0usize;
+        for (axis, table) in ranks.iter().enumerate() {
+            let rank = point.values.get(axis).map_or(0, |value| {
+                table[value] + if table.is_empty() { 0 } else { 1 }
+            });
+            let span = table.len() + 1; // +1 for the missing-axis slot 0
+            let keyed = if parity.is_multiple_of(2) {
+                rank
+            } else {
+                span - 1 - rank
+            };
+            key.push(keyed);
+            parity += rank;
+        }
+        key
+    };
+
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by_cached_key(|&i| (points[i].group.clone(), snake_key(&points[i])));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(group: &str, ts: &[i64], us: &[i64]) -> Vec<PlanPoint> {
+        let mut points = Vec::new();
+        for &t in ts {
+            for &u in us {
+                points.push(PlanPoint::new(group, vec![t, u]));
+            }
+        }
+        points
+    }
+
+    /// Number of axes on which two points differ, counting rank distance.
+    fn step(a: &PlanPoint, b: &PlanPoint) -> (usize, i64) {
+        let changed = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .filter(|(x, y)| x != y)
+            .count();
+        let dist = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        (changed, dist)
+    }
+
+    #[test]
+    fn snake_walk_moves_one_axis_one_step_at_a_time() {
+        // Shuffled 4×4 grid: the planned order must visit it as a snake —
+        // every consecutive pair differs in exactly one axis.
+        let mut points = grid("g", &[8, 16, 32, 64], &[1, 2, 3, 4]);
+        points.reverse();
+        points.swap(3, 11);
+        let order = plan_order(&points);
+        assert_eq!(order.len(), points.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..points.len()).collect::<Vec<_>>());
+        for pair in order.windows(2) {
+            let (a, b) = (&points[pair[0]], &points[pair[1]]);
+            let (changed, _) = step(a, b);
+            assert_eq!(changed, 1, "{:?} -> {:?}", a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn groups_stay_contiguous() {
+        let mut points = grid("l1|lru", &[8, 16], &[1, 2]);
+        points.extend(grid("l2|plru", &[8, 16], &[1, 2]));
+        points.extend(grid("l1|lru", &[32], &[1, 2]));
+        let order = plan_order(&points);
+        let groups: Vec<&str> = order.iter().map(|&i| points[i].group.as_str()).collect();
+        let mut switches = 0;
+        for pair in groups.windows(2) {
+            if pair[0] != pair[1] {
+                switches += 1;
+            }
+        }
+        assert_eq!(switches, 1, "each group visited in one contiguous run");
+    }
+
+    #[test]
+    fn planning_permutes_but_never_drops() {
+        let points = grid("g", &[1, 5, 9], &[2, 4]);
+        let order = plan_order(&points);
+        let mut seen: Vec<&PlanPoint> = order.iter().map(|&i| &points[i]).collect();
+        seen.sort_by_key(|p| p.values.clone());
+        let mut expect: Vec<&PlanPoint> = points.iter().collect();
+        expect.sort_by_key(|p| p.values.clone());
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_fine() {
+        assert!(plan_order(&[]).is_empty());
+        let one = [PlanPoint::new("g", vec![])];
+        assert_eq!(plan_order(&one), vec![0]);
+    }
+}

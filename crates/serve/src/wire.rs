@@ -428,6 +428,7 @@ mod tests {
             workers: 2,
             cache_capacity: 64,
             exact_budget: None,
+            warm_paths: true,
         }));
         let input = format!(
             "{}\n{}\n{}\n",
@@ -469,6 +470,7 @@ mod tests {
             workers: 1,
             cache_capacity: 4,
             exact_budget: None,
+            warm_paths: true,
         }));
         let input = format!(
             "not json\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\n{}\n",
@@ -502,6 +504,7 @@ mod tests {
             workers: 2,
             cache_capacity: 64,
             exact_budget: None,
+            warm_paths: true,
         }));
         let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
         let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
@@ -571,6 +574,7 @@ mod tests {
             workers: 1,
             cache_capacity: 16,
             exact_budget: None,
+            warm_paths: true,
         }));
         let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
         let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
@@ -637,6 +641,7 @@ mod tests {
             workers: 1,
             cache_capacity: 16,
             exact_budget: None,
+            warm_paths: true,
         }));
         let template = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i];";
         let register = format!(r#"{{"cmd":"register_family","name":"scan","code":"{template}"}}"#);
@@ -689,6 +694,7 @@ mod tests {
             workers: 1,
             cache_capacity: 16,
             exact_budget: Some(100),
+            warm_paths: true,
         }));
         let big = "double A[4096]; for (i = 0; i < 4096; i++) A[i] = A[i];";
         let line = format!(

@@ -39,6 +39,7 @@ fn thundering_herd_coalesces_onto_one_simulation() {
                 workers: 2,
                 cache_capacity: 16,
                 exact_budget: None,
+                warm_paths: true,
             })
             .with_runner(move |request| {
                 runs.fetch_add(1, Ordering::SeqCst);
@@ -104,6 +105,7 @@ fn renamed_resubmission_hits_the_cache_bit_identically() {
         workers: 1,
         cache_capacity: 8,
         exact_budget: None,
+        warm_paths: true,
     });
     let (cold, how) = service.submit(&request(KERNEL)).expect("cold run succeeds");
     assert_eq!(how, Served::Simulated);
@@ -127,6 +129,7 @@ fn errors_are_not_cached() {
             workers: 1,
             cache_capacity: 8,
             exact_budget: None,
+            warm_paths: true,
         })
         .with_runner(move |request| {
             if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
@@ -151,6 +154,7 @@ fn batch_results_are_ordered_deduped_and_queue_stamped() {
         workers: 4,
         cache_capacity: 32,
         exact_budget: None,
+        warm_paths: true,
     }));
     let distinct = [
         "double A[16]; for (i = 0; i < 16; i++) A[i] = A[i];",
@@ -226,6 +230,7 @@ fn family_tier_memoises_instances_and_shares_reports() {
         workers: 1,
         cache_capacity: 32,
         exact_budget: None,
+        warm_paths: true,
     });
     let parametric = |n: i64, t: i64| {
         SimRequest::new(
@@ -277,6 +282,7 @@ fn family_registration_is_idempotent_and_validated() {
         workers: 1,
         cache_capacity: 8,
         exact_budget: None,
+        warm_paths: true,
     });
     let a = service
         .register_family(
@@ -314,6 +320,7 @@ fn degenerate_serve_configs_are_rejected_with_clear_errors() {
         workers: 0,
         cache_capacity: 64,
         exact_budget: None,
+        warm_paths: true,
     }
     .validate()
     .expect_err("zero workers is a misconfiguration");
@@ -322,6 +329,7 @@ fn degenerate_serve_configs_are_rejected_with_clear_errors() {
         workers: 2,
         cache_capacity: 0,
         exact_budget: None,
+        warm_paths: true,
     }
     .validate()
     .expect_err("zero cache capacity is a misconfiguration");
@@ -330,6 +338,7 @@ fn degenerate_serve_configs_are_rejected_with_clear_errors() {
         workers: 2,
         cache_capacity: 64,
         exact_budget: Some(0),
+        warm_paths: true,
     }
     .validate()
     .expect_err("a zero access budget would degrade everything");
@@ -349,6 +358,7 @@ fn exact_budget_degrades_oversized_requests_onto_sampling() {
         workers: 1,
         cache_capacity: 16,
         exact_budget: Some(1000),
+        warm_paths: true,
     });
 
     // 8192 dynamic accesses blow the 1000-access budget: the classic
@@ -409,4 +419,129 @@ fn exact_budget_degrades_oversized_requests_onto_sampling() {
         .expect("analytical run succeeds");
     assert_eq!(report.backend, "haystack");
     assert_eq!(service.stats().degraded, 1);
+}
+
+/// The cross-instance warm path: a planned sweep of a parametric family
+/// donates calibration (sampled) and warp hints (warping) from each
+/// instance to the next, every point after the first per coordinate is a
+/// calibration hit, and exact results stay bit-identical to a cold
+/// service with warm paths disabled.
+#[test]
+fn family_sweeps_reuse_warm_state_soundly() {
+    const FAMILY: &str = "param N, T;\n\
+        double A[N]; double B[N];\n\
+        for (ii = 0; ii < N; ii += T)\n\
+            for (i = ii; i < ii + T; i++)\n\
+                if (i < N) B[i] = A[i] + B[i];";
+    let config = |warm_paths| ServeConfig {
+        workers: 1,
+        cache_capacity: 64,
+        exact_budget: None,
+        warm_paths,
+    };
+    let warm = SimService::new(config(true));
+    let cold = SimService::new(config(false));
+    let tiles = [8i64, 16, 24, 32];
+    let requests: Vec<SimRequest> = tiles
+        .iter()
+        .map(|&t| {
+            SimRequest::new(
+                KernelSpec::parametric("tiled", FAMILY, [("N", 4096), ("T", t)]),
+                memory(),
+                Backend::sampled(),
+            )
+        })
+        .collect();
+    for request in &requests {
+        let (warm_report, how) = warm.submit(request).expect("warm run succeeds");
+        assert_eq!(how, Served::Simulated);
+        let (cold_report, _) = cold.submit(request).expect("cold run succeeds");
+        // Sampled counts may differ between seeded and cold schedules,
+        // but both must stay within their own reported bounds of the
+        // exact counts.
+        let exact = Engine::new()
+            .run(&SimRequest::new(
+                request.kernel.clone(),
+                request.memory.clone(),
+                Backend::Classic,
+            ))
+            .expect("exact run succeeds");
+        for (report, label) in [(&warm_report, "warm"), (&cold_report, "cold")] {
+            let approx = report
+                .approx
+                .as_ref()
+                .expect("sampled reports carry approx");
+            for (level, bound) in approx.per_level_error_bound.iter().enumerate() {
+                let err = exact.levels[level]
+                    .misses
+                    .abs_diff(report.levels[level].misses);
+                assert!(err <= *bound, "{label} level {level}: {err} > {bound}");
+            }
+        }
+    }
+    let stats = warm.stats();
+    assert_eq!(stats.calibration_misses, 1, "only the first point is cold");
+    assert_eq!(
+        stats.calibration_hits,
+        tiles.len() as u64 - 1,
+        "every later point seeds from its predecessor"
+    );
+    assert_eq!(cold.stats().calibration_hits, 0);
+    assert_eq!(cold.stats().calibration_misses, 0);
+
+    // Exact backends: warp-hint donation must be bit-exact.
+    for &t in &tiles {
+        let request = SimRequest::new(
+            KernelSpec::parametric("tiled", FAMILY, [("N", 4096), ("T", t)]),
+            memory(),
+            Backend::warping(),
+        );
+        let (warm_report, _) = warm.submit(&request).expect("warm run succeeds");
+        let (cold_report, _) = cold.submit(&request).expect("cold run succeeds");
+        assert_eq!(warm_report.result, cold_report.result, "T={t}");
+        assert_eq!(warm_report.levels, cold_report.levels, "T={t}");
+    }
+    assert!(warm.stats().warp_donations >= 1);
+    let slots = warm.calibration_stats();
+    assert_eq!(slots.len(), 2, "one sampled + one warping coordinate");
+}
+
+/// Satellite: warm state is keyed by the full memory × backend coordinate,
+/// so changing the hierarchy or the replacement policy can never leak a
+/// calibration across configurations.
+#[test]
+fn calibration_cache_invalidates_on_hierarchy_or_policy_change() {
+    let service = SimService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 64,
+        exact_budget: None,
+        warm_paths: true,
+    });
+    const FAMILY: &str = "param N; double A[N]; for (i = 0; i < N; i++) A[i] = A[i - 1] + A[i];";
+    let lru = MemoryConfig::single(CacheConfig::with_sets(4, 8, 64, ReplacementPolicy::Lru));
+    let plru = MemoryConfig::single(CacheConfig::with_sets(4, 8, 64, ReplacementPolicy::Plru));
+    let two_level = MemoryConfig::two_level(
+        CacheConfig::with_sets(4, 8, 64, ReplacementPolicy::Lru),
+        CacheConfig::with_sets(32, 8, 64, ReplacementPolicy::Lru),
+    );
+    let submit = |memory: &MemoryConfig, n: i64| {
+        let request = SimRequest::new(
+            KernelSpec::parametric("scan", FAMILY, [("N", n)]),
+            memory.clone(),
+            Backend::sampled(),
+        );
+        service.submit(&request).expect("run succeeds")
+    };
+    submit(&lru, 60_000);
+    // Same policy, neighbouring binding: a hit.
+    submit(&lru, 61_000);
+    assert_eq!(service.stats().calibration_hits, 1);
+    // New policy and new hierarchy: both must calibrate cold (a fresh
+    // slot each), not reuse the LRU calibration.
+    submit(&plru, 60_000);
+    submit(&two_level, 60_000);
+    let stats = service.stats();
+    assert_eq!(stats.calibration_hits, 1, "no cross-coordinate reuse");
+    assert_eq!(stats.calibration_misses, 3);
+    assert_eq!(service.calibration_stats().len(), 3);
 }

@@ -72,6 +72,7 @@ pub use fingerprint::FingerprintTracker;
 pub use key::CanonicalKey;
 pub use plan::{LevelWarpMode, WarpPlan};
 pub use simulator::{
-    InvalidWarpingOptions, WarpingMemory, WarpingOptions, WarpingOutcome, WarpingSimulator,
+    InvalidWarpingOptions, WarpHints, WarpingMemory, WarpingOptions, WarpingOutcome,
+    WarpingSimulator,
 };
 pub use symstate::{SymLevel, SymLine};

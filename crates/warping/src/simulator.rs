@@ -129,6 +129,45 @@ impl WarpingOutcome {
     }
 }
 
+/// Warp-plan hints a finished run exports for a *similar* future run —
+/// typically the next instance of the same kernel family in a tile-size
+/// sweep, where the loop structure is identical and only the bounds move.
+///
+/// Hints are keyed by loop **depth** (the only structural coordinate that
+/// transfers across instances whose ASTs differ) and only influence the
+/// match-*attempt* schedule: a depth the donor found barren skips the
+/// eager phase and probes on the backoff cadence alone, saving the
+/// fingerprint/key work that dominates non-warping loops.  Every count a
+/// hinted run produces is bit-identical to a cold run's — any warp that
+/// does fire is sound regardless of when it was attempted, and skipped
+/// attempts only forgo speed, never correctness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarpHints {
+    /// Depths at which the donor run applied at least one warp, sorted.
+    pub warped_depths: Vec<usize>,
+    /// Depths at which some loop exhausted its fruitless-attempt budget
+    /// without ever warping (and no sibling loop at the depth warped
+    /// either), sorted.
+    pub barren_depths: Vec<usize>,
+}
+
+impl WarpHints {
+    /// Whether the donor saw the depth warp.
+    pub fn is_warped(&self, depth: usize) -> bool {
+        self.warped_depths.binary_search(&depth).is_ok()
+    }
+
+    /// Whether the donor gave up on the depth without a single warp.
+    pub fn is_barren(&self, depth: usize) -> bool {
+        self.barren_depths.binary_search(&depth).is_ok()
+    }
+
+    /// Whether the hints carry any information at all.
+    pub fn is_empty(&self) -> bool {
+        self.warped_depths.is_empty() && self.barren_depths.is_empty()
+    }
+}
+
 /// Tuning knobs of the warping simulator.
 ///
 /// The defaults keep the overhead of key construction small on loops that
@@ -319,6 +358,13 @@ pub struct WarpingSimulator {
     /// Match attempts that did not result in a warp, per loop node (keyed by
     /// the node's address within the SCoP currently being simulated).
     fruitless: HashMap<usize, u64>,
+    /// Donor hints from a similar earlier run (see [`WarpHints`]); `None`
+    /// runs the cold schedule.
+    hints: Option<WarpHints>,
+    /// Depths at which this run applied at least one warp.
+    warped_depths: HashSet<usize>,
+    /// Depths at which some loop exhausted its fruitless budget.
+    exhausted_depths: HashSet<usize>,
 }
 
 impl WarpingSimulator {
@@ -363,6 +409,9 @@ impl WarpingSimulator {
             stale_label_renorms: 0,
             warp_apply_ns: 0,
             fruitless: HashMap::new(),
+            hints: None,
+            warped_depths: HashSet::new(),
+            exhausted_depths: HashSet::new(),
         })
     }
 
@@ -392,6 +441,34 @@ impl WarpingSimulator {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.warp_threads = threads.max(1);
         self
+    }
+
+    /// Seeds the match-attempt schedule with a donor run's [`WarpHints`].
+    /// Depths the donor found barren skip the eager phase (attempts run on
+    /// the backoff cadence alone); everything else is unchanged.  All
+    /// simulation counts stay bit-identical to a cold run.
+    pub fn with_hints(mut self, hints: WarpHints) -> Self {
+        self.hints = if hints.is_empty() { None } else { Some(hints) };
+        self
+    }
+
+    /// Exports this run's warp-plan facts for donation to a similar future
+    /// run (see [`WarpHints`]).  A depth only counts as barren when no loop
+    /// at that depth warped, so mixed evidence errs on the side of
+    /// attempting.
+    pub fn export_hints(&self) -> WarpHints {
+        let mut warped: Vec<usize> = self.warped_depths.iter().copied().collect();
+        warped.sort_unstable();
+        let mut barren: Vec<usize> = self
+            .exhausted_depths
+            .difference(&self.warped_depths)
+            .copied()
+            .collect();
+        barren.sort_unstable();
+        WarpHints {
+            warped_depths: warped,
+            barren_depths: barren,
+        }
     }
 
     /// Simulates a SCoP and returns the outcome.  The cache state persists
@@ -578,6 +655,13 @@ impl WarpingSimulator {
         let warpable = trip_count >= self.options.min_trip_count
             && !info.nodes.is_empty()
             && info.uniform_coeff.is_some();
+        // Donor hints demote the eager phase on depths a similar run
+        // already probed exhaustively without a single warp; a depth the
+        // donor saw warp (or never saw at all) keeps the cold schedule.
+        let eager = match &self.hints {
+            Some(hints) => !hints.is_barren(depth) || hints.is_warped(depth),
+            None => true,
+        };
         let mut map: HashMap<u64, MatchEntry> = HashMap::new();
         let mut iteration_index: u64 = 0;
 
@@ -585,7 +669,7 @@ impl WarpingSimulator {
             let v1 = i[depth - 1];
             if warpable
                 && fruitless < self.options.max_fruitless_attempts
-                && self.should_attempt(iteration_index)
+                && self.should_attempt(iteration_index, eager)
             {
                 if let Some(warped) = self.attempt_match(
                     &info,
@@ -617,6 +701,9 @@ impl WarpingSimulator {
             iteration_index += 1;
         }
         if warpable {
+            if fruitless >= self.options.max_fruitless_attempts {
+                self.exhausted_depths.insert(depth);
+            }
             self.fruitless.insert(node_key, fruitless);
         }
     }
@@ -827,12 +914,13 @@ impl WarpingSimulator {
             })
             .count() as u64;
         self.warps += 1;
+        self.warped_depths.insert(depth);
         self.warp_apply_ns += warp_start.elapsed().as_nanos() as u64;
         Some(plan.chunks * period)
     }
 
-    fn should_attempt(&self, iteration_index: u64) -> bool {
-        iteration_index < self.options.eager_attempts
+    fn should_attempt(&self, iteration_index: u64, eager: bool) -> bool {
+        (eager && iteration_index < self.options.eager_attempts)
             || iteration_index.is_multiple_of(self.options.backoff_interval)
     }
 }
@@ -1147,6 +1235,63 @@ mod tests {
             "thread budget must not change anything"
         );
         assert!(parallel.warps >= 1);
+    }
+
+    #[test]
+    fn donor_hints_keep_counts_bit_identical() {
+        // The donor run exports its warp-plan facts; a hinted rerun of a
+        // *different* (neighbouring) instance must produce exactly the
+        // counts a cold run produces — hints only reschedule attempts.
+        let memory = WarpingMemory::two_level(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Lru),
+        );
+        let mut donor_sim = WarpingSimulator::new(memory.clone());
+        let donor_outcome = donor_sim.run(&stencil(4000));
+        assert!(donor_outcome.warps >= 1);
+        let hints = donor_sim.export_hints();
+        assert!(
+            hints.is_warped(1),
+            "the stencil warps at depth 1: {hints:?}"
+        );
+
+        for n in [3500, 4500] {
+            let scop = stencil(n);
+            let cold = WarpingSimulator::new(memory.clone()).run(&scop);
+            let hinted = WarpingSimulator::new(memory.clone())
+                .with_hints(hints.clone())
+                .run(&scop);
+            assert_eq!(
+                hinted.result, cold.result,
+                "hints must not change any simulation count (n = {n})"
+            );
+        }
+
+        // A barren hint demotes the eager phase: fewer match attempts on a
+        // loop that never warps, same counts.  The triangular matvec's
+        // inner loop exhausts its budget without warping on a tiny cache.
+        let tri = parse_scop(
+            "double A[200][200]; double x[200]; double c[200];\n\
+             for (i = 0; i < 200; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 200; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+        )
+        .unwrap();
+        let tiny = WarpingMemory::from(CacheConfig::with_sets(2, 2, 64, ReplacementPolicy::Lru));
+        let mut cold_sim = WarpingSimulator::new(tiny.clone());
+        let cold = cold_sim.run(&tri);
+        let tri_hints = cold_sim.export_hints();
+        if !tri_hints.barren_depths.is_empty() {
+            let hinted = WarpingSimulator::new(tiny).with_hints(tri_hints).run(&tri);
+            assert_eq!(hinted.result, cold.result);
+            assert!(
+                hinted.match_attempts <= cold.match_attempts,
+                "barren hints must not add attempts ({} > {})",
+                hinted.match_attempts,
+                cold.match_attempts
+            );
+        }
     }
 
     #[test]
