@@ -25,7 +25,8 @@
 //!                        [--levels SPEC] [--threads N]
 //!                        [--fingerprint-filter on|off]
 //!                        [--label-renorm on|off]
-//!                        [--sample-rate F] [--warmup N] [--json]
+//!                        [--sample-rate F] [--warmup N]
+//!                        [--walk compiled|reference] [--json]
 //!
 //!           --levels describes the memory system as a comma-separated list
 //!           of cache levels, innermost first.  Each level is
@@ -75,6 +76,16 @@
 //!           an explanation before anything simulates.  Sampled rows
 //!           report approximation stats in `--json` output (`approx`:
 //!           sampled fraction, per-level error bounds, interval counts).
+//!
+//!           --walk compiled|reference selects the access-stream walker
+//!           for every backend (`Engine::with_walk`).  `compiled` (the
+//!           default) lowers each kernel once into strength-reduced
+//!           per-loop address deltas and run-batched cache updates;
+//!           `reference` keeps the original per-iteration affine
+//!           evaluation.  Counts are bit-identical either way — CI
+//!           asserts exactly that on a depth-3 grid — so `reference`
+//!           exists as the differential oracle and for bisecting
+//!           compiled-walk regressions, not as a tuning knob.
 //!
 //!   explore sweep a parametric kernel family across tile-size bindings ×
 //!           memory hierarchies × replacement policies:
@@ -141,7 +152,7 @@
 
 use bench_suite::*;
 use cache_model::{CacheConfig, MemoryConfig, ReplacementPolicy};
-use engine::{Backend, Engine, KernelSpec, SimRequest};
+use engine::{Backend, Engine, KernelSpec, SimRequest, WalkMode};
 use polybench::{Dataset, Kernel};
 
 fn main() {
@@ -171,6 +182,7 @@ fn main() {
     let mut label_renorm: Option<bool> = None;
     let mut sample_rate: Option<f64> = None;
     let mut warmup: Option<u32> = None;
+    let mut walk = WalkMode::default();
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -268,6 +280,14 @@ fn main() {
                 levels = parse_levels(args.get(i).map(String::as_str).unwrap_or(""))
                     .unwrap_or_else(|e| die(&e));
             }
+            "--walk" => {
+                i += 1;
+                walk = match args.get(i).map(String::as_str) {
+                    Some("compiled") => WalkMode::Compiled,
+                    Some("reference") => WalkMode::Reference,
+                    _ => die("--walk expects `compiled` or `reference`"),
+                };
+            }
             "--hierarchy" => die(
                 "--hierarchy was replaced by the depth-N `--levels` spec; use \
                  `--levels l1l2` for the old two-level configuration",
@@ -357,7 +377,7 @@ fn main() {
             fig12_text,
         ),
         "verify" => verify(&config),
-        "grid" => grid(&config, &policies, &backends, &levels, threads, json),
+        "grid" => grid(&config, &policies, &backends, &levels, threads, walk, json),
         "all" => {
             emit(
                 json,
@@ -512,6 +532,7 @@ fn grid(
     backends: &[Backend],
     levels: &LevelsSpec,
     threads: Option<usize>,
+    walk: WalkMode,
     json: bool,
 ) {
     let kernels: Vec<KernelSpec> = config
@@ -524,7 +545,7 @@ fn grid(
         .map(|&policy| levels.memory(policy))
         .collect();
     let requests = SimRequest::grid(&kernels, &memories, backends);
-    let mut engine = Engine::new();
+    let mut engine = Engine::new().with_walk(walk);
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
     }
@@ -1280,7 +1301,13 @@ fn validate_point(request: &SimRequest) -> Result<(), String> {
         .kernel
         .build()
         .map_err(|e| format!("binding rejected: {e}"))?;
-    if scop::exceeds_access_count(&scop, 0) {
+    // Rectangular instances answer in closed form from the compiled
+    // kernel; only irregular domains pay for the walking probe.
+    let nonempty = scop::compile(&scop)
+        .static_access_count()
+        .map(|total| total > 0)
+        .unwrap_or_else(|| scop::exceeds_access_count(&scop, 0));
+    if nonempty {
         Ok(())
     } else {
         Err("unsatisfiable bindings: the instance performs no memory accesses".to_string())
@@ -1633,7 +1660,7 @@ fn print_usage() {
          [--backends classic,warping,haystack,polycache,trace,sampled] \
          [--levels l1:32K:8:64,l2:256K:8:64,l3:2M:16:64 | l1 | l1l2 | l1l2l3] \
          [--threads N] [--fingerprint-filter on|off] [--label-renorm on|off] \
-         [--sample-rate F] [--warmup N] [--json]\n\
+         [--sample-rate F] [--warmup N] [--walk compiled|reference] [--json]\n\
          \x20      harness serve [--addr HOST:PORT] [--cache-cap N] [--workers N] \
          [--exact-budget N] [--debug-hash]\n\
          \x20      harness explore [--sweep TI=4,8;TJ=4,8] [--bind NI=32,...] \

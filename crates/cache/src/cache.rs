@@ -173,6 +173,18 @@ impl LevelStats {
         }
     }
 
+    /// Records `n` accesses with the same outcome at once — the batched
+    /// counterpart of [`LevelStats::record`] used when a run of accesses
+    /// to one cache line is collapsed arithmetically.
+    pub fn record_n(&mut self, hit: bool, n: u64) {
+        self.accesses += n;
+        if hit {
+            self.hits += n;
+        } else {
+            self.misses += n;
+        }
+    }
+
     /// Merges the counters of another statistics record into this one.
     pub fn merge(&mut self, other: &LevelStats) {
         self.accesses += other.accesses;

@@ -178,6 +178,121 @@ impl MultiLevelState<MemBlock> {
         }
         outcome
     }
+
+    /// Performs a run of `count` accesses starting at `base` with a
+    /// constant byte `stride`, recording per-level counters into `stats`
+    /// (`stats[i]` is level `i`).
+    ///
+    /// The run is split into maximal groups of consecutive accesses that
+    /// share a cache line (addresses are monotone, so a line never
+    /// recurs once left).  Within a group only the first two accesses
+    /// are performed against the state: after an access and a repeat of
+    /// the same block, a further identical access changes neither the
+    /// replacement-policy state (the block is the promotion target
+    /// already) nor the contents, for every supported policy and both
+    /// fill paths.  The remaining `k - 2` accesses replicate the second
+    /// outcome arithmetically — one fill plus `k − 1` hit-promotes
+    /// collapse into two state updates and a counter bump.
+    ///
+    /// The result is bit-identical to calling [`MultiLevelState::access`]
+    /// `count` times (the differential suites assert this).
+    pub fn access_run(
+        &mut self,
+        config: &MemoryConfig,
+        base: u64,
+        stride: i64,
+        count: u64,
+        kind: AccessKind,
+        stats: &mut [LevelStats],
+    ) {
+        self.run_impl(config, base, stride, count, kind, None, stats);
+    }
+
+    /// The epoch-stamping counterpart of [`MultiLevelState::access_run`]:
+    /// every performed access stamps like
+    /// [`MultiLevelState::access_stamped`].  A run carries one stamp, so
+    /// the collapsed replays (which would re-stamp the same value) are
+    /// idempotent and the resulting epochs are bit-identical to the
+    /// unbatched walk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_run_stamped(
+        &mut self,
+        config: &MemoryConfig,
+        base: u64,
+        stride: i64,
+        count: u64,
+        kind: AccessKind,
+        stamp: i64,
+        stats: &mut [LevelStats],
+    ) {
+        self.run_impl(config, base, stride, count, kind, Some(stamp), stats);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl(
+        &mut self,
+        config: &MemoryConfig,
+        base: u64,
+        stride: i64,
+        count: u64,
+        kind: AccessKind,
+        stamp: Option<i64>,
+        stats: &mut [LevelStats],
+    ) {
+        let line = config.l1().line_size() as i64;
+        let fill = kind != AccessKind::Write || config.write_policy().allocates_on_write();
+        let mut addr = base as i64;
+        let mut remaining = count;
+        while remaining > 0 {
+            // Size of the group of consecutive accesses on addr's line.
+            let group = if stride == 0 {
+                remaining
+            } else {
+                let line_base = addr.div_euclid(line) * line;
+                let span = if stride > 0 {
+                    // Accesses before the address reaches the next line.
+                    let gap = line_base + line - addr;
+                    (gap + stride - 1) / stride
+                } else {
+                    // Accesses before the address drops below the line.
+                    (addr - line_base) / -stride + 1
+                };
+                remaining.min(span as u64)
+            };
+            let block = config.l1().block_of_address(addr as u64);
+            let mut outcome = MultiAccessOutcome {
+                levels_consulted: 0,
+                hit: false,
+            };
+            for _ in 0..group.min(2) {
+                outcome = walk_access(
+                    config.levels().iter().zip(self.levels.iter_mut()),
+                    block,
+                    fill,
+                );
+                outcome.record_into(stats);
+                if let Some(stamp) = stamp {
+                    if fill {
+                        for level in self.levels.iter_mut().take(outcome.levels_consulted) {
+                            level.stamp_epoch(&[stamp]);
+                        }
+                    } else if outcome.hit {
+                        self.levels[outcome.levels_consulted - 1].stamp_epoch(&[stamp]);
+                    }
+                }
+            }
+            // The state is now a fixed point for this block: replicate
+            // the last outcome for the rest of the group.
+            if group > 2 {
+                let tail = group - 2;
+                for (idx, level) in stats.iter_mut().enumerate().take(outcome.levels_consulted) {
+                    level.record_n(outcome.hit && idx + 1 == outcome.levels_consulted, tail);
+                }
+            }
+            addr += stride * group as i64;
+            remaining -= group;
+        }
+    }
 }
 
 /// An epoch-aware snapshot of a [`MultiLevelState`].
@@ -346,6 +461,64 @@ mod tests {
         forked.access_block(&config, MemBlock(99));
         assert_ne!(forked, state);
         assert_eq!(snap.restore(), state, "snapshot itself is unchanged");
+    }
+
+    #[test]
+    fn access_run_is_bit_identical_to_single_accesses() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Plru,
+            ReplacementPolicy::Qlru,
+        ] {
+            let config = MemoryConfig::new(vec![
+                CacheConfig::with_sets(2, 2, 64, policy),
+                CacheConfig::with_sets(4, 2, 64, policy),
+            ])
+            .unwrap();
+            for write_policy in [
+                WritePolicy::WriteBackWriteAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ] {
+                let config = config.clone().with_write_policy(write_policy);
+                // (base, stride, count): sub-line forward, line-sized,
+                // line-skipping, sub-line backward, and zero strides.
+                let runs = [
+                    (0u64, 8i64, 40u64, AccessKind::Read),
+                    (512, 64, 16, AccessKind::Write),
+                    (64, 200, 10, AccessKind::Read),
+                    (4096, -8, 33, AccessKind::Write),
+                    (128, 0, 9, AccessKind::Read),
+                    (60, 8, 3, AccessKind::Read), // straddles a line boundary
+                ];
+                let mut batched = MultiLevelState::new(&config);
+                let mut unbatched = MultiLevelState::new(&config);
+                let mut batched_stats = vec![LevelStats::default(); 2];
+                let mut unbatched_stats = vec![LevelStats::default(); 2];
+                for (base, stride, count, kind) in runs {
+                    batched.access_run_stamped(
+                        &config,
+                        base,
+                        stride,
+                        count,
+                        kind,
+                        7,
+                        &mut batched_stats,
+                    );
+                    for k in 0..count {
+                        let address = (base as i64 + k as i64 * stride) as u64;
+                        unbatched
+                            .access_stamped(&config, Access { address, kind }, 7)
+                            .record_into(&mut unbatched_stats);
+                    }
+                }
+                assert_eq!(batched, unbatched, "{policy:?} {write_policy:?}");
+                assert_eq!(
+                    batched_stats, unbatched_stats,
+                    "{policy:?} {write_policy:?}"
+                );
+            }
+        }
     }
 
     #[test]

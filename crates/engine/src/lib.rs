@@ -55,16 +55,17 @@ pub use canon::CanonicalHash;
 pub use report::{ApproxStats, SimReport, WarpingStats};
 pub use request::{dataset_by_name, Backend, KernelSpec, SimRequest};
 pub use sampling::{Calibration, SamplingOptions, PPM};
+pub use simulate::WalkMode;
 pub use warping::WarpHints;
 
 use analytical::{HaystackModel, PolyCacheModel};
 use cache_model::{LevelStats, ReplacementPolicy, WritePolicy};
-use simulate::{simulate, MultiLevelSystem, SimulationResult};
+use simulate::{simulate_with_walk, MultiLevelSystem, SimulationResult};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use trace_sim::{generate_trace, simulate_trace_memory};
+use trace_sim::{generate_trace_with, simulate_trace_memory};
 use warping::WarpingSimulator;
 
 /// Why a request could not be served.
@@ -163,6 +164,7 @@ pub struct WarmOutcome {
 #[derive(Clone, Debug)]
 pub struct Engine {
     threads: usize,
+    walk: WalkMode,
 }
 
 impl Default for Engine {
@@ -176,6 +178,7 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            walk: WalkMode::default(),
         }
     }
 
@@ -189,6 +192,23 @@ impl Engine {
     /// The number of worker threads used by [`Engine::run_batch`].
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides how the simulating backends step through the iteration
+    /// space.  The default is [`WalkMode::Compiled`] (the
+    /// compile-once/walk-many fast path); [`WalkMode::Reference`] restores
+    /// the literal per-access walk of Algorithm 1.  Every backend produces
+    /// bit-identical counts in both modes — the reference walk exists as
+    /// the differential oracle, reachable from the harness via
+    /// `--walk reference`.
+    pub fn with_walk(mut self, walk: WalkMode) -> Self {
+        self.walk = walk;
+        self
+    }
+
+    /// The walk mode granted to simulating backends.
+    pub fn walk(&self) -> WalkMode {
+        self.walk
     }
 
     /// Serves one request: builds the kernel, dispatches to the backend and
@@ -264,7 +284,7 @@ impl Engine {
         let (result, warping, exact, approx) = match &request.backend {
             Backend::Classic => {
                 let mut system = MultiLevelSystem::new(memory.clone());
-                let result = simulate(&scop, &mut system);
+                let result = simulate_with_walk(&scop, &mut system, self.walk);
                 (result, None, true, None)
             }
             Backend::Warping(options) => {
@@ -277,7 +297,8 @@ impl Engine {
                         message,
                     })?
                     .with_options(*options)
-                    .with_threads(backend_threads);
+                    .with_threads(backend_threads)
+                    .with_walk(self.walk);
                 if let Some(hints) = &ctx.warp_hints {
                     simulator = simulator.with_hints(hints.clone());
                 }
@@ -363,7 +384,7 @@ impl Engine {
                 let (result, approx, cal) = loop {
                     warm.sampled_attempts += 1;
                     let (result, approx, cal) =
-                        sampling::run_sampled_with(&scop, memory, &opts, prior);
+                        sampling::run_sampled_with(&scop, memory, &opts, prior, self.walk);
                     let worst = approx
                         .per_level_error_bound
                         .iter()
@@ -401,7 +422,7 @@ impl Engine {
                 (result, None, exact, Some(approx))
             }
             Backend::Trace => {
-                let trace = generate_trace(&scop);
+                let trace = generate_trace_with(&scop, self.walk);
                 let levels = simulate_trace_memory(&trace, memory);
                 let result = SimulationResult {
                     accesses: trace.len() as u64,

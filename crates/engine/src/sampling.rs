@@ -89,8 +89,11 @@
 
 use crate::report::ApproxStats;
 use cache_model::{Access, LevelStats, MemBlock, MemoryConfig, MultiLevelState, StateSnapshot};
-use scop::{for_each_access_at, LoopNode, Node, Scop};
-use simulate::{simulate, MultiLevelSystem, SimulationResult};
+use scop::{
+    compile, for_each_access_at, for_each_run_at, CompiledLoop, CompiledNode, LoopNode, Node, Scop,
+    WalkScratch,
+};
+use simulate::{simulate_with_walk, MultiLevelSystem, SimulationResult, WalkMode};
 use warping::fingerprint::concrete_fingerprint;
 
 /// One million: the denominator of [`SamplingOptions::rate_ppm`].
@@ -270,18 +273,26 @@ pub(crate) fn run_sampled_with(
     memory: &MemoryConfig,
     options: &SamplingOptions,
     prior: Option<&Calibration>,
+    walk: WalkMode,
 ) -> (SimulationResult, ApproxStats, CalibrationOutcome) {
     let depth = memory.depth();
     if options.rate_ppm >= PPM {
         // Full rate: run the classic path verbatim so the counts are
         // bit-identical by construction, not merely by argument.
-        let result = simulate(scop, &mut MultiLevelSystem::new(memory.clone()));
+        let result = simulate_with_walk(scop, &mut MultiLevelSystem::new(memory.clone()), walk);
         return (
             result,
             ApproxStats::exact(depth),
             CalibrationOutcome::default(),
         );
     }
+    // The compiled twin of the SCoP: the exact and measured intervals
+    // replay its run stream (batched same-line updates), the reference
+    // mode replays Algorithm 1 per access.  Counts are bit-identical.
+    let compiled = (walk == WalkMode::Compiled).then(|| compile(scop));
+    let scratch = compiled
+        .as_ref()
+        .map_or_else(WalkScratch::default, |c| c.new_scratch());
     let mut sampler = Sampler {
         config: memory,
         options: *options,
@@ -307,11 +318,20 @@ pub(crate) fn run_sampled_with(
         seeded: false,
         fallback: false,
         measured_cal: None,
+        cur: None,
+        scratch,
     };
-    for root in scop.roots() {
+    for (idx, root) in scop.roots().iter().enumerate() {
+        let croot = compiled.as_ref().map(|c| &c.roots()[idx]);
         match root {
-            Node::Loop(l) => sampler.run_loop(l),
-            access => sampler.run_node_exact(access),
+            Node::Loop(l) => {
+                let cl = croot.and_then(|c| match c {
+                    CompiledNode::Loop(cl) => Some(cl),
+                    CompiledNode::Access(_) => None,
+                });
+                sampler.run_loop(l, cl);
+            }
+            access => sampler.run_node_exact(access, croot),
         }
     }
     sampler.finish()
@@ -343,9 +363,15 @@ struct Sampler<'a> {
     fallback: bool,
     /// Calibration measured by the largest sampled loop so far.
     measured_cal: Option<Calibration>,
+    /// The compiled twin of the loop currently being sampled (compiled
+    /// walk only); `None` replays the reference per-access walk.
+    cur: Option<&'a CompiledLoop>,
+    /// Reusable compiled-walk scratch (iteration vector + per-slot base
+    /// addresses), kept across intervals so resumptions allocate nothing.
+    scratch: WalkScratch,
 }
 
-impl Sampler<'_> {
+impl<'a> Sampler<'a> {
     fn depth(&self) -> usize {
         self.totals.len()
     }
@@ -364,23 +390,31 @@ impl Sampler<'_> {
     }
 
     /// Simulates a non-loop root exactly, counts trusted.
-    fn run_node_exact(&mut self, node: &Node) {
+    fn run_node_exact(&mut self, node: &Node, cnode: Option<&CompiledNode>) {
         let stamp = self.clock;
         let config = self.config;
-        let state = &mut self.state;
         let mut local = vec![LevelStats::default(); self.totals.len()];
-        self.simulated += for_each_access_at(node, &[], |acc| {
-            state
-                .access_stamped(
-                    config,
-                    Access {
-                        address: acc.address,
-                        kind: acc.kind,
-                    },
-                    stamp,
-                )
-                .record_into(&mut local);
-        });
+        let state = &mut self.state;
+        let scratch = &mut self.scratch;
+        self.simulated += match cnode {
+            Some(c) => for_each_run_at(c, &[], scratch, |run| {
+                state.access_run_stamped(
+                    config, run.base, run.stride, run.count, run.kind, stamp, &mut local,
+                );
+            }),
+            None => for_each_access_at(node, &[], |acc| {
+                state
+                    .access_stamped(
+                        config,
+                        Access {
+                            address: acc.address,
+                            kind: acc.kind,
+                        },
+                        stamp,
+                    )
+                    .record_into(&mut local);
+            }),
+        };
         merge(&mut self.totals, &local);
         self.clock += 1;
     }
@@ -399,22 +433,41 @@ impl Sampler<'_> {
     ) -> Vec<LevelStats> {
         let mut local = vec![LevelStats::default(); self.totals.len()];
         let config = self.config;
+        let cur = self.cur;
         for idx in range {
             let stamp = base + idx as i64;
             let state = &mut self.state;
-            for child in &l.children {
-                self.simulated += for_each_access_at(child, iters.at(idx), |acc| {
-                    state
-                        .access_stamped(
-                            config,
-                            Access {
-                                address: acc.address,
-                                kind: acc.kind,
-                            },
-                            stamp,
-                        )
-                        .record_into(&mut local);
-                });
+            match cur {
+                // Compiled replay: the loop's compiled children mirror
+                // `l.children` one to one, so the run stream covers the
+                // same accesses in the same order, batched by cache line.
+                Some(cl) => {
+                    let scratch = &mut self.scratch;
+                    for child in cl.children() {
+                        self.simulated += for_each_run_at(child, iters.at(idx), scratch, |run| {
+                            state.access_run_stamped(
+                                config, run.base, run.stride, run.count, run.kind, stamp,
+                                &mut local,
+                            );
+                        });
+                    }
+                }
+                None => {
+                    for child in &l.children {
+                        self.simulated += for_each_access_at(child, iters.at(idx), |acc| {
+                            state
+                                .access_stamped(
+                                    config,
+                                    Access {
+                                        address: acc.address,
+                                        kind: acc.kind,
+                                    },
+                                    stamp,
+                                )
+                                .record_into(&mut local);
+                        });
+                    }
+                }
             }
         }
         if counted {
@@ -464,8 +517,10 @@ impl Sampler<'_> {
     }
 
     /// Samples one top-level loop (or simulates it exactly when it is too
-    /// small for sampling to pay off).
-    fn run_loop(&mut self, l: &LoopNode) {
+    /// small for sampling to pay off).  `cl` is the loop's compiled twin
+    /// (compiled walk only).
+    fn run_loop(&mut self, l: &LoopNode, cl: Option<&'a CompiledLoop>) {
+        self.cur = cl;
         let iters = outer_iterations(l);
         let total = iters.len();
         let base = self.clock;
@@ -1235,7 +1290,7 @@ mod tests {
         let memory = memory();
         let options = SamplingOptions::DEFAULT;
         let donor = streaming().build().expect("donor builds");
-        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None);
+        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None, WalkMode::Compiled);
         assert!(!cold.seeded && !cold.fallback);
         let cal = cold.measured.expect("a sampled run measures a calibration");
         assert!(cal.period >= 1 && cal.intervals > 0);
@@ -1247,8 +1302,18 @@ mod tests {
         )
         .build()
         .expect("neighbour builds");
-        let classic = simulate(&neighbour, &mut MultiLevelSystem::new(memory.clone()));
-        let (result, approx, out) = run_sampled_with(&neighbour, &memory, &options, Some(&cal));
+        let classic = simulate_with_walk(
+            &neighbour,
+            &mut MultiLevelSystem::new(memory.clone()),
+            WalkMode::Compiled,
+        );
+        let (result, approx, out) = run_sampled_with(
+            &neighbour,
+            &memory,
+            &options,
+            Some(&cal),
+            WalkMode::Compiled,
+        );
         assert!(out.seeded, "a usable prior must be consulted");
         assert!(!out.fallback, "a same-shape neighbour validates cleanly");
         for (level, bound) in approx.per_level_error_bound.iter().enumerate() {
@@ -1260,7 +1325,8 @@ mod tests {
         assert_eq!(classic.accesses, result.accesses);
         // The seeded schedule does strictly less exact work than a cold
         // run of the same kernel — that is the whole point.
-        let (_, cold_approx, _) = run_sampled_with(&neighbour, &memory, &options, None);
+        let (_, cold_approx, _) =
+            run_sampled_with(&neighbour, &memory, &options, None, WalkMode::Compiled);
         assert!(
             approx.measured_intervals < cold_approx.measured_intervals,
             "seeded {} vs cold {}",
@@ -1276,7 +1342,7 @@ mod tests {
         let memory = memory();
         let options = SamplingOptions::DEFAULT;
         let donor = streaming().build().expect("donor builds");
-        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None);
+        let (_, _, cold) = run_sampled_with(&donor, &memory, &options, None, WalkMode::Compiled);
         let cal = cold.measured.expect("donor calibration");
 
         // A triangular kernel has an aperiodic behaviour signature: the
@@ -1290,12 +1356,43 @@ mod tests {
         )
         .build()
         .expect("tri builds");
-        let (cold_result, cold_approx, cold_out) = run_sampled_with(&tri, &memory, &options, None);
+        let (cold_result, cold_approx, cold_out) =
+            run_sampled_with(&tri, &memory, &options, None, WalkMode::Compiled);
         assert!(!cold_out.seeded);
-        let (result, approx, out) = run_sampled_with(&tri, &memory, &options, Some(&cal));
+        let (result, approx, out) =
+            run_sampled_with(&tri, &memory, &options, Some(&cal), WalkMode::Compiled);
         assert!(out.seeded, "the prior was consulted");
         assert!(out.fallback, "a foreign prior must fail validation");
         assert_eq!(result, cold_result);
         assert_eq!(approx, cold_approx);
+    }
+
+    #[test]
+    fn compiled_and_reference_walks_sample_bit_identically() {
+        // The walk mode changes how intervals are replayed (batched runs
+        // vs per-access), not which intervals are measured or what they
+        // count: result, bounds and calibration must all coincide.
+        let memory = memory();
+        let options = SamplingOptions::DEFAULT;
+        let kernels = [
+            streaming().build().expect("streaming builds"),
+            KernelSpec::source(
+                "mixed",
+                "double A[4096];\n\
+                 for (i = 4095; i >= 0; i -= 1) if (i >= 64) A[i] = A[i];\n\
+                 for (j = 0; j < 100; j += 3) A[j] = 0;",
+            )
+            .build()
+            .expect("mixed builds"),
+        ];
+        for (idx, scop) in kernels.iter().enumerate() {
+            let (c_result, c_approx, c_out) =
+                run_sampled_with(scop, &memory, &options, None, WalkMode::Compiled);
+            let (r_result, r_approx, r_out) =
+                run_sampled_with(scop, &memory, &options, None, WalkMode::Reference);
+            assert_eq!(c_result, r_result, "kernel {idx}");
+            assert_eq!(c_approx, r_approx, "kernel {idx}");
+            assert_eq!(c_out.measured, r_out.measured, "kernel {idx}");
+        }
     }
 }

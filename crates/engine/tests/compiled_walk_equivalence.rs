@@ -1,0 +1,179 @@
+//! Property test for the compiled walk: lowering a kernel into
+//! strength-reduced access runs must be invisible.  Across random kernel
+//! shapes (negative strides, non-unit steps, if-guards, triangular nests,
+//! parametric tile instances), random replacement policies and depth-2/3
+//! hierarchies, the compiled walk must
+//!
+//!   * emit the exact access stream of the reference walk, address by
+//!     address and kind by kind, and
+//!   * produce bit-identical [`SimReport`]s through every simulating
+//!     backend (classic, warping, trace, sampled) of the engine.
+//!
+//! `Engine::with_walk(WalkMode::Reference)` is the oracle — the same
+//! engine, same backends, same kernels, with only the walker swapped.
+
+use cache_model::{AccessKind, CacheConfig, MemoryConfig, ReplacementPolicy};
+use engine::{Backend, Engine, KernelSpec, SimRequest, WalkMode};
+use proptest::prelude::*;
+
+/// The kernel shapes under test; each is stamped out from the same small
+/// parameter tuple so shrinking stays meaningful.
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    /// `for (i = 0; i < n; i += step) A[mult*i] = A[mult*i];`
+    Strided,
+    /// `for (i = n-1; i >= 0; i -= step) A[i] = A[i];`
+    Decreasing,
+    /// The strided loop with an `if (i < bound)` guard on the body.
+    Guarded,
+    /// `for (i ...) for (j = 0; j <= i; j++) B[j] = A[i];`
+    Triangular,
+    /// A tiled instance with ragged-tile guards, via the parametric path.
+    Tiled,
+}
+
+const TEMPLATE: &str = "\
+    param N, T;\n\
+    double A[N];\n\
+    double B[N];\n\
+    for (ii = 0; ii < N; ii += T)\n\
+        for (i = ii; i < ii + T; i++)\n\
+            if (i < N) B[i] = A[i] + A[i];\n";
+
+/// Renders one concrete kernel for a shape and its parameters.
+fn kernel(shape: Shape, n: i64, step: i64, mult: i64) -> KernelSpec {
+    match shape {
+        Shape::Strided => KernelSpec::source(
+            "strided",
+            format!(
+                "double A[{len}]; for (i = 0; i < {n}; i += {step}) \
+                 A[{mult}*i] = A[{mult}*i];",
+                len = mult * n
+            ),
+        ),
+        Shape::Decreasing => KernelSpec::source(
+            "decreasing",
+            format!(
+                "double A[{n}]; for (i = {last}; i >= 0; i -= {step}) A[i] = A[i];",
+                last = n - 1
+            ),
+        ),
+        Shape::Guarded => KernelSpec::source(
+            "guarded",
+            format!(
+                "double A[{len}]; for (i = 0; i < {n}; i += {step}) \
+                 if (i < {bound}) A[{mult}*i] = A[{mult}*i];",
+                len = mult * n,
+                bound = n / 2 + 1
+            ),
+        ),
+        Shape::Triangular => KernelSpec::source(
+            "triangular",
+            format!(
+                "double A[{n}]; double B[{n}]; \
+                 for (i = 0; i < {n}; i += {step}) \
+                 for (j = 0; j <= i; j++) B[j] = A[i];"
+            ),
+        ),
+        Shape::Tiled => KernelSpec::parametric("tiled", TEMPLATE, [("N", n), ("T", step)]),
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop::sample::select(vec![
+        Shape::Strided,
+        Shape::Decreasing,
+        Shape::Guarded,
+        Shape::Triangular,
+        Shape::Tiled,
+    ])
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop::sample::select(vec![
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Plru,
+        ReplacementPolicy::Qlru,
+    ])
+}
+
+/// A depth-2 or depth-3 hierarchy, small enough that the tiny kernels
+/// still miss at every level.
+fn memory(depth: usize, policy: ReplacementPolicy) -> MemoryConfig {
+    let mut levels = vec![
+        CacheConfig::new(1024, 2, 64, policy),
+        CacheConfig::new(4 * 1024, 4, 64, policy),
+    ];
+    if depth == 3 {
+        levels.push(CacheConfig::new(16 * 1024, 8, 64, policy));
+    }
+    MemoryConfig::new(levels).expect("hierarchy is compatible")
+}
+
+/// Every simulating backend (the analytical models have no walk).
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::Classic,
+        Backend::warping(),
+        Backend::Trace,
+        Backend::Sampled(engine::SamplingOptions::DEFAULT),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compiled walk's access stream is the reference stream.
+    #[test]
+    fn compiled_stream_matches_reference(
+        shape in arb_shape(),
+        n in 4i64..48,
+        step in 1i64..4,
+        mult in 1i64..4,
+    ) {
+        let scop = kernel(shape, n, step, mult).build().expect("kernel builds");
+        let mut reference: Vec<(u64, AccessKind)> = Vec::new();
+        let ref_count = scop::for_each_access(&scop, |access| {
+            reference.push((access.address, access.kind));
+        });
+        let compiled = scop::compile(&scop);
+        let mut scratch = compiled.new_scratch();
+        let mut lowered: Vec<(u64, AccessKind)> = Vec::new();
+        let low_count = compiled.for_each_access(&mut scratch, |_, address, kind| {
+            lowered.push((address, kind));
+        });
+        prop_assert_eq!(ref_count, low_count, "{:?} n={} step={}", shape, n, step);
+        prop_assert_eq!(reference, lowered, "{:?} n={} step={} mult={}", shape, n, step, mult);
+    }
+
+    /// Every backend reports the same outcome under either walk.
+    #[test]
+    fn every_backend_is_walk_invariant(
+        shape in arb_shape(),
+        n in 4i64..48,
+        step in 1i64..4,
+        mult in 1i64..4,
+        depth in prop::sample::select(vec![2usize, 3]),
+        policy in arb_policy(),
+    ) {
+        let compiled = Engine::new().with_threads(1);
+        let reference = Engine::new().with_threads(1).with_walk(WalkMode::Reference);
+        for backend in backends() {
+            let request = SimRequest::new(
+                kernel(shape, n, step, mult),
+                memory(depth, policy),
+                backend,
+            );
+            let fast = compiled.run(&request).expect("compiled walk runs");
+            let slow = reference.run(&request).expect("reference walk runs");
+            prop_assert!(
+                fast.same_outcome(&slow),
+                "{:?} n={} step={} mult={} depth={} policy={:?} backend={}: \
+                 {:?} vs {:?}",
+                shape, n, step, mult, depth, policy, request.backend,
+                fast.result, slow.result
+            );
+        }
+    }
+}

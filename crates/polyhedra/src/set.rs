@@ -315,6 +315,64 @@ impl Set {
         self.with_prefix_fixed(prefix).lexmax()
     }
 
+    /// Writes the lexicographic minimum among the points whose first
+    /// `prefix.len()` coordinates equal `prefix` into `out`, returning
+    /// whether such a point was found (`false` covers both an empty set
+    /// and an exhausted work budget — callers that walk a domain skip
+    /// the entry either way).
+    ///
+    /// Unlike [`Set::lexmin_with_prefix`] this seeds the search with the
+    /// prefix instead of cloning the set with the prefix fixed, and only
+    /// projects the dimensions actually searched: reference walks call
+    /// it once per loop entry, so it reuses the caller's buffer and
+    /// avoids the per-entry set clone entirely.
+    pub fn lexmin_with_prefix_into(&self, prefix: &[i64], out: &mut Vec<i64>) -> bool {
+        self.lexopt_seeded_into(prefix, out, DEFAULT_WORK_BUDGET, false)
+    }
+
+    /// The `lexmax` counterpart of [`Set::lexmin_with_prefix_into`].
+    pub fn lexmax_with_prefix_into(&self, prefix: &[i64], out: &mut Vec<i64>) -> bool {
+        self.lexopt_seeded_into(prefix, out, DEFAULT_WORK_BUDGET, true)
+    }
+
+    fn lexopt_seeded_into(
+        &self,
+        prefix: &[i64],
+        out: &mut Vec<i64>,
+        budget: usize,
+        maximise: bool,
+    ) -> bool {
+        assert!(
+            prefix.len() <= self.dims,
+            "prefix longer than dimensionality"
+        );
+        let mut found = false;
+        // A second buffer is only needed to compare candidates across a
+        // union; the common single-conjunction domain never allocates it.
+        let mut candidate: Vec<i64> = Vec::new();
+        for b in &self.basics {
+            let target = if found { &mut candidate } else { &mut *out };
+            match basic_lexopt_seeded(b, prefix, target, budget, maximise) {
+                SearchOutcome::Found => {
+                    if found {
+                        let ord = candidate.as_slice().cmp(out.as_slice());
+                        if (maximise && ord == Ordering::Greater)
+                            || (!maximise && ord == Ordering::Less)
+                        {
+                            std::mem::swap(out, &mut candidate);
+                        }
+                    }
+                    found = true;
+                }
+                SearchOutcome::NotFound => {}
+                // Budget exhaustion must be conservative: the optimum of
+                // the union may live in the unexplored basic set.
+                SearchOutcome::Budget => return false,
+            }
+        }
+        found
+    }
+
     fn with_prefix_fixed(&self, prefix: &[i64]) -> Set {
         let mut s = self.clone();
         for (d, v) in prefix.iter().enumerate() {
@@ -399,39 +457,77 @@ impl Set {
 
 /// Lexicographic optimisation over a single basic set.
 fn basic_lexopt(set: &BasicSet, budget: usize, maximise: bool) -> LexResult {
-    if set.has_trivial_contradiction() {
-        return LexResult::Empty;
-    }
-    let dims = set.dims();
-    if dims == 0 {
-        return LexResult::Point(Vec::new());
-    }
-    // Precompute, for each dimension d, the constraints projected onto the
-    // first d+1 dimensions so that bounds for d are available even when the
-    // original constraints mention later dimensions.
-    let mut projections = Vec::with_capacity(dims);
-    for d in 0..dims {
-        projections.push(set.project_onto_prefix(d + 1));
-    }
-    let mut work = 0usize;
-    let mut prefix = Vec::with_capacity(dims);
-    match search(set, &projections, &mut prefix, &mut work, budget, maximise) {
-        SearchOutcome::Found(p) => LexResult::Point(p),
+    let mut out = Vec::new();
+    match basic_lexopt_seeded(set, &[], &mut out, budget, maximise) {
+        SearchOutcome::Found => LexResult::Point(out),
         SearchOutcome::NotFound => LexResult::Empty,
         SearchOutcome::Budget => LexResult::Unknown,
     }
 }
 
+/// Lexicographic optimisation over a single basic set among the points
+/// whose first `seed.len()` coordinates equal `seed`, writing the
+/// optimum into `out`.  Equivalent to fixing the seed dimensions and
+/// optimising, but skips both the per-call set clone and the
+/// projections of the seeded dimensions.
+fn basic_lexopt_seeded(
+    set: &BasicSet,
+    seed: &[i64],
+    out: &mut Vec<i64>,
+    budget: usize,
+    maximise: bool,
+) -> SearchOutcome {
+    if set.has_trivial_contradiction() {
+        return SearchOutcome::NotFound;
+    }
+    let dims = set.dims();
+    if seed.len() == dims {
+        return if set.contains(seed) {
+            out.clear();
+            out.extend_from_slice(seed);
+            SearchOutcome::Found
+        } else {
+            SearchOutcome::NotFound
+        };
+    }
+    // Precompute, for each searched dimension d, the constraints projected
+    // onto the first d+1 dimensions so that bounds for d are available even
+    // when the original constraints mention later dimensions.  Seeded
+    // dimensions are never consulted (the search starts past them).
+    let mut projections = Vec::with_capacity(dims);
+    for d in 0..dims {
+        projections.push(if d < seed.len() {
+            BasicSet::universe(dims)
+        } else {
+            set.project_onto_prefix(d + 1)
+        });
+    }
+    let mut work = 0usize;
+    let mut cursor = Vec::with_capacity(dims);
+    cursor.extend_from_slice(seed);
+    search(
+        set,
+        &projections,
+        &mut cursor,
+        out,
+        &mut work,
+        budget,
+        maximise,
+    )
+}
+
 enum SearchOutcome {
-    Found(Vec<i64>),
+    Found,
     NotFound,
     Budget,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search(
     set: &BasicSet,
     projections: &[BasicSet],
     prefix: &mut Vec<i64>,
+    out: &mut Vec<i64>,
     work: &mut usize,
     budget: usize,
     maximise: bool,
@@ -439,7 +535,9 @@ fn search(
     let d = prefix.len();
     if d == set.dims() {
         return if set.contains(prefix) {
-            SearchOutcome::Found(prefix.clone())
+            out.clear();
+            out.extend_from_slice(prefix);
+            SearchOutcome::Found
         } else {
             SearchOutcome::NotFound
         };
@@ -468,10 +566,10 @@ fn search(
             return SearchOutcome::Budget;
         }
         prefix.push(v);
-        let outcome = search(set, projections, prefix, work, budget, maximise);
+        let outcome = search(set, projections, prefix, out, work, budget, maximise);
         prefix.pop();
         match outcome {
-            SearchOutcome::Found(p) => return SearchOutcome::Found(p),
+            SearchOutcome::Found => return SearchOutcome::Found,
             SearchOutcome::Budget => return SearchOutcome::Budget,
             SearchOutcome::NotFound => {}
         }

@@ -1,0 +1,994 @@
+//! Compile-once / walk-many lowering of a SCoP: the compiled walk.
+//!
+//! The reference walk ([`crate::walk::for_each_access`]) re-evaluates a
+//! full affine dot product per access, re-checks `domain.contains`
+//! against every basic set per iteration, and derives loop bounds with a
+//! fresh lexmin/lexmax search per loop entry.  All of that work is
+//! affine in the iteration vector, so it can be paid once per *kernel*
+//! instead of once per *access*:
+//!
+//! * **Strength-reduced addresses** — each access keeps a running base
+//!   address; entering a loop at value `v` adds `coeff × v` for every
+//!   access below it, advancing adds `coeff × stride`, and leaving
+//!   subtracts the accumulated contribution (the per-level carry
+//!   deltas).  Steady-state iteration never evaluates an [`Aff`] again.
+//! * **Hoisted bounds** — a loop whose domain is a single conjunction
+//!   compiles to `LoopBounds::Exact`: per entry, one pass over the
+//!   constraints ([`BasicSet::dim_bounds`]) yields the inclusive bound
+//!   interval, replacing the per-entry lexmin/lexmax searches, and makes
+//!   the per-iteration `contains` check provably redundant.  Unions of
+//!   conjunctions fall back to the reference enumeration
+//!   (`LoopBounds::Dynamic`), still with strength-reduced addresses.
+//! * **Hoisted guards** — an access whose domain constraints are all
+//!   syntactically established by enclosing exact loops needs no
+//!   membership test at all (`GuardPlan::Trivial`); a genuinely
+//!   guarded single-conjunction domain clips the innermost interval once
+//!   per entry (`GuardPlan::Exact`); only non-convex guards pay a
+//!   per-point check (`GuardPlan::Dynamic`).
+//! * **Runs** — an innermost loop whose body is a single guarded access
+//!   emits one [`AccessRun`] (`base, stride, count`) per entry instead
+//!   of `count` single accesses, letting the cache layer batch
+//!   same-line accesses (see `MultiLevelState::access_run`).
+//!
+//! The compiled walk produces the *identical* access stream (node,
+//! address, kind, order) as the reference walk; the
+//! `compiled_walk_equivalence` suite in the engine crate asserts this
+//! over random kernels, and the reference walk remains available as the
+//! differential oracle.
+//!
+//! [`Aff`]: polyhedra::Aff
+
+use crate::tree::{AccessNode, LoopNode, Node, Scop};
+use cache_model::AccessKind;
+use polyhedra::{BasicSet, Constraint, Set};
+
+/// A run of dynamic accesses from one access node: `count` accesses
+/// starting at `base`, each `stride` bytes after the previous one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessRun {
+    /// Id of the access node that produced the run.
+    pub node: usize,
+    /// Byte address of the first access.
+    pub base: u64,
+    /// Byte delta between consecutive accesses (zero or negative are
+    /// legal: a zero-stride run re-touches one address).
+    pub stride: i64,
+    /// Number of accesses in the run (always ≥ 1).
+    pub count: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl AccessRun {
+    /// The addresses of the run, in order.
+    pub fn addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        let (base, stride) = (self.base as i64, self.stride);
+        (0..self.count as i64).map(move |k| (base + k * stride) as u64)
+    }
+}
+
+/// How a loop's bound interval is derived per entry.
+#[derive(Clone, Debug)]
+enum LoopBounds {
+    /// Single-conjunction domain: one [`BasicSet::dim_bounds`] pass per
+    /// entry yields the exact inclusive interval, and every grid point
+    /// inside it is in the domain (no per-iteration `contains`).
+    Exact(BasicSet),
+    /// Union domain: reference-style lexmin/lexmax enumeration with
+    /// per-point membership checks.
+    Dynamic(Set),
+}
+
+/// How an access's guard is evaluated.
+#[derive(Clone, Debug)]
+enum GuardPlan {
+    /// Every domain constraint is established by an enclosing exact
+    /// loop: membership is implied, no check at runtime.
+    Trivial,
+    /// Single-conjunction guard: clipped to an interval of the
+    /// innermost dimension once per loop entry (run fast path) or
+    /// checked per point.
+    Exact(BasicSet),
+    /// Union guard: per-point membership check.
+    Dynamic(Set),
+}
+
+/// The exact bound interval of one loop entry, when derivable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryBounds {
+    /// The loop runs over the inclusive interval `[lo, hi]` on its
+    /// stride grid; every grid point is in the domain.
+    Exact(i64, i64),
+    /// The entry is exactly empty: skip it.
+    Empty,
+    /// The domain did not compile exactly; derive bounds the reference
+    /// way (lexmin/lexmax plus per-point membership).
+    Dynamic,
+}
+
+/// A compiled access node: strength-reduced address plus a guard plan.
+#[derive(Clone, Debug)]
+pub struct CompiledAccess {
+    /// Id of the source [`AccessNode`] (also its base-address slot).
+    pub id: usize,
+    /// Nesting depth (dimensionality of the guard domain).
+    pub depth: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Address coefficients per iterator dimension.
+    coeffs: Vec<i64>,
+    /// Address constant term.
+    constant: i64,
+    guard: GuardPlan,
+}
+
+impl CompiledAccess {
+    /// Whether the guard was hoisted away entirely (membership implied
+    /// by enclosing exact loops).
+    pub fn guard_is_trivial(&self) -> bool {
+        matches!(self.guard, GuardPlan::Trivial)
+    }
+
+    /// Whether the iteration vector `iv` (of length `depth`) satisfies
+    /// the guard.
+    fn guard_holds(&self, iv: &[i64]) -> bool {
+        match &self.guard {
+            GuardPlan::Trivial => true,
+            GuardPlan::Exact(bs) => bs.contains(iv),
+            GuardPlan::Dynamic(set) => set.contains(iv),
+        }
+    }
+}
+
+/// A compiled loop node.
+#[derive(Clone, Debug)]
+pub struct CompiledLoop {
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+    /// Iterator increment per iteration (non-zero; negative walks
+    /// lexmax-first).
+    pub stride: i64,
+    bounds: LoopBounds,
+    /// Strength-reduction table: for every access slot in the subtree,
+    /// the address coefficient on this loop's dimension (zero
+    /// coefficients are omitted).
+    deltas: Vec<(usize, i64)>,
+    children: Vec<CompiledNode>,
+    /// Whether the single-access-body run fast path applies (exactly
+    /// one child, an access, exact bounds, non-dynamic guard).
+    run_body: bool,
+}
+
+impl CompiledLoop {
+    /// The compiled children, in execution order (mirrors the source
+    /// [`LoopNode::children`] one to one).
+    pub fn children(&self) -> &[CompiledNode] {
+        &self.children
+    }
+
+    /// Whether the loop's bounds compiled exactly (per-iteration
+    /// membership checks are redundant).
+    pub fn is_exact(&self) -> bool {
+        matches!(self.bounds, LoopBounds::Exact(_))
+    }
+
+    /// The bound interval of the entry with the given outer iteration
+    /// vector (length `depth - 1`).
+    pub fn entry_bounds(&self, outer: &[i64]) -> EntryBounds {
+        match &self.bounds {
+            LoopBounds::Exact(bs) => match bs.dim_bounds(self.depth - 1, outer) {
+                Some((Some(lo), Some(hi))) if lo <= hi => EntryBounds::Exact(lo, hi),
+                _ => EntryBounds::Empty,
+            },
+            LoopBounds::Dynamic(_) => EntryBounds::Dynamic,
+        }
+    }
+}
+
+/// A node of the compiled tree, mirroring the source [`Node`] shape.
+#[derive(Clone, Debug)]
+pub enum CompiledNode {
+    /// A loop.
+    Loop(CompiledLoop),
+    /// An access.
+    Access(CompiledAccess),
+}
+
+/// Reusable per-walk state: the iteration vector and the per-slot
+/// running base addresses.  Steady-state iteration allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct WalkScratch {
+    iv: Vec<i64>,
+    bases: Vec<i64>,
+    /// Endpoint buffers for the dynamic-bounds fallback.
+    lex_a: Vec<i64>,
+    lex_b: Vec<i64>,
+}
+
+/// A [`Scop`] lowered for the compiled walk.  Self-contained (owns
+/// clones of the affine data it needs), so it can be cached next to the
+/// parse-once kernel templates and shared across threads.
+#[derive(Clone, Debug)]
+pub struct CompiledScop {
+    roots: Vec<CompiledNode>,
+    num_slots: usize,
+    max_depth: usize,
+}
+
+/// Lowers a SCoP for the compiled walk.
+pub fn compile(scop: &Scop) -> CompiledScop {
+    let mut established: Vec<Constraint> = Vec::new();
+    let mut max_depth = 0;
+    let roots = scop
+        .roots()
+        .iter()
+        .map(|n| compile_node(n, &mut established, &mut max_depth))
+        .collect();
+    CompiledScop {
+        roots,
+        num_slots: scop.num_access_nodes(),
+        max_depth,
+    }
+}
+
+fn compile_node(
+    node: &Node,
+    established: &mut Vec<Constraint>,
+    max_depth: &mut usize,
+) -> CompiledNode {
+    match node {
+        Node::Access(a) => CompiledNode::Access(compile_access(a, established)),
+        Node::Loop(l) => CompiledNode::Loop(compile_loop(l, established, max_depth)),
+    }
+}
+
+fn compile_access(a: &AccessNode, established: &[Constraint]) -> CompiledAccess {
+    let guard = match a.domain.basics() {
+        [bs] if bs
+            .constraints()
+            .iter()
+            .all(|c| established.iter().any(|e| same_constraint(e, c))) =>
+        {
+            GuardPlan::Trivial
+        }
+        [bs] => GuardPlan::Exact(bs.clone()),
+        _ => GuardPlan::Dynamic(a.domain.clone()),
+    };
+    CompiledAccess {
+        id: a.id,
+        depth: a.depth,
+        kind: a.kind,
+        coeffs: a.address.coeffs().to_vec(),
+        constant: a.address.constant_term(),
+        guard,
+    }
+}
+
+fn compile_loop(
+    l: &LoopNode,
+    established: &mut Vec<Constraint>,
+    max_depth: &mut usize,
+) -> CompiledLoop {
+    *max_depth = (*max_depth).max(l.depth);
+    let (bounds, pushed) = match l.domain.basics() {
+        [bs] => {
+            let n = bs.constraints().len();
+            established.extend(bs.constraints().iter().cloned());
+            (LoopBounds::Exact(bs.clone()), n)
+        }
+        _ => (LoopBounds::Dynamic(l.domain.clone()), 0),
+    };
+    let children: Vec<CompiledNode> = l
+        .children
+        .iter()
+        .map(|c| compile_node(c, established, max_depth))
+        .collect();
+    established.truncate(established.len() - pushed);
+    let mut deltas = Vec::new();
+    for child in &children {
+        collect_deltas(child, l.depth - 1, &mut deltas);
+    }
+    let run_body = matches!(bounds, LoopBounds::Exact(_))
+        && children.len() == 1
+        && matches!(
+            &children[0],
+            CompiledNode::Access(a) if !matches!(a.guard, GuardPlan::Dynamic(_))
+        );
+    CompiledLoop {
+        depth: l.depth,
+        stride: l.stride,
+        bounds,
+        deltas,
+        children,
+        run_body,
+    }
+}
+
+/// Collects `(slot, coeff-on-dim)` pairs for every access in the
+/// subtree whose address involves the dimension.
+fn collect_deltas(node: &CompiledNode, dim: usize, out: &mut Vec<(usize, i64)>) {
+    match node {
+        CompiledNode::Access(a) => {
+            let c = a.coeffs.get(dim).copied().unwrap_or(0);
+            if c != 0 {
+                out.push((a.id, c));
+            }
+        }
+        CompiledNode::Loop(l) => {
+            for child in &l.children {
+                collect_deltas(child, dim, out);
+            }
+        }
+    }
+}
+
+/// Whether two constraints are syntactically identical, comparing
+/// coefficient vectors up to trailing zeros (enclosing loop domains
+/// range over fewer dimensions than the access domains they imply).
+fn same_constraint(a: &Constraint, b: &Constraint) -> bool {
+    if a.kind() != b.kind() || a.aff().constant_term() != b.aff().constant_term() {
+        return false;
+    }
+    let (x, y) = (a.aff().coeffs(), b.aff().coeffs());
+    let n = x.len().max(y.len());
+    (0..n).all(|i| x.get(i).copied().unwrap_or(0) == y.get(i).copied().unwrap_or(0))
+}
+
+impl CompiledScop {
+    /// The compiled top-level nodes, in execution order (mirrors
+    /// [`Scop::roots`] one to one).
+    pub fn roots(&self) -> &[CompiledNode] {
+        &self.roots
+    }
+
+    /// A scratch buffer sized for this SCoP.  Reuse it across walks to
+    /// keep steady-state iteration allocation-free.
+    pub fn new_scratch(&self) -> WalkScratch {
+        WalkScratch {
+            iv: Vec::with_capacity(self.max_depth),
+            bases: vec![0; self.num_slots],
+            lex_a: Vec::new(),
+            lex_b: Vec::new(),
+        }
+    }
+
+    /// Walks every access run of the SCoP in execution order.  Returns
+    /// the number of dynamic accesses covered.
+    pub fn for_each_run(
+        &self,
+        scratch: &mut WalkScratch,
+        mut visit: impl FnMut(&AccessRun),
+    ) -> u64 {
+        let mut count = 0;
+        for root in &self.roots {
+            scratch.iv.clear();
+            init_bases(root, &[], &mut scratch.bases);
+            walk(root, scratch, &mut visit, &mut count);
+        }
+        count
+    }
+
+    /// Walks every dynamic access (runs expanded) in execution order.
+    /// The stream is identical to the reference walk's: same node ids,
+    /// addresses, kinds, same order.
+    pub fn for_each_access(
+        &self,
+        scratch: &mut WalkScratch,
+        mut visit: impl FnMut(usize, u64, AccessKind),
+    ) -> u64 {
+        self.for_each_run(scratch, |run| {
+            let mut addr = run.base as i64;
+            for _ in 0..run.count {
+                visit(run.node, addr as u64, run.kind);
+                addr += run.stride;
+            }
+        })
+    }
+
+    /// The exact dynamic access count in closed form, for SCoPs whose
+    /// loop bounds and guards are all rectangular (every constraint
+    /// involves a single dimension).  `None` means the shape is not
+    /// rectangular and the count must be derived by walking; the count
+    /// saturates at `u64::MAX` instead of overflowing.
+    pub fn static_access_count(&self) -> Option<u64> {
+        let mut grids = Vec::new();
+        let mut established = Vec::new();
+        let mut total: u64 = 0;
+        for root in &self.roots {
+            total = total.saturating_add(static_count_node(root, &mut grids, &mut established)?);
+        }
+        Some(total)
+    }
+}
+
+/// Walks the access runs of one compiled subtree at a fixed outer
+/// iteration vector — the per-subtree slice of
+/// [`CompiledScop::for_each_run`], used by interval samplers to replay
+/// one outer iteration at a time.  Returns the number of dynamic
+/// accesses covered.
+pub fn for_each_run_at(
+    node: &CompiledNode,
+    outer: &[i64],
+    scratch: &mut WalkScratch,
+    mut visit: impl FnMut(&AccessRun),
+) -> u64 {
+    scratch.iv.clear();
+    scratch.iv.extend_from_slice(outer);
+    init_bases(node, outer, &mut scratch.bases);
+    let mut count = 0;
+    walk(node, scratch, &mut visit, &mut count);
+    count
+}
+
+/// Seeds the base-address slots of every access in the subtree with the
+/// address constant plus the contribution of the fixed outer prefix.
+fn init_bases(node: &CompiledNode, outer: &[i64], bases: &mut Vec<i64>) {
+    match node {
+        CompiledNode::Access(a) => {
+            let mut v = a.constant;
+            for (c, x) in a.coeffs.iter().zip(outer) {
+                v += c * x;
+            }
+            if a.id >= bases.len() {
+                bases.resize(a.id + 1, 0);
+            }
+            bases[a.id] = v;
+        }
+        CompiledNode::Loop(l) => {
+            for child in &l.children {
+                init_bases(child, outer, bases);
+            }
+        }
+    }
+}
+
+fn walk(
+    node: &CompiledNode,
+    scratch: &mut WalkScratch,
+    visit: &mut impl FnMut(&AccessRun),
+    count: &mut u64,
+) {
+    match node {
+        CompiledNode::Access(a) => {
+            if a.guard_holds(&scratch.iv) {
+                let base = scratch.bases[a.id];
+                debug_assert!(base >= 0, "access to a negative address");
+                visit(&AccessRun {
+                    node: a.id,
+                    base: base as u64,
+                    stride: 0,
+                    count: 1,
+                    kind: a.kind,
+                });
+                *count += 1;
+            }
+        }
+        CompiledNode::Loop(l) => walk_loop(l, scratch, visit, count),
+    }
+}
+
+fn walk_loop(
+    l: &CompiledLoop,
+    scratch: &mut WalkScratch,
+    visit: &mut impl FnMut(&AccessRun),
+    count: &mut u64,
+) {
+    let d = l.depth;
+    let (lo, hi) = match &l.bounds {
+        LoopBounds::Exact(bs) => match bs.dim_bounds(d - 1, &scratch.iv) {
+            Some((Some(lo), Some(hi))) if lo <= hi => (lo, hi),
+            _ => return,
+        },
+        LoopBounds::Dynamic(set) => return walk_loop_dynamic(l, set, scratch, visit, count),
+    };
+    let s = l.stride;
+    let n = (hi - lo) / s.abs() + 1;
+    let v0 = if s > 0 { lo } else { hi };
+    if l.run_body {
+        let CompiledNode::Access(a) = &l.children[0] else {
+            unreachable!("run_body implies a single access child");
+        };
+        return emit_run(a, d, s, v0, n, lo, hi, scratch, visit, count);
+    }
+    scratch.iv.push(v0);
+    for &(slot, c) in &l.deltas {
+        scratch.bases[slot] += c * v0;
+    }
+    let mut v = v0;
+    let mut k: i64 = 0;
+    loop {
+        for child in &l.children {
+            walk(child, scratch, visit, count);
+        }
+        k += 1;
+        if k == n {
+            break;
+        }
+        v += s;
+        *scratch.iv.last_mut().expect("loop pushed its dimension") = v;
+        for &(slot, c) in &l.deltas {
+            scratch.bases[slot] += c * s;
+        }
+    }
+    for &(slot, c) in &l.deltas {
+        scratch.bases[slot] -= c * v;
+    }
+    scratch.iv.pop();
+}
+
+/// The run fast path: one [`AccessRun`] per loop entry, its interval
+/// clipped to the access guard on the stride grid.
+#[allow(clippy::too_many_arguments)]
+fn emit_run(
+    a: &CompiledAccess,
+    d: usize,
+    s: i64,
+    v0: i64,
+    n: i64,
+    lo: i64,
+    hi: i64,
+    scratch: &mut WalkScratch,
+    visit: &mut impl FnMut(&AccessRun),
+    count: &mut u64,
+) {
+    let (k_min, k_max) = match &a.guard {
+        GuardPlan::Trivial => (0, n - 1),
+        GuardPlan::Exact(bs) => {
+            let Some((glo, ghi)) = bs.dim_bounds(d - 1, &scratch.iv) else {
+                return;
+            };
+            let (glo, ghi) = (glo.unwrap_or(lo), ghi.unwrap_or(hi));
+            if glo > ghi {
+                return;
+            }
+            // Grid indices k with glo <= v0 + k*s <= ghi.
+            let (k_min, k_max) = if s > 0 {
+                (div_ceil(glo - v0, s), div_floor(ghi - v0, s))
+            } else {
+                (div_ceil(v0 - ghi, -s), div_floor(v0 - glo, -s))
+            };
+            (k_min.max(0), k_max.min(n - 1))
+        }
+        GuardPlan::Dynamic(_) => unreachable!("run bodies never have dynamic guards"),
+    };
+    if k_min > k_max {
+        return;
+    }
+    let c = a.coeffs.get(d - 1).copied().unwrap_or(0);
+    let base = scratch.bases[a.id] + c * (v0 + k_min * s);
+    debug_assert!(base >= 0, "access to a negative address");
+    let run_len = (k_max - k_min + 1) as u64;
+    visit(&AccessRun {
+        node: a.id,
+        base: base as u64,
+        stride: c * s,
+        count: run_len,
+        kind: a.kind,
+    });
+    *count += run_len;
+}
+
+/// The reference-style enumeration for union domains: lexmin/lexmax
+/// anchors, per-point membership — with strength-reduced addresses for
+/// the subtree.
+fn walk_loop_dynamic(
+    l: &CompiledLoop,
+    set: &Set,
+    scratch: &mut WalkScratch,
+    visit: &mut impl FnMut(&AccessRun),
+    count: &mut u64,
+) {
+    let d = l.depth;
+    let (v0, v_end) = {
+        let WalkScratch {
+            iv, lex_a, lex_b, ..
+        } = &mut *scratch;
+        let found = if l.stride < 0 {
+            set.lexmax_with_prefix_into(iv, lex_a) && set.lexmin_with_prefix_into(iv, lex_b)
+        } else {
+            set.lexmin_with_prefix_into(iv, lex_a) && set.lexmax_with_prefix_into(iv, lex_b)
+        };
+        if !found {
+            return;
+        }
+        (lex_a[d - 1], lex_b[d - 1])
+    };
+    scratch.iv.push(v0);
+    for &(slot, c) in &l.deltas {
+        scratch.bases[slot] += c * v0;
+    }
+    let mut v = v0;
+    loop {
+        if set.contains(&scratch.iv) {
+            for child in &l.children {
+                walk(child, scratch, visit, count);
+            }
+        }
+        let next = v + l.stride;
+        if (l.stride > 0 && next > v_end) || (l.stride < 0 && next < v_end) {
+            break;
+        }
+        v = next;
+        *scratch.iv.last_mut().expect("loop pushed its dimension") = v;
+        for &(slot, c) in &l.deltas {
+            scratch.bases[slot] += c * l.stride;
+        }
+    }
+    for &(slot, c) in &l.deltas {
+        scratch.bases[slot] -= c * v;
+    }
+    scratch.iv.pop();
+}
+
+/// One enclosing loop's stride grid for the closed-form count.
+#[derive(Clone, Copy)]
+struct Grid {
+    /// First grid value (`lo` for positive strides, `hi` for negative).
+    v0: i64,
+    stride: i64,
+    /// Inclusive bound interval.
+    lo: i64,
+    hi: i64,
+    /// Grid points in the interval.
+    n: i64,
+}
+
+fn static_count_node(
+    node: &CompiledNode,
+    grids: &mut Vec<Grid>,
+    established: &mut Vec<Constraint>,
+) -> Option<u64> {
+    match node {
+        CompiledNode::Access(a) => static_count_access(a, grids),
+        CompiledNode::Loop(l) => {
+            let LoopBounds::Exact(bs) = &l.bounds else {
+                return None;
+            };
+            let interval = match rect_interval(bs, l.depth - 1, established)? {
+                Some(iv) => iv,
+                // Exactly empty: the subtree contributes nothing.
+                None => return Some(0),
+            };
+            let (lo, hi) = interval;
+            let s = l.stride;
+            let grid = Grid {
+                v0: if s > 0 { lo } else { hi },
+                stride: s,
+                lo,
+                hi,
+                n: (hi - lo) / s.abs() + 1,
+            };
+            grids.push(grid);
+            let pushed = bs.constraints().len();
+            established.extend(bs.constraints().iter().cloned());
+            let mut sum: Option<u64> = Some(0);
+            for child in &l.children {
+                match static_count_node(child, grids, established) {
+                    Some(c) => sum = sum.map(|s| s.saturating_add(c)),
+                    None => {
+                        sum = None;
+                        break;
+                    }
+                }
+            }
+            established.truncate(established.len() - pushed);
+            grids.pop();
+            sum
+        }
+    }
+}
+
+fn static_count_access(a: &CompiledAccess, grids: &[Grid]) -> Option<u64> {
+    debug_assert_eq!(a.depth, grids.len(), "grids mirror the enclosing loops");
+    match &a.guard {
+        GuardPlan::Trivial => Some(
+            grids
+                .iter()
+                .fold(1u64, |acc, g| acc.saturating_mul(g.n as u64)),
+        ),
+        GuardPlan::Exact(bs) => {
+            let mut product: u64 = 1;
+            for (k, g) in grids.iter().enumerate() {
+                let clipped = match rect_interval_for_dim(bs, k)? {
+                    Some(iv) => iv,
+                    None => return Some(0),
+                };
+                let (glo, ghi) = (clipped.0.max(g.lo), clipped.1.min(g.hi));
+                if glo > ghi {
+                    return Some(0);
+                }
+                let s = g.stride;
+                let (k_min, k_max) = if s > 0 {
+                    (div_ceil(glo - g.v0, s), div_floor(ghi - g.v0, s))
+                } else {
+                    (div_ceil(g.v0 - ghi, -s), div_floor(g.v0 - glo, -s))
+                };
+                let (k_min, k_max) = (k_min.max(0), k_max.min(g.n - 1));
+                if k_min > k_max {
+                    return Some(0);
+                }
+                product = product.saturating_mul((k_max - k_min + 1) as u64);
+            }
+            Some(product)
+        }
+        GuardPlan::Dynamic(set) if a.depth == 0 => Some(u64::from(set.contains(&[]))),
+        GuardPlan::Dynamic(_) => None,
+    }
+}
+
+/// The interval `[lo, hi]` a single-conjunction loop domain imposes on
+/// dimension `dim`, when every constraint not already established by an
+/// enclosing loop is rectangular (involves only that one dimension).
+/// Outer `None` = not rectangular or unbounded (fall back to walking);
+/// inner `None` = exactly empty.
+fn rect_interval(
+    bs: &BasicSet,
+    dim: usize,
+    established: &[Constraint],
+) -> Option<Option<(i64, i64)>> {
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    for c in bs.constraints() {
+        // Constraints inherited from enclosing exact loops hold for
+        // every entry by construction.
+        if established.iter().any(|e| same_constraint(e, c)) {
+            continue;
+        }
+        for ineq in c.as_inequalities() {
+            let aff = ineq.aff();
+            match aff.last_involved_dim() {
+                None => {
+                    if aff.constant_term() < 0 {
+                        return Some(None);
+                    }
+                }
+                Some(d)
+                    if d == dim
+                        && aff
+                            .coeffs()
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &v)| i == dim || v == 0) =>
+                {
+                    // a*x + b >= 0
+                    let a = aff.coeff(dim);
+                    let b = aff.constant_term();
+                    if a > 0 {
+                        lo = lo.max(div_ceil(-b, a));
+                    } else {
+                        hi = hi.min(div_floor(b, -a));
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+    // Unbounded rectangular domains have no closed-form count.
+    if lo == i64::MIN || hi == i64::MAX {
+        return None;
+    }
+    if lo > hi {
+        return Some(None);
+    }
+    Some(Some((lo, hi)))
+}
+
+/// Like [`rect_interval`] but for an access guard: constraints
+/// involving *other* dimensions only make the guard non-rectangular,
+/// and a dimension without bound constraints is unclipped.
+fn rect_interval_for_dim(bs: &BasicSet, dim: usize) -> Option<Option<(i64, i64)>> {
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    for c in bs.constraints() {
+        for ineq in c.as_inequalities() {
+            let aff = ineq.aff();
+            match aff.last_involved_dim() {
+                None => {
+                    // Constant constraint: either trivially true or the
+                    // whole domain is empty.
+                    if aff.constant_term() < 0 {
+                        return Some(None);
+                    }
+                }
+                Some(d) if d == dim => {
+                    let a = aff.coeff(dim);
+                    let b = aff.constant_term();
+                    // a*x + b >= 0
+                    if aff
+                        .coeffs()
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &v)| i != dim && v != 0)
+                    {
+                        return None;
+                    }
+                    if a > 0 {
+                        lo = lo.max(div_ceil(-b, a));
+                    } else {
+                        hi = hi.min(div_floor(b, -a));
+                    }
+                }
+                Some(d) => {
+                    // Involves another dimension: rectangular only if it
+                    // does not couple dimensions.
+                    if aff.coeffs().iter().filter(|&&v| v != 0).count() > 1 {
+                        return None;
+                    }
+                    let _ = d; // single-dim constraint on another dim:
+                               // handled when that dim is queried.
+                }
+            }
+        }
+    }
+    if lo > hi {
+        return Some(None);
+    }
+    Some(Some((lo, hi)))
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::for_each_access;
+    use crate::{elaborate, parse_program, ElaborateOptions};
+
+    fn scop_of(src: &str) -> Scop {
+        elaborate(&parse_program(src).unwrap(), &ElaborateOptions::default()).unwrap()
+    }
+
+    fn reference_stream(scop: &Scop) -> Vec<(usize, u64, AccessKind)> {
+        let mut out = Vec::new();
+        for_each_access(scop, |acc| out.push((acc.node.id, acc.address, acc.kind)));
+        out
+    }
+
+    fn compiled_stream(scop: &Scop) -> Vec<(usize, u64, AccessKind)> {
+        let compiled = compile(scop);
+        let mut scratch = compiled.new_scratch();
+        let mut out = Vec::new();
+        let n = compiled.for_each_access(&mut scratch, |node, addr, kind| {
+            out.push((node, addr, kind));
+        });
+        assert_eq!(n as usize, out.len());
+        out
+    }
+
+    #[track_caller]
+    fn assert_equivalent(src: &str) {
+        let scop = scop_of(src);
+        assert_eq!(compiled_stream(&scop), reference_stream(&scop), "{src}");
+    }
+
+    #[test]
+    fn streaming_kernel_is_one_run_per_entry() {
+        let scop = scop_of("double A[1024]; for (i = 0; i < 1024; i++) A[i] = 0;");
+        let compiled = compile(&scop);
+        let mut scratch = compiled.new_scratch();
+        let mut runs = Vec::new();
+        let total = compiled.for_each_run(&mut scratch, |run| runs.push(*run));
+        assert_eq!(total, 1024);
+        assert_eq!(runs.len(), 1, "a single-access body emits one run");
+        assert_eq!(runs[0].count, 1024);
+        assert_eq!(runs[0].stride, 8);
+        assert_eq!(runs[0].base, scop.arrays()[0].base_address);
+    }
+
+    #[test]
+    fn stencil_matches_reference() {
+        assert_equivalent(
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+        );
+    }
+
+    #[test]
+    fn triangular_guarded_and_strided_match_reference() {
+        assert_equivalent(
+            "double A[100][100]; double x[100]; double c[100];\n\
+             for (i = 0; i < 100; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 100; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+        );
+        assert_equivalent("double A[100]; for (i = 0; i < 100; i++) if (i >= 90) A[i] = 0;");
+        assert_equivalent("double A[200]; for (i = 0; i < 100; i += 2) A[i] = A[i+1];");
+        assert_equivalent("double A[20]; for (i = 0; i < 11; i += 3) A[i] = 0;");
+    }
+
+    #[test]
+    fn decreasing_and_nested_loops_match_reference() {
+        assert_equivalent("double A[10]; for (i = 9; i >= 0; i--) A[i] = 0;");
+        assert_equivalent("double A[10]; for (i = 9; i >= 0; i -= 3) A[i] = 0;");
+        assert_equivalent("double A[10]; for (i = 9; i > 1; i -= 3) A[i] = 0;");
+        assert_equivalent("double A[10]; for (i = 9; i >= 0; i -= 3) if (i < 7) A[i] = 0;");
+        assert_equivalent(
+            "double A[8][8];\n\
+             for (i = 0; i < 4; i++) for (j = 3; j >= 0; j--) A[i][j] = 0;",
+        );
+    }
+
+    #[test]
+    fn empty_domains_emit_nothing() {
+        assert_equivalent("double A[10]; for (i = 5; i < 5; i++) A[i] = 0;");
+        let scop = scop_of("double A[10]; for (i = 5; i < 5; i++) A[i] = 0;");
+        assert_eq!(compile(&scop).static_access_count(), Some(0));
+    }
+
+    #[test]
+    fn rectangular_guards_are_hoisted() {
+        let scop = scop_of("double A[100]; for (i = 0; i < 100; i++) A[i] = 0;");
+        let compiled = compile(&scop);
+        let CompiledNode::Loop(l) = &compiled.roots()[0] else {
+            panic!("root is a loop");
+        };
+        assert!(l.is_exact());
+        let CompiledNode::Access(a) = &l.children()[0] else {
+            panic!("child is an access");
+        };
+        assert!(
+            a.guard_is_trivial(),
+            "guard-free rectangular accesses hoist entirely"
+        );
+    }
+
+    #[test]
+    fn static_count_matches_walking() {
+        for src in [
+            "double A[100]; for (i = 0; i < 100; i++) A[i] = 0;",
+            "double A[100]; for (i = 0; i < 100; i++) if (i >= 90) A[i] = 0;",
+            "double A[20]; for (i = 0; i < 11; i += 3) A[i] = 0;",
+            "double A[10]; for (i = 9; i >= 0; i -= 3) if (i < 7) A[i] = 0;",
+            "double A[16][16]; for (i = 0; i < 16; i++) for (j = 0; j < 16; j++) A[i][j] = 0;",
+        ] {
+            let scop = scop_of(src);
+            let walked = crate::walk::count_accesses(&scop);
+            assert_eq!(compile(&scop).static_access_count(), Some(walked), "{src}");
+        }
+        // Triangular domains have no closed form: the walking probe decides.
+        let tri = scop_of(
+            "double A[10][10];\n\
+             for (i = 0; i < 10; i++) for (j = i; j < 10; j++) A[i][j] = 0;",
+        );
+        assert_eq!(compile(&tri).static_access_count(), None);
+    }
+
+    #[test]
+    fn per_subtree_runs_match_full_walk() {
+        let scop = scop_of(
+            "double A[200]; double B[200];\n\
+             for (i = 1; i < 99; i++) B[i] = A[i-1] + A[i+1];",
+        );
+        let compiled = compile(&scop);
+        let mut scratch = compiled.new_scratch();
+        let mut full = Vec::new();
+        compiled.for_each_access(&mut scratch, |node, addr, kind| {
+            full.push((node, addr, kind));
+        });
+        let CompiledNode::Loop(l) = &compiled.roots()[0] else {
+            panic!("root is a loop");
+        };
+        let mut replayed = Vec::new();
+        let mut count = 0;
+        for i in 1..99i64 {
+            for child in l.children() {
+                count += for_each_run_at(child, &[i], &mut scratch, |run| {
+                    for addr in run.addresses() {
+                        replayed.push((run.node, addr, run.kind));
+                    }
+                });
+            }
+        }
+        assert_eq!(count as usize, full.len());
+        assert_eq!(replayed, full);
+    }
+}

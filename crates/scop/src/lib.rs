@@ -40,6 +40,7 @@
 
 pub mod ast;
 pub mod canon;
+pub mod compile;
 pub mod elaborate;
 pub mod param;
 pub mod parser;
@@ -48,6 +49,10 @@ pub mod walk;
 
 pub use ast::{ArrayAccess, ArrayDecl, CmpOp, Condition, Expr, Program, Statement};
 pub use canon::{canonical_text, canonicalize};
+pub use compile::{
+    compile, for_each_run_at, AccessRun, CompiledAccess, CompiledLoop, CompiledNode, CompiledScop,
+    EntryBounds, WalkScratch,
+};
 pub use elaborate::{elaborate, ElaborateError, ElaborateOptions};
 pub use param::{ParamBindings, ParamError, ParametricScop};
 pub use parser::{parse_program, ParseError};

@@ -1,7 +1,7 @@
 //! The tree-structured SCoP representation of §3.2 of the paper.
 
 use cache_model::AccessKind;
-use polyhedra::{Aff, LexResult, Set};
+use polyhedra::{Aff, Set};
 use std::fmt;
 
 /// Information about one array of the SCoP, including its assigned base
@@ -72,18 +72,27 @@ impl LoopNode {
     /// The lexicographically smallest point of the domain whose outer
     /// dimensions equal `outer`, i.e. `L.initial(j)` of the paper.
     pub fn initial(&self, outer: &[i64]) -> Option<Vec<i64>> {
-        match self.domain.lexmin_with_prefix(outer) {
-            LexResult::Point(p) => Some(p),
-            _ => None,
-        }
+        let mut buf = Vec::new();
+        self.initial_into(outer, &mut buf).then_some(buf)
     }
 
     /// The lexicographically largest such point, i.e. `L.final(j)`.
     pub fn last(&self, outer: &[i64]) -> Option<Vec<i64>> {
-        match self.domain.lexmax_with_prefix(outer) {
-            LexResult::Point(p) => Some(p),
-            _ => None,
-        }
+        let mut buf = Vec::new();
+        self.last_into(outer, &mut buf).then_some(buf)
+    }
+
+    /// Writes `L.initial(j)` into `buf`, returning whether the entry is
+    /// non-empty.  The buffer-reusing variant the reference walk calls
+    /// once per loop entry: it neither clones the domain nor allocates
+    /// the result when `buf` has capacity.
+    pub fn initial_into(&self, outer: &[i64], buf: &mut Vec<i64>) -> bool {
+        self.domain.lexmin_with_prefix_into(outer, buf)
+    }
+
+    /// The `L.final(j)` counterpart of [`Self::initial_into`].
+    pub fn last_into(&self, outer: &[i64], buf: &mut Vec<i64>) -> bool {
+        self.domain.lexmax_with_prefix_into(outer, buf)
     }
 }
 

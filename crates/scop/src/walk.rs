@@ -27,15 +27,42 @@ pub struct DynamicAccess<'a> {
 /// with their stride, checking domain membership to honour guards.
 pub fn for_each_access<'a>(scop: &'a Scop, mut visit: impl FnMut(DynamicAccess<'a>)) -> u64 {
     let mut count = 0;
+    let mut pool = Vec::new();
     for root in scop.roots() {
-        walk_node(root, &[], &mut visit, &mut count);
+        walk_node(root, &[], &mut pool, &mut visit, &mut count);
     }
     count
+}
+
+/// Derives the iteration interval of one loop entry: fills `i` with the
+/// first iteration vector and returns the bound value of the innermost
+/// dimension (the walk's stop value), or `None` when the entry is empty.
+///
+/// Both endpoints share the `outer` prefix, so the original full-vector
+/// lexicographic comparisons of Algorithm 1 reduce to comparisons of the
+/// innermost coordinate; `end` is scratch for the far endpoint, reused
+/// across entries instead of allocating per entry.
+fn entry_interval(
+    l: &crate::tree::LoopNode,
+    outer: &[i64],
+    i: &mut Vec<i64>,
+    end: &mut Vec<i64>,
+) -> Option<i64> {
+    let found = if l.stride < 0 {
+        // Decreasing loops walk lexmax-first: the initial value of the
+        // source loop is the domain's largest point, and the stride grid
+        // is anchored there.
+        l.last_into(outer, i) && l.initial_into(outer, end)
+    } else {
+        l.initial_into(outer, i) && l.last_into(outer, end)
+    };
+    found.then(|| end[l.depth - 1])
 }
 
 fn walk_node<'a>(
     node: &'a Node,
     outer: &[i64],
+    pool: &mut Vec<Vec<i64>>,
     visit: &mut impl FnMut(DynamicAccess<'a>),
     count: &mut u64,
 ) {
@@ -51,42 +78,23 @@ fn walk_node<'a>(
             }
         }
         Node::Loop(l) => {
-            if l.stride < 0 {
-                // Decreasing loops walk lexmax-first: the initial value of
-                // the source loop is the domain's largest point, and the
-                // stride grid is anchored there.
-                let Some(mut i) = l.last(outer) else {
-                    return;
-                };
-                let Some(lowest) = l.initial(outer) else {
-                    return;
-                };
-                while i.as_slice() >= lowest.as_slice() {
+            let mut i = pool.pop().unwrap_or_default();
+            let mut end = pool.pop().unwrap_or_default();
+            if let Some(bound) = entry_interval(l, outer, &mut i, &mut end) {
+                pool.push(end);
+                let d = l.depth - 1;
+                while (l.stride > 0 && i[d] <= bound) || (l.stride < 0 && i[d] >= bound) {
                     if l.domain.contains(&i) {
                         for child in &l.children {
-                            walk_node(child, &i, visit, count);
+                            walk_node(child, &i, pool, visit, count);
                         }
                     }
-                    *i.last_mut()
-                        .expect("loop domains have at least one dimension") += l.stride;
+                    i[d] += l.stride;
                 }
-                return;
+            } else {
+                pool.push(end);
             }
-            let Some(mut i) = l.initial(outer) else {
-                return;
-            };
-            let Some(last) = l.last(outer) else {
-                return;
-            };
-            while i.as_slice() <= last.as_slice() {
-                if l.domain.contains(&i) {
-                    for child in &l.children {
-                        walk_node(child, &i, visit, count);
-                    }
-                }
-                *i.last_mut()
-                    .expect("loop domains have at least one dimension") += l.stride;
-            }
+            pool.push(i);
         }
     }
 }
@@ -104,7 +112,8 @@ pub fn for_each_access_at<'a>(
     mut visit: impl FnMut(DynamicAccess<'a>),
 ) -> u64 {
     let mut count = 0;
-    walk_node(node, outer, &mut visit, &mut count);
+    let mut pool = Vec::new();
+    walk_node(node, outer, &mut pool, &mut visit, &mut count);
     count
 }
 
@@ -121,8 +130,9 @@ pub fn count_accesses(scop: &Scop) -> u64 {
 /// request to approximate simulation.
 pub fn exceeds_access_count(scop: &Scop, cap: u64) -> bool {
     let mut count = 0;
+    let mut pool = Vec::new();
     for root in scop.roots() {
-        if walk_node_capped(root, &[], cap, &mut count) {
+        if walk_node_capped(root, &[], &mut pool, cap, &mut count) {
             return true;
         }
     }
@@ -131,7 +141,13 @@ pub fn exceeds_access_count(scop: &Scop, cap: u64) -> bool {
 
 /// Walks `node` counting accesses into `count`; returns `true` (abandoning
 /// the walk) as soon as the count exceeds `cap`.
-fn walk_node_capped(node: &Node, outer: &[i64], cap: u64, count: &mut u64) -> bool {
+fn walk_node_capped(
+    node: &Node,
+    outer: &[i64],
+    pool: &mut Vec<Vec<i64>>,
+    cap: u64,
+    count: &mut u64,
+) -> bool {
     match node {
         Node::Access(a) => {
             if a.domain.contains(outer) {
@@ -140,44 +156,30 @@ fn walk_node_capped(node: &Node, outer: &[i64], cap: u64, count: &mut u64) -> bo
             *count > cap
         }
         Node::Loop(l) => {
-            if l.stride < 0 {
-                let Some(mut i) = l.last(outer) else {
-                    return false;
-                };
-                let Some(lowest) = l.initial(outer) else {
-                    return false;
-                };
-                while i.as_slice() >= lowest.as_slice() {
+            let mut i = pool.pop().unwrap_or_default();
+            let mut end = pool.pop().unwrap_or_default();
+            let mut exceeded = false;
+            if let Some(bound) = entry_interval(l, outer, &mut i, &mut end) {
+                pool.push(end);
+                let d = l.depth - 1;
+                'iterations: while (l.stride > 0 && i[d] <= bound)
+                    || (l.stride < 0 && i[d] >= bound)
+                {
                     if l.domain.contains(&i) {
                         for child in &l.children {
-                            if walk_node_capped(child, &i, cap, count) {
-                                return true;
+                            if walk_node_capped(child, &i, pool, cap, count) {
+                                exceeded = true;
+                                break 'iterations;
                             }
                         }
                     }
-                    *i.last_mut()
-                        .expect("loop domains have at least one dimension") += l.stride;
+                    i[d] += l.stride;
                 }
-                return false;
+            } else {
+                pool.push(end);
             }
-            let Some(mut i) = l.initial(outer) else {
-                return false;
-            };
-            let Some(last) = l.last(outer) else {
-                return false;
-            };
-            while i.as_slice() <= last.as_slice() {
-                if l.domain.contains(&i) {
-                    for child in &l.children {
-                        if walk_node_capped(child, &i, cap, count) {
-                            return true;
-                        }
-                    }
-                }
-                *i.last_mut()
-                    .expect("loop domains have at least one dimension") += l.stride;
-            }
-            false
+            pool.push(i);
+            exceeded
         }
     }
 }

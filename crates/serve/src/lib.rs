@@ -68,6 +68,7 @@ use family::{FamilyEntry, FamilyRegistry};
 
 use engine::{Backend, Engine, EngineError, KernelSpec, SamplingOptions, SimReport, SimRequest};
 use serde::Serialize;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -270,6 +271,12 @@ pub struct SimService {
     calibrations: CalibrationCache,
     runner: Option<Runner>,
     exact_budget: Option<u64>,
+    /// Memoised budget verdicts, keyed by the request's canonical hash:
+    /// whether the kernel exceeds [`ServeConfig::exact_budget`].  The
+    /// verdict is pure in the kernel (and the budget is fixed per
+    /// service), so repeat submissions of an oversized kernel skip the
+    /// build + probe entirely.
+    budget_verdicts: Mutex<HashMap<u128, bool>>,
     warm_paths: bool,
     requests: AtomicU64,
     simulated: AtomicU64,
@@ -299,6 +306,7 @@ impl SimService {
             calibrations: CalibrationCache::new(),
             runner: None,
             exact_budget: config.exact_budget,
+            budget_verdicts: Mutex::new(HashMap::new()),
             warm_paths: config.warm_paths,
             requests: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
@@ -438,9 +446,16 @@ impl SimService {
     /// cached exact report for the same kernel.  Only the simulating exact
     /// backends are degraded; the analytical backends are already cheap,
     /// and an explicitly sampled request keeps the options it asked for.
-    /// The access count itself is computed symbolically per loop nest
-    /// ([`scop::exceeds_access_count`] short-circuits once the budget is
-    /// crossed), so the guard costs parsing, not simulation.
+    ///
+    /// The access count is answered in closed form whenever the kernel's
+    /// domains are rectangular ([`CompiledScop::static_access_count`]
+    /// (scop::CompiledScop::static_access_count) multiplies per-dimension
+    /// trip counts — no walking at all); non-rectangular shapes fall back
+    /// to the walking probe ([`scop::exceeds_access_count`], which
+    /// short-circuits once the budget is crossed).  Either way the verdict
+    /// is memoised per canonical hash, so repeat submissions of the same
+    /// kernel — the common case behind the report cache — skip even the
+    /// build.
     fn degrade(&self, request: &SimRequest) -> Option<SimRequest> {
         let budget = self.exact_budget?;
         if !matches!(
@@ -449,10 +464,32 @@ impl SimService {
         ) {
             return None;
         }
-        // A kernel that fails to build is left to the engine, which owns
-        // the error message.
-        let scop = request.kernel.build().ok()?;
-        if !scop::exceeds_access_count(&scop, budget) {
+        let key = request.canonical_hash().as_u128();
+        let memoised = self
+            .budget_verdicts
+            .lock()
+            .expect("verdict map not poisoned")
+            .get(&key)
+            .copied();
+        let over = match memoised {
+            Some(over) => over,
+            None => {
+                // A kernel that fails to build is left to the engine,
+                // which owns the error message (and is not memoised: the
+                // verdict map only records real verdicts).
+                let scop = request.kernel.build().ok()?;
+                let over = match scop::compile(&scop).static_access_count() {
+                    Some(total) => total > budget,
+                    None => scop::exceeds_access_count(&scop, budget),
+                };
+                self.budget_verdicts
+                    .lock()
+                    .expect("verdict map not poisoned")
+                    .insert(key, over);
+                over
+            }
+        };
+        if !over {
             return None;
         }
         let mut rewritten = request.clone();

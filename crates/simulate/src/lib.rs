@@ -38,8 +38,23 @@ use cache_model::{
     AccessKind, CacheConfig, CacheState, HierarchyConfig, HierarchyState, HierarchyStats,
     LevelStats, MemBlock, MemoryConfig, MultiLevelState,
 };
-use scop::{for_each_access, Scop};
+use scop::{compile, for_each_access, Scop};
 use serde::{Serialize, Value};
+
+/// Which SCoP traversal drives a simulation.
+///
+/// Both walks produce the identical access stream; the compiled walk
+/// strength-reduces addresses, hoists bounds/guards and batches
+/// same-line accesses (see `scop::compile`), while the reference walk
+/// is the literal Algorithm 1 kept as the differential oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WalkMode {
+    /// The compile-once/walk-many path (the default everywhere).
+    #[default]
+    Compiled,
+    /// The per-access reference walk of Algorithm 1.
+    Reference,
+}
 
 /// The result of simulating a SCoP against a memory system: per-level
 /// hit/miss counters for every level of the hierarchy, L1 first.  No level's
@@ -99,6 +114,18 @@ pub trait MemorySystem {
     fn result(&self) -> SimulationResult;
     /// Resets the cache contents and statistics.
     fn reset(&mut self);
+
+    /// Performs a run of `count` accesses starting at `base` with a
+    /// constant byte `stride`.  The default expands the run one access
+    /// at a time; systems with a batched fast path (the depth-N
+    /// [`MultiLevelSystem`]) override it.
+    fn access_run(&mut self, base: u64, stride: i64, count: u64, kind: AccessKind) {
+        let mut address = base as i64;
+        for _ in 0..count {
+            self.access(address as u64, kind);
+            address += stride;
+        }
+    }
 }
 
 /// A single set-associative (or fully-associative) cache level.
@@ -264,6 +291,12 @@ impl MemorySystem for MultiLevelSystem {
             .record_into(&mut self.stats);
     }
 
+    fn access_run(&mut self, base: u64, stride: i64, count: u64, kind: AccessKind) {
+        self.accesses += count;
+        self.state
+            .access_run(&self.config, base, stride, count, kind, &mut self.stats);
+    }
+
     fn result(&self) -> SimulationResult {
         SimulationResult {
             accesses: self.accesses,
@@ -278,12 +311,42 @@ impl MemorySystem for MultiLevelSystem {
     }
 }
 
-/// Simulates a SCoP against a memory system (Algorithm 1) and returns the
-/// accumulated statistics.  The memory system is *not* reset first, so
-/// simulations can be composed, as discussed at the end of §4 of the paper.
+/// Simulates a SCoP against a memory system and returns the accumulated
+/// statistics.  The memory system is *not* reset first, so simulations
+/// can be composed, as discussed at the end of §4 of the paper.
+///
+/// Uses the compiled walk; [`simulate_reference`] (or
+/// [`simulate_with_walk`] with [`WalkMode::Reference`]) runs the literal
+/// Algorithm 1 with bit-identical results.
 pub fn simulate<M: MemorySystem>(scop: &Scop, memory: &mut M) -> SimulationResult {
-    for_each_access(scop, |acc| memory.access(acc.address, acc.kind));
+    simulate_with_walk(scop, memory, WalkMode::Compiled)
+}
+
+/// Simulates a SCoP with an explicit [`WalkMode`].
+pub fn simulate_with_walk<M: MemorySystem>(
+    scop: &Scop,
+    memory: &mut M,
+    walk: WalkMode,
+) -> SimulationResult {
+    match walk {
+        WalkMode::Compiled => {
+            let compiled = compile(scop);
+            let mut scratch = compiled.new_scratch();
+            compiled.for_each_run(&mut scratch, |run| {
+                memory.access_run(run.base, run.stride, run.count, run.kind);
+            });
+        }
+        WalkMode::Reference => {
+            for_each_access(scop, |acc| memory.access(acc.address, acc.kind));
+        }
+    }
     memory.result()
+}
+
+/// Simulates a SCoP with the reference walk of Algorithm 1 — the
+/// differential oracle the compiled path is diffed against.
+pub fn simulate_reference<M: MemorySystem>(scop: &Scop, memory: &mut M) -> SimulationResult {
+    simulate_with_walk(scop, memory, WalkMode::Reference)
 }
 
 /// Simulates a SCoP on a fresh N-level memory system.
@@ -452,6 +515,37 @@ mod tests {
         let wide = CacheConfig::fully_associative(4, 16, ReplacementPolicy::Lru);
         let result = simulate_single(&scop, &wide);
         assert_eq!(result.l1().hits, 499);
+    }
+
+    #[test]
+    fn compiled_and_reference_walks_are_bit_identical() {
+        for src in [
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+            "double A[100]; for (i = 0; i < 100; i++) if (i >= 90) A[i] = 0;",
+            "double A[100][100]; double x[100]; double c[100];\n\
+             for (i = 0; i < 100; i++) {\n\
+               c[i] = 0;\n\
+               for (j = i; j < 100; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+             }",
+            "double A[10]; for (i = 9; i >= 0; i -= 3) if (i < 7) A[i] = 0;",
+        ] {
+            let scop = parse_scop(src).unwrap();
+            for policy in ReplacementPolicy::ALL {
+                let config = MemoryConfig::new(vec![
+                    CacheConfig::with_sets(2, 2, 64, policy),
+                    CacheConfig::with_sets(16, 4, 64, policy),
+                ])
+                .unwrap();
+                let mut compiled = MultiLevelSystem::new(config.clone());
+                let mut reference = MultiLevelSystem::new(config);
+                assert_eq!(
+                    simulate(&scop, &mut compiled),
+                    simulate_reference(&scop, &mut reference),
+                    "{policy} {src}"
+                );
+            }
+        }
     }
 
     #[test]

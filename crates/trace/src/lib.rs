@@ -23,7 +23,8 @@ use cache_model::{
     Access, CacheConfig, CacheState, HierarchyConfig, HierarchyStats, LevelStats, MemoryConfig,
     MultiLevelState, ReplacementPolicy,
 };
-use scop::{elaborate, for_each_access, parse_program, ElaborateOptions, Scop};
+use scop::{compile, elaborate, for_each_access, parse_program, ElaborateOptions, Scop};
+use simulate::WalkMode;
 
 /// Materialises the complete memory-access trace of a SCoP.
 ///
@@ -31,14 +32,33 @@ use scop::{elaborate, for_each_access, parse_program, ElaborateOptions, Scop};
 /// in execution order.  For large problem sizes this is deliberately
 /// expensive — it models the trace-generation overhead of binary
 /// instrumentation (QEMU in the paper's Dinero IV baseline).
+///
+/// Uses the compiled walk; [`generate_trace_with`] selects the walk
+/// explicitly (the streams are identical).
 pub fn generate_trace(scop: &Scop) -> Vec<Access> {
+    generate_trace_with(scop, WalkMode::Compiled)
+}
+
+/// Materialises the trace with an explicit [`WalkMode`].
+pub fn generate_trace_with(scop: &Scop, walk: WalkMode) -> Vec<Access> {
     let mut trace = Vec::new();
-    for_each_access(scop, |acc| {
-        trace.push(Access {
-            address: acc.address,
-            kind: acc.kind,
-        })
-    });
+    match walk {
+        WalkMode::Compiled => {
+            let compiled = compile(scop);
+            let mut scratch = compiled.new_scratch();
+            compiled.for_each_access(&mut scratch, |_, address, kind| {
+                trace.push(Access { address, kind });
+            });
+        }
+        WalkMode::Reference => {
+            for_each_access(scop, |acc| {
+                trace.push(Access {
+                    address: acc.address,
+                    kind: acc.kind,
+                })
+            });
+        }
+    }
     trace
 }
 
@@ -276,6 +296,22 @@ mod tests {
         let m = reference.measure_source(source).unwrap();
         // Each iteration: read s, read A[i], write s.
         assert_eq!(m.accesses, 300);
+    }
+
+    #[test]
+    fn compiled_and_reference_traces_are_identical() {
+        for src in [
+            "double A[1000]; double B[1000];\n\
+             for (i = 1; i < 999; i++) B[i-1] = A[i-1] + A[i];",
+            "double A[10]; for (i = 9; i >= 0; i -= 3) if (i < 7) A[i] = 0;",
+        ] {
+            let scop = parse_scop(src).unwrap();
+            assert_eq!(
+                generate_trace_with(&scop, WalkMode::Compiled),
+                generate_trace_with(&scop, WalkMode::Reference),
+                "{src}"
+            );
+        }
     }
 
     #[test]

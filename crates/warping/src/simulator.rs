@@ -43,8 +43,11 @@ use crate::plan::{plan_warp, LevelWarpMode};
 use crate::symstate::SymLevel;
 use cache_model::{CacheConfig, HierarchyConfig, LevelStats, MemBlock, MemoryConfig};
 use polyhedra::Aff;
-use scop::{AccessNode, LoopNode, Node, Scop};
-use simulate::SimulationResult;
+use scop::{
+    compile, AccessNode, CompiledAccess, CompiledLoop, CompiledNode, EntryBounds, LoopNode, Node,
+    Scop,
+};
+use simulate::{SimulationResult, WalkMode};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -361,6 +364,12 @@ pub struct WarpingSimulator {
     /// Donor hints from a similar earlier run (see [`WarpHints`]); `None`
     /// runs the cold schedule.
     hints: Option<WarpHints>,
+    /// How the explicit (non-warped) iterations step through the SCoP:
+    /// the compiled walk hoists loop bounds and guards (see
+    /// [`scop::compile`]), the reference walk re-derives them per entry.
+    /// The match-attempt schedule — and every count — is bit-identical
+    /// either way.
+    walk: WalkMode,
     /// Depths at which this run applied at least one warp.
     warped_depths: HashSet<usize>,
     /// Depths at which some loop exhausted its fruitless budget.
@@ -410,6 +419,7 @@ impl WarpingSimulator {
             warp_apply_ns: 0,
             fruitless: HashMap::new(),
             hints: None,
+            walk: WalkMode::default(),
             warped_depths: HashSet::new(),
             exhausted_depths: HashSet::new(),
         })
@@ -440,6 +450,17 @@ impl WarpingSimulator {
     /// are bit-identical for every budget.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.warp_threads = threads.max(1);
+        self
+    }
+
+    /// Selects how the explicit (non-warped) iterations walk the SCoP.
+    /// The default is [`WalkMode::Compiled`]: loop bounds and access
+    /// guards are hoisted once per run, so exact loops skip the
+    /// per-iteration membership checks.  [`WalkMode::Reference`] restores
+    /// the literal per-entry lexmin/lexmax stepping; every simulation
+    /// count is bit-identical either way.
+    pub fn with_walk(mut self, walk: WalkMode) -> Self {
+        self.walk = walk;
         self
     }
 
@@ -487,8 +508,13 @@ impl WarpingSimulator {
             addresses,
             loops: HashMap::new(),
         };
-        for root in scop.roots() {
-            self.simulate_node(root, &[], &mut ctx);
+        // The compiled tree mirrors the source tree node for node, so the
+        // explicit walk steps both in lockstep and consults the compiled
+        // side for hoisted bounds and guards.
+        let compiled = (self.walk == WalkMode::Compiled).then(|| compile(scop));
+        for (idx, root) in scop.roots().iter().enumerate() {
+            let croot = compiled.as_ref().map(|c| &c.roots()[idx]);
+            self.simulate_node(root, croot, &[], &mut ctx);
         }
         self.outcome()
     }
@@ -518,15 +544,36 @@ impl WarpingSimulator {
         }
     }
 
-    fn simulate_node<'a>(&mut self, node: &'a Node, outer: &[i64], ctx: &mut RunCtx<'a>) {
+    fn simulate_node<'a>(
+        &mut self,
+        node: &'a Node,
+        cnode: Option<&CompiledNode>,
+        outer: &[i64],
+        ctx: &mut RunCtx<'a>,
+    ) {
         match node {
-            Node::Access(a) => self.simulate_access(a, outer),
-            Node::Loop(l) => self.simulate_loop(l, outer, ctx),
+            Node::Access(a) => {
+                let ca = cnode.and_then(|c| match c {
+                    CompiledNode::Access(ca) => Some(ca),
+                    CompiledNode::Loop(_) => None,
+                });
+                self.simulate_access(a, ca, outer);
+            }
+            Node::Loop(l) => {
+                let cl = cnode.and_then(|c| match c {
+                    CompiledNode::Loop(cl) => Some(cl),
+                    CompiledNode::Access(_) => None,
+                });
+                self.simulate_loop(l, cl, outer, ctx);
+            }
         }
     }
 
-    fn simulate_access(&mut self, access: &AccessNode, outer: &[i64]) {
-        if !access.domain.contains(outer) {
+    fn simulate_access(&mut self, access: &AccessNode, ca: Option<&CompiledAccess>, outer: &[i64]) {
+        // A hoisted-trivial guard means membership is implied by the
+        // enclosing exact loops — skip the per-point union-set check.
+        let guard_free = ca.is_some_and(|c| c.guard_is_trivial());
+        if !guard_free && !access.domain.contains(outer) {
             return;
         }
         let address = access.address_at(outer);
@@ -611,36 +658,71 @@ impl WarpingSimulator {
         CanonicalKey::of_levels(&self.levels, descendant_ids, depth, normalizers)
     }
 
-    fn simulate_loop<'a>(&mut self, loop_node: &'a LoopNode, outer: &[i64], ctx: &mut RunCtx<'a>) {
+    fn simulate_loop<'a>(
+        &mut self,
+        loop_node: &'a LoopNode,
+        cl: Option<&CompiledLoop>,
+        outer: &[i64],
+        ctx: &mut RunCtx<'a>,
+    ) {
         let depth = loop_node.depth;
+        // Hoisted bounds: an exact entry interval makes the per-iteration
+        // domain checks redundant, and an exactly-empty entry returns
+        // without the lexmin/lexmax searches the reference path pays.
+        let bounds = cl.map(|c| c.entry_bounds(outer));
+        if matches!(bounds, Some(EntryBounds::Empty)) {
+            return;
+        }
+        let exact = matches!(bounds, Some(EntryBounds::Exact(..)));
         if loop_node.stride < 0 {
             // Decreasing loops walk lexmax-first.  They are simulated
             // explicitly: warp matching assumes increasing iterators (the
             // match map stores the *earlier* state), and extending it to
             // negative periods is an open ROADMAP item.
-            let Some(mut i) = loop_node.last(outer) else {
-                return;
+            let (mut i, v_lo) = match bounds {
+                Some(EntryBounds::Exact(lo, hi)) => {
+                    let mut i = Vec::with_capacity(depth);
+                    i.extend_from_slice(outer);
+                    i.push(hi);
+                    (i, lo)
+                }
+                _ => {
+                    let Some(i) = loop_node.last(outer) else {
+                        return;
+                    };
+                    let Some(lowest) = loop_node.initial(outer) else {
+                        return;
+                    };
+                    (i, lowest[depth - 1])
+                }
             };
-            let Some(lowest) = loop_node.initial(outer) else {
-                return;
-            };
-            while i.as_slice() >= lowest.as_slice() {
-                if loop_node.domain.contains(&i) {
-                    for child in &loop_node.children {
-                        self.simulate_node(child, &i, ctx);
+            while i[depth - 1] >= v_lo {
+                if exact || loop_node.domain.contains(&i) {
+                    for (idx, child) in loop_node.children.iter().enumerate() {
+                        self.simulate_node(child, cl.map(|c| &c.children()[idx]), &i, ctx);
                     }
                 }
                 i[depth - 1] += loop_node.stride;
             }
             return;
         }
-        let Some(mut i) = loop_node.initial(outer) else {
-            return;
+        let (mut i, v_last) = match bounds {
+            Some(EntryBounds::Exact(lo, hi)) => {
+                let mut i = Vec::with_capacity(depth);
+                i.extend_from_slice(outer);
+                i.push(lo);
+                (i, hi)
+            }
+            _ => {
+                let Some(i) = loop_node.initial(outer) else {
+                    return;
+                };
+                let Some(last) = loop_node.last(outer) else {
+                    return;
+                };
+                (i, last[depth - 1])
+            }
         };
-        let Some(last) = loop_node.last(outer) else {
-            return;
-        };
-        let v_last = last[depth - 1];
         let stride = loop_node.stride.max(1);
         // Cheap gating: warping at this loop can only ever succeed if every
         // access below it shifts by the same amount per iteration (see
@@ -665,7 +747,7 @@ impl WarpingSimulator {
         let mut map: HashMap<u64, MatchEntry> = HashMap::new();
         let mut iteration_index: u64 = 0;
 
-        while i.as_slice() <= last.as_slice() {
+        while i[depth - 1] <= v_last {
             let v1 = i[depth - 1];
             if warpable
                 && fruitless < self.options.max_fruitless_attempts
@@ -692,9 +774,9 @@ impl WarpingSimulator {
                     continue;
                 }
             }
-            if loop_node.domain.contains(&i) {
-                for child in &loop_node.children {
-                    self.simulate_node(child, &i, ctx);
+            if exact || loop_node.domain.contains(&i) {
+                for (idx, child) in loop_node.children.iter().enumerate() {
+                    self.simulate_node(child, cl.map(|c| &c.children()[idx]), &i, ctx);
                 }
             }
             i[depth - 1] += loop_node.stride;
@@ -1291,6 +1373,48 @@ mod tests {
                 hinted.match_attempts,
                 cold.match_attempts
             );
+        }
+    }
+
+    #[test]
+    fn compiled_and_reference_walks_produce_identical_outcomes() {
+        // The walk mode only changes how explicit iterations derive
+        // bounds and guards; every count — including the match-attempt
+        // telemetry, which depends on the attempt schedule — must be
+        // bit-identical.
+        let kernels = [
+            stencil(4000),
+            parse_scop(
+                "double A[200][200]; double x[200]; double c[200];\n\
+                 for (i = 0; i < 200; i++) {\n\
+                   c[i] = 0;\n\
+                   for (j = i; j < 200; j++) c[i] = c[i] + A[i][j] * x[j];\n\
+                 }",
+            )
+            .unwrap(),
+            parse_scop(
+                "double A[3000]; double B[3000];\n\
+                 for (i = 1; i < 2999; i++) if (i < 1500) B[i-1] = A[i-1] + A[i];",
+            )
+            .unwrap(),
+            parse_scop(
+                "double A[4000];\n\
+                 for (i = 3999; i >= 0; i -= 2) A[i] = A[i];",
+            )
+            .unwrap(),
+        ];
+        let memory = WarpingMemory::two_level(
+            CacheConfig::new(1024, 4, 64, ReplacementPolicy::Lru),
+            CacheConfig::new(8 * 1024, 8, 64, ReplacementPolicy::Plru),
+        );
+        for (idx, scop) in kernels.iter().enumerate() {
+            let compiled = WarpingSimulator::new(memory.clone())
+                .with_walk(WalkMode::Compiled)
+                .run(scop);
+            let reference = WarpingSimulator::new(memory.clone())
+                .with_walk(WalkMode::Reference)
+                .run(scop);
+            assert_eq!(compiled, reference, "kernel {idx}");
         }
     }
 
